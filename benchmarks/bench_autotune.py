@@ -1,0 +1,91 @@
+"""Tuner cross-validation: analytic Equations 1/3/4 vs measurement-driven search.
+
+The paper derives blocking parameters analytically; the auto-tuning school
+it cites (Datta et al., Section II) searches with measurements.  This bench
+runs both on the same kernels and machine and shows they land on the same
+configuration knee — each validating the other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import autotune_empirical, tune
+from repro.machine import CORE_I7
+from repro.perf import format_table
+from repro.stencils import SevenPointStencil, TwentySevenPointStencil
+
+from .conftest import banner, record
+
+
+def test_analytic_vs_empirical_7pt(benchmark):
+    kernel = SevenPointStencil()
+
+    def search():
+        return autotune_empirical(
+            kernel,
+            CORE_I7,
+            np.float32,
+            probe_shape=(10, 96, 96),
+            dim_t_candidates=(1, 2, 3, 4),
+            tile_candidates=(32, 48, 96),
+        )
+
+    results = benchmark.pedantic(search, rounds=1, iterations=1)
+    analytic = tune(kernel, CORE_I7, np.float32, derated=False)
+    rows = [
+        (
+            c.dim_t,
+            c.tile,
+            f"{c.bytes_per_update:.2f}",
+            f"{c.predicted_time_per_update * 1e12:.2f} ps",
+            "yes" if c.fits_capacity else "no",
+        )
+        for c in results[:6]
+    ]
+    print(banner("Empirical search (top candidates) — 7pt SP on Core i7"))
+    print(format_table(["dim_T", "tile", "B/update", "time/update", "fits"], rows))
+    print(f"\nanalytic tuner (Eq. 3/4): dim_T={analytic.params.dim_t}, "
+          f"dim_X={analytic.params.dim_x}")
+    best = results[0]
+    assert abs(best.dim_t - analytic.params.dim_t) <= 1
+    assert best.dim_t >= 2  # temporal blocking wins for the BW-bound kernel
+    record(benchmark, best_dim_t=best.dim_t, best_tile=best.tile)
+
+
+def test_analytic_vs_empirical_27pt(benchmark):
+    """Compute-bound kernel: both tuners say 'no temporal blocking'."""
+    kernel = TwentySevenPointStencil()
+
+    def search():
+        return autotune_empirical(
+            kernel,
+            CORE_I7,
+            np.float32,
+            probe_shape=(8, 64, 64),
+            dim_t_candidates=(1, 2, 3),
+            tile_candidates=(32, 64),
+        )
+
+    results = benchmark.pedantic(search, rounds=1, iterations=1)
+    analytic = tune(kernel, CORE_I7, np.float32, derated=False)
+    print(banner("27pt SP: both tuners reject temporal blocking"))
+    print(f"analytic scheme: {analytic.scheme}")
+    print(f"empirical best : dim_T={results[0].dim_t}, tile={results[0].tile}")
+    assert analytic.scheme == "2.5d"
+    assert results[0].dim_t == 1
+    record(benchmark, best_dim_t=results[0].dim_t)
+
+
+def test_empirical_search_cost(benchmark):
+    """The search itself is cheap: one blocked round per candidate."""
+    kernel = SevenPointStencil()
+    results = benchmark(
+        autotune_empirical,
+        kernel,
+        CORE_I7,
+        np.float32,
+        (8, 48, 48),
+        (1, 2),
+        (24, 48),
+    )
+    assert len(results) == 4

@@ -1,0 +1,107 @@
+"""Working-set claims measured on the cache/TLB simulators (Sections III, VII).
+
+* "3 XY slabs of data ... fit well in the 8 MB L3 cache even without
+  explicit blocking" — a fitting hierarchy yields compulsory traffic, a
+  too-small one inflates it by up to 2R+1.
+* LBM's streaming access "brought into cache only to be evicted before any
+  reuse" — zero hit rate on the sweep.
+* Large pages cut TLB misses (the 5-20% effect of Section VI).
+* The blocked buffer of Equation 1 stays resident: re-touching it hits.
+"""
+
+import pytest
+
+from repro.machine import (
+    PAGE_2M,
+    PAGE_4K,
+    Cache,
+    MemoryHierarchy,
+    Tlb,
+    simulate_jacobi_sweep,
+    simulate_streaming_pass,
+)
+
+from .conftest import banner, record
+
+
+def test_slabs_fit_compulsory_traffic(benchmark):
+    """Scaled-down LLC holding 3+ slabs -> ~1 read + 1 write per element."""
+    shape, esize = (16, 32, 32), 8  # slab = 8 KB; cache = 256 KB
+
+    def run():
+        h = MemoryHierarchy([Cache(256 << 10, 64, 8)])
+        r = simulate_jacobi_sweep(h, shape, esize, steps=2)
+        grid = shape[0] * shape[1] * shape[2] * esize
+        return r.external_bytes / (2 * 2 * grid)
+
+    inflation = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ntraffic vs compulsory (slabs fit): {inflation:.2f}X")
+    assert inflation < 1.1
+    record(benchmark, inflation=inflation)
+
+
+def test_slabs_spill_traffic_inflates(benchmark):
+    """Cache smaller than 3 slabs -> every plane visit misses."""
+    shape, esize = (16, 32, 32), 8  # slab = 8 KB; cache = 16 KB < 3 slabs
+
+    def run():
+        h = MemoryHierarchy([Cache(16 << 10, 64, 8)])
+        r = simulate_jacobi_sweep(h, shape, esize, steps=2)
+        grid = shape[0] * shape[1] * shape[2] * esize
+        return r.external_bytes / (2 * 2 * grid)
+
+    inflation = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ntraffic vs compulsory (slabs spill): {inflation:.2f}X")
+    assert inflation > 1.8
+    record(benchmark, inflation=inflation)
+
+
+def test_lbm_streaming_no_reuse(benchmark):
+    """Section III-A: LBM's streams have zero cache reuse within a step."""
+
+    def run():
+        h = MemoryHierarchy([Cache(512 << 10, 64, 8)])
+        r = simulate_streaming_pass(h, (8, 16, 16), 80, steps=1)
+        return r.level_stats[0].hit_rate
+
+    hit_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nLBM sweep cache hit rate: {hit_rate:.3f}")
+    assert hit_rate == 0.0
+
+
+def test_large_pages_cut_tlb_misses(benchmark):
+    """Section VI: 2 MB pages vs 4 KB pages on a strided sweep."""
+
+    def run():
+        small, large = Tlb(64, PAGE_4K), Tlb(64, PAGE_2M)
+        for i in range(8192):
+            small.access(i * 4096)
+            large.access(i * 4096)
+        return small.stats.misses, large.stats.misses
+
+    small_m, large_m = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nTLB misses: 4KB pages {small_m}, 2MB pages {large_m} "
+          f"({small_m / max(large_m, 1):.0f}X reduction)")
+    assert large_m < small_m / 50
+    record(benchmark, small_pages=small_m, large_pages=large_m)
+
+
+def test_blocked_buffer_stays_resident(benchmark):
+    """Equation 1's premise: a capacity-sized ring buffer re-hits in cache."""
+    cache_bytes = 64 << 10
+    buffer_bytes = 32 << 10  # half the cache, like the paper's 4 MB of 8 MB
+
+    def run():
+        c = Cache(cache_bytes, 64, 8)
+        lines = buffer_bytes // 64
+        for ln in range(lines):  # first pass: cold
+            c.access_line(ln)
+        c.reset_stats()
+        for _ in range(3):  # ring reuse passes
+            for ln in range(lines):
+                c.access_line(ln, write=True)
+        return c.stats.hit_rate
+
+    hit_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nring-buffer re-touch hit rate: {hit_rate:.3f}")
+    assert hit_rate == pytest.approx(1.0)

@@ -1,0 +1,67 @@
+"""Ablation: distributed temporal blocking (extension of Section II lineage).
+
+Not a paper figure — the paper is single-node — but the direct distributed
+consequence of 3.5D blocking that its Section II positions against
+(Wittmann/Hager/Wellein): one halo exchange per ``dim_T`` steps cuts the
+message count (and hence the latency term of the alpha-beta cost) by
+``dim_T`` at constant byte volume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import run_naive
+from repro.distributed import DistributedJacobi, transfer_time
+from repro.perf import format_table
+from repro.stencils import Field3D, SevenPointStencil
+
+from .conftest import banner, record
+
+
+def test_message_reduction_sweep(benchmark):
+    kernel = SevenPointStencil()
+    field = Field3D.random((48, 24, 24), dtype=np.float32, seed=0)
+    steps, ranks = 12, 4
+    ref = run_naive(kernel, field, steps)
+
+    def sweep():
+        rows = []
+        for dim_t in (1, 2, 3, 4):
+            dj = DistributedJacobi(kernel, ranks, dim_t=dim_t)
+            out, comm = dj.run(field, steps)
+            assert np.array_equal(out.data, ref.data)
+            total = comm.total_stats()
+            rows.append(
+                (
+                    dim_t,
+                    total.messages_sent,
+                    total.bytes_sent,
+                    transfer_time(total.messages_sent, total.bytes_sent) * 1e6,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(banner(f"Distributed 3.5D: {ranks} ranks, {steps} steps, 48x24x24 SP"))
+    print(
+        format_table(
+            ["dim_T", "messages", "bytes", "alpha-beta cost (us)"],
+            [(d, m, b, f"{t:.1f}") for d, m, b, t in rows],
+        )
+    )
+    msgs = {d: m for d, m, _, _ in rows}
+    assert msgs[1] == 2 * msgs[2] == 3 * msgs[3]
+    volumes = {b for _, _, b, _ in rows}
+    assert len(volumes) == 1  # byte volume independent of dim_T
+    times = [t for *_, t in rows]
+    assert times == sorted(times, reverse=True)  # latency term shrinks
+    record(benchmark, messages_dt1=msgs[1], messages_dt4=msgs[4])
+
+
+def test_distributed_executor_wallclock(benchmark):
+    """Wall-clock of a 4-rank simulated run (structure, not hardware)."""
+    kernel = SevenPointStencil()
+    field = Field3D.random((32, 48, 48), dtype=np.float32, seed=1)
+    dj = DistributedJacobi(kernel, 4, dim_t=2)
+    out, _ = benchmark.pedantic(dj.run, (field, 4), rounds=3, iterations=1)
+    assert np.array_equal(out.data, run_naive(kernel, field, 4).data)

@@ -1,0 +1,85 @@
+"""Wall-clock timing of every executor on the NumPy substrate (X1).
+
+Absolute Python timings do not reproduce hardware MU/s — the substrate is a
+NumPy interpreter, not a Core i7's SSE pipeline (see DESIGN.md's
+substitution table).  What must and does hold:
+
+* all executors produce bit-identical results,
+* external-traffic ratios follow the paper (3.5D moves ~1/dim_T of naive),
+* per-scheme overhead ordering is sane (blocked executors pay bounded
+  bookkeeping overhead on top of naive's vectorized sweeps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Blocking3D,
+    Blocking4D,
+    Blocking25D,
+    Blocking35D,
+    run_naive,
+)
+from repro.stencils import Field3D, SevenPointStencil, TwentySevenPointStencil
+
+from .conftest import record
+
+KERNEL = SevenPointStencil()
+FIELD = Field3D.random((32, 96, 96), dtype=np.float32, seed=7)
+STEPS = 4
+_REF = run_naive(KERNEL, FIELD, STEPS)
+
+
+def _mups(benchmark):
+    n = FIELD.nz * FIELD.ny * FIELD.nx * STEPS
+    return n / benchmark.stats["mean"] / 1e6
+
+
+def test_naive_sweep(benchmark):
+    out = benchmark(run_naive, KERNEL, FIELD, STEPS)
+    assert np.array_equal(out.data, _REF.data)
+    record(benchmark, mups=_mups(benchmark))
+
+
+def test_3d_blocking(benchmark):
+    ex = Blocking3D(KERNEL, 32, 48, 48)
+    out = benchmark(ex.run, FIELD, STEPS)
+    assert np.array_equal(out.data, _REF.data)
+    record(benchmark, mups=_mups(benchmark))
+
+
+def test_25d_blocking(benchmark):
+    ex = Blocking25D(KERNEL, 48, 48)
+    out = benchmark(ex.run, FIELD, STEPS)
+    assert np.array_equal(out.data, _REF.data)
+    record(benchmark, mups=_mups(benchmark))
+
+
+def test_4d_blocking(benchmark):
+    ex = Blocking4D(KERNEL, 2, 32, 48, 48)
+    out = benchmark(ex.run, FIELD, STEPS)
+    assert np.array_equal(out.data, _REF.data)
+    record(benchmark, mups=_mups(benchmark))
+
+
+def test_35d_blocking(benchmark):
+    ex = Blocking35D(KERNEL, 2, 48, 48)
+    out = benchmark(ex.run, FIELD, STEPS)
+    assert np.array_equal(out.data, _REF.data)
+    record(benchmark, mups=_mups(benchmark))
+
+
+def test_35d_sequential_variant(benchmark):
+    ex = Blocking35D(KERNEL, 2, 48, 48, concurrent=False)
+    out = benchmark(ex.run, FIELD, STEPS)
+    assert np.array_equal(out.data, _REF.data)
+    record(benchmark, mups=_mups(benchmark))
+
+
+def test_27pt_35d(benchmark):
+    kernel = TwentySevenPointStencil()
+    field = Field3D.random((16, 64, 64), dtype=np.float32, seed=8)
+    ref = run_naive(kernel, field, 2)
+    ex = Blocking35D(kernel, 2, 40, 40)
+    out = benchmark(ex.run, field, 2)
+    assert np.array_equal(out.data, ref.data)

@@ -1,0 +1,114 @@
+"""Figure 4(a): LBM on the Core i7 across grid sizes and blocking schemes.
+
+Two reproductions in one harness:
+
+* the **model series** — predicted MLUPS for 64^3/256^3/512^3 x {no
+  blocking, temporal-only, 3.5D} x {SP, DP}, checked against the paper's
+  reported values and shape claims (temporal-only helps only at 64^3; 3.5D
+  is compute bound at ~171-180 SP / ~80 DP);
+* a **measured run** — the actual NumPy D3Q19 solver at a reduced grid,
+  timed for real (our wall-clock MLUPS) with external-traffic ratios that
+  must show the dim_T/κ bandwidth reduction the figure rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TrafficStats
+from repro.lbm import Lattice, run_lbm, run_lbm_35d
+from repro.perf import format_table, predict_lbm_cpu
+
+from .conftest import banner, record
+
+GRIDS = (64, 256, 512)
+SCHEMES = ("none", "temporal", "35d")
+
+
+def model_series():
+    return {
+        (p, g, s): predict_lbm_cpu(s, p, g)
+        for p in ("sp", "dp")
+        for g in GRIDS
+        for s in SCHEMES
+    }
+
+
+def test_fig4a_model_series(benchmark):
+    series = benchmark(model_series)
+    rows = [
+        (f"{p.upper()} {g}^3", *(f"{series[(p, g, s)].mupdates_per_s:.0f}" for s in SCHEMES))
+        for p in ("sp", "dp")
+        for g in GRIDS
+    ]
+    print(banner("Figure 4(a): LBM CPU MLUPS (model)"))
+    print(format_table(["case", "no blocking", "temporal only", "3.5D"], rows))
+
+    # paper anchor points
+    assert series[("sp", 256, "none")].mupdates_per_s == pytest.approx(87, rel=0.12)
+    assert 160 <= series[("sp", 256, "35d")].mupdates_per_s <= 195  # 171-180
+    assert series[("dp", 256, "35d")].mupdates_per_s == pytest.approx(80, rel=0.1)
+    # shape: temporal-only helps only at 64^3
+    for g in (256, 512):
+        assert series[("sp", g, "temporal")].mupdates_per_s == pytest.approx(
+            series[("sp", g, "none")].mupdates_per_s
+        )
+    assert (
+        series[("sp", 64, "temporal")].mupdates_per_s
+        > 1.5 * series[("sp", 64, "none")].mupdates_per_s
+    )
+    # shape: 3.5D speedup ~2.1X SP, ~2X DP, grid-size independent
+    for p, target in (("sp", 2.1), ("dp", 1.9)):
+        for g in (256, 512):
+            ratio = (
+                series[(p, g, "35d")].mupdates_per_s
+                / series[(p, g, "none")].mupdates_per_s
+            )
+            assert ratio == pytest.approx(target, rel=0.2)
+    record(
+        benchmark,
+        sp_256_none=series[("sp", 256, "none")].mupdates_per_s,
+        sp_256_35d=series[("sp", 256, "35d")].mupdates_per_s,
+    )
+
+
+@pytest.mark.parametrize("scheme", ["none", "35d"])
+def test_fig4a_measured_executor(benchmark, scheme):
+    """Wall-clock MLUPS of the real NumPy solver (reduced 48^2 x 32 grid)."""
+    shape = (32, 48, 48)
+    rng = np.random.default_rng(0)
+    lat = Lattice.from_moments(
+        (1.0 + 0.02 * rng.random(shape)).astype(np.float32),
+        (0.01 * (rng.random((3,) + shape) - 0.5)).astype(np.float32),
+    )
+    steps = 3
+
+    if scheme == "none":
+        out = benchmark(run_lbm, lat, steps, 1.2)
+    else:
+        out = benchmark(run_lbm_35d, lat, steps, 3, (24, 24), None, 1.2)
+    cells = shape[0] * shape[1] * shape[2] * steps
+    mlups = cells / benchmark.stats["mean"] / 1e6
+    print(f"\nmeasured {scheme}: {mlups:.1f} MLUPS (NumPy substrate)")
+    record(benchmark, measured_mlups=mlups)
+    assert np.isfinite(out.f.data).all()
+
+
+def test_fig4a_traffic_reduction(benchmark):
+    """The mechanism behind the figure: 3.5D cuts traffic by ~dim_T/κ."""
+    shape = (24, 66, 66)
+    rng = np.random.default_rng(1)
+    lat = Lattice.from_moments(
+        1.0 + 0.02 * rng.random(shape), 0.01 * (rng.random((3,) + shape) - 0.5)
+    )
+
+    def measure():
+        t_naive, t_35d = TrafficStats(), TrafficStats()
+        run_lbm(lat, 3, traffic=t_naive)
+        run_lbm_35d(lat, 3, dim_t=3, tile=64, traffic=t_35d)
+        return t_naive.total_bytes / t_35d.total_bytes
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmeasured traffic reduction (naive / 3.5D): {ratio:.2f}X "
+          f"(ideal dim_T/kappa = {3 / 1.21:.2f}X)")
+    assert ratio > 2.2
+    record(benchmark, traffic_reduction=ratio)

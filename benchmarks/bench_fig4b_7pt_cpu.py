@@ -1,0 +1,85 @@
+"""Figure 4(b): 7-point stencil on the Core i7 across grid sizes and schemes.
+
+Model series checked against the paper's anchors (naive bandwidth bound at
+~21-22 GB/s; 3.5D ~3900 SP / ~1995 DP, 1.5X over no-blocking and 1.4X over
+spatial-only; small grids see no benefit), plus a measured run of the real
+NumPy executors with the traffic reduction that drives the figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Blocking35D, TrafficStats, run_naive
+from repro.perf import format_table, predict_7pt_cpu
+from repro.stencils import Field3D, SevenPointStencil
+
+from .conftest import banner, record
+
+GRIDS = (64, 256, 512)
+SCHEMES = ("none", "spatial", "35d")
+
+
+def model_series():
+    return {
+        (p, g, s): predict_7pt_cpu(s, p, g)
+        for p in ("sp", "dp")
+        for g in GRIDS
+        for s in SCHEMES
+    }
+
+
+def test_fig4b_model_series(benchmark):
+    series = benchmark(model_series)
+    rows = [
+        (f"{p.upper()} {g}^3", *(f"{series[(p, g, s)].mupdates_per_s:.0f}" for s in SCHEMES))
+        for p in ("sp", "dp")
+        for g in GRIDS
+    ]
+    print(banner("Figure 4(b): 7pt CPU MU/s (model)"))
+    print(format_table(["case", "no blocking", "spatial", "3.5D"], rows))
+
+    sp35 = series[("sp", 256, "35d")].mupdates_per_s
+    assert sp35 == pytest.approx(3900, rel=0.1)
+    assert series[("dp", 256, "35d")].mupdates_per_s == pytest.approx(1995, rel=0.1)
+    # "a 1.5X speed up over no-blocking, and 1.4X over spatial blocking only"
+    assert sp35 / series[("sp", 256, "none")].mupdates_per_s == pytest.approx(1.5, abs=0.15)
+    # small grids: blocking is a slight slowdown
+    assert series[("sp", 64, "35d")].mupdates_per_s < series[("sp", 64, "none")].mupdates_per_s
+    # DP = half SP (compute and bandwidth both scale by 2)
+    assert series[("dp", 512, "35d")].mupdates_per_s == pytest.approx(
+        series[("sp", 512, "35d")].mupdates_per_s / 2, rel=0.1
+    )
+    record(benchmark, sp_256_35d=sp35)
+
+
+@pytest.mark.parametrize("scheme", ["naive", "35d"])
+def test_fig4b_measured_executor(benchmark, scheme):
+    """Wall-clock MU/s of the real NumPy executors (reduced 96^2 x 48)."""
+    kernel = SevenPointStencil()
+    field = Field3D.random((48, 96, 96), dtype=np.float32, seed=0)
+    steps = 4
+    if scheme == "naive":
+        out = benchmark(run_naive, kernel, field, steps)
+    else:
+        ex = Blocking35D(kernel, dim_t=2, tile_y=96, tile_x=96)
+        out = benchmark(ex.run, field, steps)
+    ups = field.nz * field.ny * field.nx * steps / benchmark.stats["mean"] / 1e6
+    print(f"\nmeasured {scheme}: {ups:.0f} MU/s (NumPy substrate)")
+    record(benchmark, measured_mups=ups)
+    assert np.isfinite(out.data).all()
+
+
+def test_fig4b_traffic_reduction(benchmark):
+    """3.5D halves external traffic at dim_T=2 (the figure's mechanism)."""
+    kernel = SevenPointStencil()
+    field = Field3D.random((32, 90, 90), dtype=np.float32, seed=1)
+
+    def measure():
+        t_naive, t_35d = TrafficStats(), TrafficStats()
+        run_naive(kernel, field, 4, traffic=t_naive)
+        Blocking35D(kernel, 2, 90, 90).run(field, 4, t_35d)
+        return t_naive.total_bytes / t_35d.total_bytes
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmeasured traffic reduction: {ratio:.2f}X (ideal ~2X at dim_T=2)")
+    assert ratio == pytest.approx(2.0, rel=0.15)

@@ -1,0 +1,85 @@
+"""Figure 5(b): GPU 7-point-stencil optimization breakdown, model vs paper.
+
+The per-stage mechanisms are also exercised on the GPU model substrate:
+coalescing fan-out for the naive kernel, occupancy of the 3.5D launch, and
+the per-thread-overhead amortization arithmetic.
+"""
+
+import pytest
+
+from repro.gpu import (
+    occupancy,
+    plan_7pt_gpu,
+    warp_row_transactions,
+)
+from repro.perf import breakdown_7pt_gpu, format_stages
+
+from .conftest import banner, record
+
+PAPER_BARS = [3300, 9234, 9700, 13252, 14345, 17115]
+
+
+def test_fig5b_breakdown(benchmark):
+    stages = benchmark(breakdown_7pt_gpu)
+    print()
+    print(format_stages(stages, "Figure 5(b): 7pt SP on GTX 285"))
+    assert [s.paper_mups for s in stages] == PAPER_BARS
+    for s in stages:
+        assert s.ratio == pytest.approx(1.0, abs=0.15), s.name
+    # the figure's story: 4D is a dead end, 3.5D is the step change
+    vals = [s.modeled_mups for s in stages]
+    assert vals[2] < 1.15 * vals[1]
+    assert vals[3] > 1.3 * vals[2]
+    record(benchmark, final_mups=vals[-1])
+
+
+def test_fig5b_naive_coalescing_waste(benchmark):
+    """Naive kernel mechanism: neighbor loads split into extra transactions."""
+
+    def count():
+        # a warp reading x-1, x, x+1 neighbors: the shifted loads straddle
+        # segment boundaries -> 2 transactions each instead of 1
+        aligned = warp_row_transactions(1024, 32, 4, 1)
+        shifted = warp_row_transactions(1024 - 4, 32, 4, 1)
+        return aligned, shifted
+
+    aligned, shifted = benchmark(count)
+    print(f"\naligned row: {aligned} txn; shifted (x-1) row: {shifted} txn")
+    assert aligned == 1
+    assert shifted == 2
+
+
+def test_fig5b_35d_occupancy(benchmark):
+    """The 3.5D launch keeps enough warps in flight to hide latency."""
+    plan = plan_7pt_gpu("sp")
+    occ = benchmark(
+        occupancy,
+        plan.threads_per_block,
+        plan.regs_per_thread,
+        plan.shared_bytes_per_block,
+    )
+    print(f"\n3.5D launch occupancy: {occ.occupancy:.2f} "
+          f"({occ.warps_per_sm} warps/SM, limited by {occ.limited_by})")
+    assert occ.occupancy >= 0.5
+    record(benchmark, occupancy=occ.occupancy)
+
+
+def test_fig5b_amortization_arithmetic(benchmark):
+    """More updates per thread -> fewer per-thread overhead instructions.
+
+    The final Figure 5(b) step (14345 -> 17115) comes from each thread
+    computing several Y rows.  With ~o overhead instructions per thread and
+    u useful ops per update, r updates/thread give u + o/r ops per update.
+    """
+
+    def model(overhead_per_thread=8, useful=16):
+        return {
+            r: useful + overhead_per_thread / r for r in (1, 2, 4, 8)
+        }
+
+    costs = benchmark(model)
+    speedup_4 = costs[1] / costs[4]
+    print(f"\nper-update op cost by updates/thread: "
+          + ", ".join(f"{r}: {c:.1f}" for r, c in costs.items()))
+    print(f"speedup at 4 updates/thread: {speedup_4:.2f}X (paper step: 1.19X)")
+    assert speedup_4 == pytest.approx(17115 / 14345, abs=0.15)

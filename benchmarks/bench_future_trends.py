@@ -1,0 +1,107 @@
+"""Section VIII (Discussion): architecture-trend projections.
+
+The machine specs are data, so the Discussion section's qualitative claims
+become parameter sweeps:
+
+* falling bandwidth-to-compute ratio Γ -> larger required dim_T -> larger
+  cache needed to keep κ in check;
+* Fermi-class shared memory ("an order of magnitude larger cache") makes
+  LBM SP blocking feasible on GPU;
+* rising GPU DP compute eventually makes DP stencils bandwidth bound,
+  requiring 3.5D blocking for DP too.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import tune
+from repro.gpu import GTX285_SM, plan_lbm_gpu
+from repro.machine import CORE_I7, GTX_285, is_bandwidth_bound, scaled_machine
+from repro.perf import format_table
+from repro.stencils import SevenPointStencil
+
+from .conftest import banner, record
+
+
+def test_falling_gamma_needs_larger_dim_t(benchmark):
+    """Westmere-and-beyond: compute grows, bandwidth lags -> dim_T rises."""
+    kernel = SevenPointStencil()
+
+    def sweep():
+        rows = []
+        for scale in (1, 2, 4, 8):
+            m = scaled_machine(CORE_I7, compute_scale=scale)
+            t = tune(kernel, m, np.float32, derated=False)
+            rows.append((scale, t.params.dim_t, round(t.params.kappa, 3)))
+        return rows
+
+    rows = benchmark(sweep)
+    print(banner("Section VIII: dim_T vs compute growth (7pt SP, 4 MB cache)"))
+    print(format_table(["compute scale", "dim_T", "kappa"], rows))
+    dim_ts = [r[1] for r in rows]
+    kappas = [r[2] for r in rows]
+    assert dim_ts == sorted(dim_ts) and dim_ts[-1] > dim_ts[0]
+    assert kappas[-1] > kappas[0]  # "requires a proportionately larger cache"
+    record(benchmark, dim_t_at_8x=dim_ts[-1])
+
+
+def test_larger_cache_restores_overhead(benchmark):
+    """The fix for rising κ: scale the cache with dim_T."""
+    kernel = SevenPointStencil()
+    fast = scaled_machine(CORE_I7, compute_scale=4.0)
+
+    def sweep():
+        return [
+            tune(
+                kernel,
+                scaled_machine(fast, capacity_scale=c),
+                np.float32,
+                derated=False,
+            ).params.kappa
+            for c in (1, 2, 4, 8)
+        ]
+
+    kappas = benchmark(sweep)
+    print(banner("kappa vs cache scale at 4X compute"))
+    for c, k in zip((1, 2, 4, 8), kappas):
+        print(f"cache x{c}: kappa = {k:.3f}")
+    assert kappas == sorted(kappas, reverse=True)
+
+
+def test_fermi_class_cache_enables_lbm_gpu(benchmark):
+    """'kernels like LBM SP should benefit from our blocking algorithm.'"""
+
+    def sweep():
+        out = []
+        for kb in (16, 48, 64, 128, 256):
+            sm = replace(GTX285_SM, shared_mem_bytes=kb << 10)
+            out.append((kb, plan_lbm_gpu("sp", sm=sm).feasible))
+        return out
+
+    rows = benchmark(sweep)
+    print(banner("LBM SP GPU blocking feasibility vs shared-memory size"))
+    for kb, ok in rows:
+        print(f"{kb:4d} KB shared memory: {'feasible' if ok else 'infeasible'}")
+    by_kb = dict(rows)
+    assert not by_kb[16]  # GTX 285 (the paper's conclusion)
+    assert by_kb[256]  # an order of magnitude more: feasible
+    record(benchmark, min_feasible_kb=min(kb for kb, ok in rows if ok))
+
+
+def test_gpu_dp_growth_makes_dp_bandwidth_bound(benchmark):
+    """'we believe 3.5D blocking would be required for DP stencil kernels
+    on GPU too' — once Fermi-class DP compute arrives."""
+
+    def check():
+        now = is_bandwidth_bound(GTX_285, "dp", 1.0, derated=True)
+        fermi_ish = scaled_machine(GTX_285, compute_scale=4.0)  # DP x4
+        future = is_bandwidth_bound(fermi_ish, "dp", 1.0, derated=True)
+        return now, future
+
+    now, future = benchmark(check)
+    print(f"\n7pt DP on GTX 285: {'BW bound' if now else 'compute bound'}; "
+          f"on 4X-DP future GPU: {'BW bound' if future else 'compute bound'}")
+    assert not now
+    assert future

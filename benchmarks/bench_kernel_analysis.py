@@ -1,0 +1,89 @@
+"""Section IV kernel analysis: op counts and bytes/op for all three kernels.
+
+Regenerates the per-kernel γ values (7pt 0.5/1.0, 27pt 0.14/0.28, LBM
+0.88/1.75) and the boundedness verdicts of Section IV-C.
+"""
+
+import pytest
+
+from repro.machine import CORE_I7, GTX_285, is_bandwidth_bound
+from repro.perf import KERNELS, format_table
+
+from .conftest import banner, record
+
+PAPER_GAMMAS = {  # kernel -> (γ SP, γ DP) as the paper quotes them
+    "7pt": (0.5, 1.0),
+    "27pt": (0.14, 0.28),
+    "lbm": (0.88, 1.75),
+}
+
+#: Section IV-C verdicts: (kernel, precision, platform) -> bandwidth bound?
+PAPER_VERDICTS = {
+    ("7pt", "sp", "cpu"): True,
+    ("7pt", "dp", "cpu"): True,
+    ("7pt", "sp", "gpu"): True,
+    ("7pt", "dp", "gpu"): False,
+    ("27pt", "sp", "cpu"): False,
+    ("27pt", "dp", "cpu"): False,
+    ("lbm", "sp", "cpu"): True,
+    ("lbm", "dp", "cpu"): True,
+    ("lbm", "sp", "gpu"): True,
+    ("lbm", "dp", "gpu"): False,
+}
+
+
+def kernel_gamma(kernel, precision: str) -> float:
+    """γ as the paper quotes it: blocked traffic for stencils, raw for LBM."""
+    if kernel.name == "lbm":
+        return kernel.gamma(precision)
+    return kernel.gamma_blocked(precision)
+
+
+def analyze():
+    rows = []
+    for name, k in KERNELS.items():
+        rows.append(
+            (
+                name,
+                k.ops_per_update,
+                k.flops_per_update,
+                f"{kernel_gamma(k, 'sp'):.3f}",
+                f"{kernel_gamma(k, 'dp'):.3f}",
+            )
+        )
+    return rows
+
+
+def test_kernel_gammas(benchmark):
+    rows = benchmark(analyze)
+    print(banner("Section IV: kernel op counts and bytes/op"))
+    print(format_table(["kernel", "ops", "flops", "gamma SP", "gamma DP"], rows))
+    for name, k in KERNELS.items():
+        sp, dp = PAPER_GAMMAS[name]
+        assert kernel_gamma(k, "sp") == pytest.approx(sp, abs=0.01)
+        assert kernel_gamma(k, "dp") == pytest.approx(dp, abs=0.05)
+    record(benchmark, lbm_gamma_sp=kernel_gamma(KERNELS["lbm"], "sp"))
+
+
+def test_boundedness_verdicts(benchmark):
+    """Section IV-C: which (kernel, precision, platform) is bandwidth bound."""
+
+    def verdicts():
+        out = {}
+        for (name, prec, plat) in PAPER_VERDICTS:
+            k = KERNELS[name]
+            machine = CORE_I7 if plat == "cpu" else GTX_285
+            out[(name, prec, plat)] = is_bandwidth_bound(
+                machine, prec, kernel_gamma(k, prec), derated=plat == "gpu"
+            )
+        return out
+
+    result = benchmark(verdicts)
+    rows = [
+        (f"{n} {p.upper()} {plat}", "BW bound" if v else "compute bound",
+         "BW bound" if PAPER_VERDICTS[(n, p, plat)] else "compute bound")
+        for (n, p, plat), v in sorted(result.items())
+    ]
+    print(banner("Section IV-C boundedness"))
+    print(format_table(["case", "model", "paper"], rows))
+    assert result == PAPER_VERDICTS

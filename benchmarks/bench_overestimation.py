@@ -1,0 +1,87 @@
+"""Section V-A overestimation examples, analytic vs *measured* on executors.
+
+Regenerates the κ examples (3D: 1.95X/4.62X, 2.5D: 1.2X/1.77X at R = 10%/20%
+of the 3D block side) and validates Equation 2 against the traffic counters
+of the real 3.5D executor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TrafficStats,
+    kappa_3d,
+    kappa_25d,
+    kappa_35d,
+    run_3_5d,
+    wavefront_working_set,
+)
+from repro.perf import format_table
+from repro.stencils import Field3D, SevenPointStencil, interior_points
+
+from .conftest import banner, record
+
+
+def kappa_examples():
+    """The Section V-A worked examples at a 3D block side of 100."""
+    cap_over_e = 100**3
+    rows = []
+    for pct, r in ((10, 10), (20, 20)):
+        d25 = round((cap_over_e / (2 * r + 1)) ** 0.5)
+        rows.append(
+            (
+                f"R = {pct}% of 3D side",
+                f"{kappa_3d(r, 100):.2f}",
+                f"{kappa_25d(r, d25):.2f}",
+                f"{kappa_3d(r, 100) / kappa_25d(r, d25):.1f}X",
+            )
+        )
+    return rows
+
+
+def test_section5a_kappa_examples(benchmark):
+    rows = benchmark(kappa_examples)
+    print(banner("Section V-A: ghost-layer overestimation examples"))
+    print(format_table(["case", "kappa 3D", "kappa 2.5D", "reduction"], rows))
+    assert kappa_3d(10, 100) == pytest.approx(1.95, abs=0.02)  # paper: ~1.95X
+    assert kappa_3d(20, 100) == pytest.approx(4.62, abs=0.03)  # paper: 4.62X
+    cap = 100**3
+    assert kappa_25d(10, round((cap / 21) ** 0.5)) == pytest.approx(1.2, abs=0.05)
+    assert kappa_25d(20, round((cap / 41) ** 0.5)) == pytest.approx(1.77, abs=0.06)
+
+
+def test_measured_kappa_matches_equation2(benchmark):
+    """Equation 2 vs the executor's actual external traffic."""
+    kernel = SevenPointStencil()
+    field = Field3D.random((16, 130, 130), dtype=np.float32, seed=0)
+    dim_t, tile = 2, 32
+
+    def run():
+        t = TrafficStats()
+        run_3_5d(kernel, field, dim_t, dim_t, tile, tile, traffic=t)
+        return t
+
+    t = benchmark(run)
+    esize = field.element_size()
+    nz, ny, nx = field.shape
+    ideal = nz * ny * nx * esize + interior_points(field.shape, 1) * esize
+    measured = t.kappa_measured(ideal)
+    analytic = kappa_35d(1, dim_t, tile)
+    print(banner("Equation 2 vs measured executor traffic"))
+    print(f"kappa analytic (Eq. 2): {analytic:.3f}")
+    print(f"kappa measured        : {measured:.3f}")
+    assert measured == pytest.approx(analytic, rel=0.15)
+    record(benchmark, kappa_analytic=analytic, kappa_measured=measured)
+
+
+def test_wavefront_working_set_growth(benchmark):
+    """Section V-A1: the wavefront working set is O(N^2) — grid dependent."""
+    sizes = (16, 32, 64)
+    ws = benchmark(lambda: [wavefront_working_set(n, n, n) for n in sizes])
+    rows = [(f"{n}^3", w, f"{w / n**2:.2f} N^2") for n, w in zip(sizes, ws)]
+    print(banner("Section V-A1: wavefront peak working set"))
+    print(format_table(["grid", "resident points", "scaling"], rows))
+    # quadratic growth: ~4X per doubling
+    assert ws[1] / ws[0] == pytest.approx(4, rel=0.3)
+    assert ws[2] / ws[1] == pytest.approx(4, rel=0.3)
+

@@ -1,0 +1,99 @@
+"""Section VI parameter choices: dim_T, dim_X, κ for every configuration.
+
+Regenerates the blocking parameters the paper derives for the 7-point
+stencil and LBM on both platforms, including the GPU LBM infeasibility and
+the 4D-blocking overhead comparisons.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import kappa_4d, tune
+from repro.gpu import plan_7pt_gpu, plan_lbm_gpu
+from repro.lbm import LBMKernel
+from repro.machine import CORE_I7, GTX_285
+from repro.perf import format_table
+from repro.stencils import SevenPointStencil
+
+from .conftest import banner, record
+
+#: paper Section VI: (dim_T, dim_X, kappa)
+PAPER_PARAMS = {
+    "7pt cpu sp": (2, 360, 1.02),
+    "7pt cpu dp": (2, 256, 1.04),
+    "lbm cpu sp": (3, 64, 1.21),
+    "lbm cpu dp": (3, 44, 1.34),
+    "7pt gpu sp": (2, 32, 1.31),
+}
+
+
+def select_all():
+    seven = SevenPointStencil()
+    lbm = LBMKernel(np.zeros((4, 4, 4), dtype=np.uint8))
+    out = {}
+    for name, kernel, dtype in (
+        ("7pt cpu sp", seven, np.float32),
+        ("7pt cpu dp", seven, np.float64),
+        ("lbm cpu sp", lbm, np.float32),
+        ("lbm cpu dp", lbm, np.float64),
+    ):
+        t = tune(kernel, CORE_I7, dtype, derated=False)
+        out[name] = (t.params.dim_t, t.params.dim_x, t.params.kappa)
+    p = plan_7pt_gpu("sp")
+    out["7pt gpu sp"] = (p.dim_t, p.dim_x, p.kappa)
+    return out
+
+
+def test_section6_parameters(benchmark):
+    result = benchmark(select_all)
+    rows = [
+        (
+            name,
+            f"{dt} / {PAPER_PARAMS[name][0]}",
+            f"{dx} / {PAPER_PARAMS[name][1]}",
+            f"{k:.3f} / {PAPER_PARAMS[name][2]:.2f}",
+        )
+        for name, (dt, dx, k) in result.items()
+    ]
+    print(banner("Section VI parameters (ours / paper)"))
+    print(format_table(["configuration", "dim_T", "dim_X", "kappa"], rows))
+    for name, (dt, dx, k) in result.items():
+        pdt, pdx, pk = PAPER_PARAMS[name]
+        assert dt == pdt, name
+        assert dx == pdx, name
+        assert k == pytest.approx(pk, abs=0.015), name
+    record(benchmark, **{n.replace(" ", "_"): v[1] for n, v in result.items()})
+
+
+def test_lbm_gpu_infeasibility(benchmark):
+    """Section VI-B: 16 KB shared memory cannot host LBM SP blocking."""
+    plan = benchmark(plan_lbm_gpu, "sp")
+    print(banner("Section VI-B: LBM on GTX 285"))
+    print(f"dim_T required: {plan.dim_t} (paper: >= 6.1)")
+    print(f"dim_X bound   : {plan.dim_x} (paper: <= 2; <= 4 at dim_T=2)")
+    print(f"verdict       : {'feasible' if plan.feasible else plan.reason}")
+    assert not plan.feasible
+    assert plan.dim_t == 7
+    assert plan.dim_x <= 3
+
+
+def test_4d_blocking_overheads(benchmark):
+    """Section VI: the 4D compute overheads that rule 4D blocking out."""
+    mb4 = 4 << 20
+
+    def compute():
+        side = lambda e, t: round((mb4 / (e * t)) ** (1 / 3))
+        return {
+            "7pt sp": kappa_4d(1, 2, side(4, 2)),
+            "7pt dp": kappa_4d(1, 2, side(8, 2)),
+            "lbm sp": kappa_4d(1, 3, side(80, 3)),
+            "lbm dp": kappa_4d(1, 3, side(160, 3)),
+        }
+
+    result = benchmark(compute)
+    paper = {"7pt sp": 1.18, "7pt dp": 1.21, "lbm sp": 2.03, "lbm dp": 2.71}
+    rows = [(k, f"{v:.2f}", paper[k]) for k, v in result.items()]
+    print(banner("Section VI: 4D blocking compute overheads (ours vs paper)"))
+    print(format_table(["kernel", "model", "paper"], rows))
+    for k, v in result.items():
+        assert v == pytest.approx(paper[k], rel=0.12), k

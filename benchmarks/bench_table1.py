@@ -1,0 +1,64 @@
+"""Table I: peak bandwidth, peak Gops, and bytes/op of Core i7 and GTX 285.
+
+Regenerates every cell of the paper's Table I (plus the derated GPU ratios
+quoted in Section III-E) from the machine specs.
+"""
+
+import pytest
+
+from repro.machine import CORE_I7, GTX_285
+from repro.perf import format_table
+
+from .conftest import banner, record
+
+PAPER_TABLE1 = {
+    # platform: (BW GB/s, SP Gops, DP Gops, bytes/op SP, bytes/op DP)
+    "Core i7": (30, 102, 51, 0.29, 0.59),
+    "GTX 285": (159, 1116, 93, 0.14, 1.7),
+}
+
+
+def build_table1():
+    rows = []
+    for name, m in (("Core i7", CORE_I7), ("GTX 285", GTX_285)):
+        rows.append(
+            (
+                name,
+                f"{m.peak_bandwidth / 1e9:.0f}",
+                f"{m.peak_ops_sp / 1e9:.0f}",
+                f"{m.peak_ops_dp / 1e9:.0f}",
+                f"{m.bytes_per_op('sp'):.2f}",
+                f"{m.bytes_per_op('dp'):.2f}",
+            )
+        )
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(build_table1)
+    print(banner("Table I: peak BW (GB/s), peak Gops, bytes/op"))
+    print(
+        format_table(
+            ["platform", "peak BW", "SP Gops", "DP Gops", "B/op SP", "B/op DP"], rows
+        )
+    )
+    for name, machine in (("Core i7", CORE_I7), ("GTX 285", GTX_285)):
+        bw, sp, dp, bop_sp, bop_dp = PAPER_TABLE1[name]
+        assert machine.peak_bandwidth / 1e9 == pytest.approx(bw)
+        assert machine.peak_ops_sp / 1e9 == pytest.approx(sp)
+        assert machine.peak_ops_dp / 1e9 == pytest.approx(dp)
+        assert machine.bytes_per_op("sp") == pytest.approx(bop_sp, abs=0.005)
+        assert machine.bytes_per_op("dp") == pytest.approx(bop_dp, abs=0.02)
+    # Section III-E derates: "about 0.43 for SP and 3.44 for DP"
+    print(
+        f"\nGTX 285 effective (stencil op mix): "
+        f"{GTX_285.bytes_per_op('sp', True):.2f} SP (paper 0.43), "
+        f"{GTX_285.bytes_per_op('dp', True):.2f} DP (paper 3.44)"
+    )
+    assert GTX_285.bytes_per_op("sp", True) == pytest.approx(0.43, abs=0.01)
+    assert GTX_285.bytes_per_op("dp", True) == pytest.approx(3.44, rel=0.02)
+    record(
+        benchmark,
+        cpu_bytes_per_op_sp=CORE_I7.bytes_per_op("sp"),
+        gpu_bytes_per_op_sp_derated=GTX_285.bytes_per_op("sp", True),
+    )

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure): it prints the
+paper-vs-reproduced numbers (run with ``-s`` to see them inline), stores the
+key values in ``benchmark.extra_info`` for the JSON report, and asserts the
+reproduction tolerances so a regression fails loudly.
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, **values) -> None:
+    """Stash reproduction numbers in the benchmark's extra_info."""
+    for key, val in values.items():
+        benchmark.extra_info[key] = val
+
+
+def banner(title: str) -> str:
+    line = "=" * len(title)
+    return f"\n{line}\n{title}\n{line}"

@@ -1,0 +1,68 @@
+"""Auto-tuning report: the Section VI decision table for every configuration.
+
+Runs the tuner for both kernels on both platforms and both precisions,
+printing dim_T / dim_X / kappa and the feasibility verdicts — the executable
+form of the paper's Section VI.  Also shows the Section VIII projection:
+what a machine with twice the compute (same bandwidth) would need.
+
+Run:  python examples/autotune_report.py
+"""
+
+import numpy as np
+
+from repro.core import tune
+from repro.gpu import plan_7pt_gpu, plan_lbm_gpu
+from repro.lbm import LBMKernel
+from repro.machine import CORE_I7, scaled_machine
+from repro.perf import format_table
+from repro.stencils import SevenPointStencil, TwentySevenPointStencil
+
+
+def main() -> None:
+    seven = SevenPointStencil()
+    twenty7 = TwentySevenPointStencil()
+    lbm = LBMKernel(np.zeros((4, 4, 4), dtype=np.uint8))
+
+    rows = []
+    for name, kernel in (("7pt", seven), ("27pt", twenty7), ("lbm", lbm)):
+        for dtype, prec in ((np.float32, "SP"), (np.float64, "DP")):
+            t = tune(kernel, CORE_I7, dtype, derated=False)
+            if t.scheme == "3.5d":
+                cfg = f"dim_T={t.params.dim_t}, dim_X={t.params.dim_x}, kappa={t.params.kappa:.3f}"
+            elif t.scheme == "2.5d":
+                cfg = f"dim_X={t.params.dim_x} (spatial only)"
+            else:
+                cfg = "no blocking"
+            rows.append((f"{name} {prec}", t.scheme, f"{t.gamma:.2f}", f"{t.big_gamma:.2f}", cfg))
+    print(format_table(
+        ["kernel", "scheme", "gamma", "Gamma", "configuration"],
+        rows, "Core i7 tuning (Section VI)",
+    ))
+
+    print("\nGTX 285 plans:")
+    for prec in ("sp", "dp"):
+        p = plan_7pt_gpu(prec)
+        verdict = (
+            f"dim_T={p.dim_t}, dim_X={p.dim_x}, kappa={p.kappa:.2f}, "
+            f"occupancy={p.occupancy.occupancy:.2f}"
+            if p.uses_temporal_blocking
+            else p.reason
+        )
+        print(f"  7pt {prec.upper():2s}: {verdict}")
+    for prec in ("sp", "dp"):
+        p = plan_lbm_gpu(prec)
+        print(f"  lbm {prec.upper():2s}: {p.reason if not p.feasible else 'feasible'}")
+
+    print("\nSection VIII projection (2X compute, same bandwidth):")
+    future = scaled_machine(CORE_I7, compute_scale=2.0, name="future CPU")
+    for name, kernel in (("7pt", seven), ("lbm", lbm)):
+        t = tune(kernel, future, np.float32, derated=False)
+        print(
+            f"  {name} SP: dim_T={t.params.dim_t} "
+            f"(vs {tune(kernel, CORE_I7, np.float32, derated=False).params.dim_t} today), "
+            f"kappa={t.params.kappa:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Distributed temporal blocking: fewer, larger halo exchanges.
+
+Slab-decomposes a 7-point heat problem across 4 simulated ranks and compares
+the communication profile of the classic exchange-every-step scheme against
+halo exchanges of width R*dim_T every dim_T steps.  Byte volume is identical;
+message count — and hence the latency term of the alpha-beta cost — drops by
+dim_T.  Results are bit-identical to the serial naive solver either way.
+
+Run:  python examples/distributed_stencil.py
+"""
+
+import numpy as np
+
+from repro.core import run_naive
+from repro.distributed import DistributedJacobi, transfer_time
+from repro.stencils import Field3D, SevenPointStencil
+
+
+def main() -> None:
+    kernel = SevenPointStencil(alpha=1 - 6 * 0.125, beta=0.125)
+    field = Field3D.random((64, 32, 32), dtype=np.float32, seed=0)
+    steps, ranks = 12, 4
+    reference = run_naive(kernel, field, steps)
+
+    print("Distributed 3.5D blocking (4 simulated ranks, 64x32x32, 12 steps)")
+    print(f"{'dim_T':>6} {'messages':>9} {'volume MB':>10} {'alpha-beta cost':>16}")
+    for dim_t in (1, 2, 3, 4):
+        dj = DistributedJacobi(kernel, ranks, dim_t=dim_t)
+        out, comm = dj.run(field, steps)
+        assert np.array_equal(out.data, reference.data)
+        total = comm.total_stats()
+        cost = transfer_time(total.messages_sent, total.bytes_sent)
+        print(
+            f"{dim_t:>6} {total.messages_sent:>9} "
+            f"{total.bytes_sent / 1e6:>10.2f} {cost * 1e6:>13.1f} us"
+        )
+    print("all runs bit-identical to the serial naive solver")
+    print("volume is dim_T-independent; message count falls as 1/dim_T")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Export the full reproduction dataset as CSV files.
+
+Writes figure4.csv, figure5.csv and comparisons.csv (model values alongside
+the paper's reported anchors) into ``results/`` — the machine-readable
+counterpart of EXPERIMENTS.md.
+
+Run:  python examples/export_results.py [output_dir]
+"""
+
+import pathlib
+import sys
+
+from repro.perf.sweep import all_records, to_csv
+
+
+def main(out_dir: str = "results") -> None:
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, records in all_records().items():
+        path = out / f"{name}.csv"
+        path.write_text(to_csv(records))
+        print(f"wrote {path} ({len(records)} rows)")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

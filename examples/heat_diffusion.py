@@ -1,0 +1,62 @@
+"""Heat diffusion in a 3D block — the PDE-solver workload of Section IV-A.
+
+A hot sphere embedded in a cold block diffuses over time; the update is the
+paper's 7-point stencil with coefficients chosen as an explicit-Euler heat
+equation step.  The solver is auto-tuned for a (scaled) Core i7 and run with
+3.5D blocking; a naive run cross-checks the physics.
+
+Run:  python examples/heat_diffusion.py
+"""
+
+import numpy as np
+
+from repro import Field3D, SevenPointStencil, TrafficStats, run_naive
+from repro.core import tune
+from repro.machine import CORE_I7, scaled_machine
+
+
+def make_hot_sphere(n: int, radius: float, t_hot: float = 100.0) -> Field3D:
+    z, y, x = np.ogrid[:n, :n, :n]
+    c = (n - 1) / 2
+    sphere = (z - c) ** 2 + (y - c) ** 2 + (x - c) ** 2 <= radius**2
+    data = np.zeros((n, n, n), dtype=np.float32)
+    data[sphere] = t_hot
+    return Field3D.from_array(data.copy())
+
+
+def main() -> None:
+    n, steps = 48, 40
+    # explicit Euler step of du/dt = D*laplacian(u): alpha = 1-6k, beta = k
+    k = 1.0 / 8.0
+    kernel = SevenPointStencil(alpha=1 - 6 * k, beta=k)
+    field = make_hot_sphere(n, radius=6)
+
+    # Tune for a cache scaled down to make tiling visible at this grid size.
+    machine = scaled_machine(CORE_I7, capacity_scale=0.002)  # ~8 KB budget
+    tuning = tune(kernel, machine, np.float32, derated=False)
+    print("Heat diffusion (7-point stencil)")
+    print(f"  tuner verdict: {tuning.rationale}")
+
+    traffic = TrafficStats()
+    executor = tuning.make_executor(kernel)
+    result = executor.run(field, steps, traffic)
+
+    # cross-check against the naive reference
+    reference = run_naive(kernel, field, steps)
+    assert np.array_equal(result.data, reference.data)
+
+    total0 = float(field.data.sum(dtype=np.float64))
+    total1 = float(result.data.sum(dtype=np.float64))
+    center = result.data[0, n // 2, n // 2, n // 2]
+    edge = result.data[0, n // 2, n // 2, 2]
+    print(f"  steps                : {steps}")
+    print(f"  peak temperature     : {field.data.max():.1f} -> {result.data.max():.2f}")
+    print(f"  center / near-edge   : {center:.2f} / {edge:.4f}")
+    print(f"  heat retained        : {total1 / total0 * 100:.1f}% (rest lost via the cold boundary)")
+    print(f"  external traffic     : {traffic.total_bytes / 1e6:.1f} MB "
+          f"({traffic.bytes_per_update():.2f} B/update)")
+    print("  blocked result matches the naive solver bit-for-bit")
+
+
+if __name__ == "__main__":
+    main()

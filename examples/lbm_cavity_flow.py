@@ -1,0 +1,55 @@
+"""Lid-driven cavity flow with D3Q19 LBM (the Section IV-B workload).
+
+A closed box of fluid whose top boundary (the "lid") moves at constant
+velocity: the canonical LBM validation case.  The simulation runs with 3.5D
+blocking at the paper's CPU configuration (dim_T = 3, capacity-derived
+tiles) and is cross-checked against the naive sweep.
+
+Run:  python examples/lbm_cavity_flow.py
+"""
+
+import numpy as np
+
+from repro.core import TrafficStats
+from repro.lbm import Lattice, run_lbm, run_lbm_35d, total_mass, velocity
+
+
+def main() -> None:
+    n, steps = 32, 60
+    lid_speed = 0.08
+    omega = 1.3  # relaxation: kinematic viscosity nu = (1/omega - 0.5)/3
+
+    lattice = Lattice.uniform((n, n, n), rho=1.0, dtype=np.float64)
+    lattice.set_equilibrium_shell(velocity_top=(0.0, 0.0, lid_speed))
+
+    print("Lid-driven cavity (D3Q19 LBM, 3.5D blocked)")
+    print(f"  lattice {n}^3, {steps} steps, lid u_x = {lid_speed}, omega = {omega}")
+
+    traffic = TrafficStats()
+    blocked = run_lbm_35d(
+        lattice, steps, dim_t=3, tile=(24, 24), omega=omega, traffic=traffic
+    )
+    reference = run_lbm(lattice, steps, omega=omega)
+    assert np.array_equal(blocked.f.data, reference.f.data)
+
+    u = velocity(blocked.f)
+    mid = n // 2
+    print(f"  mass change          : "
+          f"{abs(total_mass(blocked.f) - total_mass(lattice.f)) / total_mass(lattice.f):.2e}")
+    print(f"  max |u| in interior  : {np.abs(u[:, 1:-1, 1:-1, 1:-1]).max():.4f}")
+    print("  centerline u_x(z) profile (cavity center column):")
+    for z in range(n - 2, 0, -max(1, n // 8)):
+        ux = u[2, z, mid, mid]
+        bar = "#" * int(abs(ux) / lid_speed * 40)
+        sign = "+" if ux >= 0 else "-"
+        print(f"    z={z:3d}: {ux:+.4f} {sign}{bar}")
+    # the primary vortex: flow follows the lid near the top, returns below
+    assert u[2, n - 2, mid, mid] > 0
+    assert u[2, 1:-1, 1:-1, 1:-1].min() < 0
+    print(f"  external traffic     : {traffic.total_bytes / 1e6:.0f} MB "
+          f"({traffic.bytes_per_update():.0f} B/update; naive would be ~3X)")
+    print("  3.5D result matches the naive LBM sweep bit-for-bit")
+
+
+if __name__ == "__main__":
+    main()

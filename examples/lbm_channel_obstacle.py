@@ -1,0 +1,72 @@
+"""Channel flow past a spherical obstacle — LBM with bounce-back geometry.
+
+Fluid is driven through a walled channel (constant-velocity inlet shell at
+one end) around a solid sphere; the obstacle cells use half-way bounce-back.
+Demonstrates flag-field geometry flowing through the same 3.5D machinery,
+plus the parallel (threaded) executor.
+
+Run:  python examples/lbm_channel_obstacle.py
+"""
+
+import numpy as np
+
+from repro.lbm import (
+    Lattice,
+    channel_with_sphere,
+    density,
+    make_kernel,
+    run_lbm,
+    velocity,
+)
+from repro.runtime import ParallelBlocking35D
+
+
+def main() -> None:
+    nz, ny, nx = 24, 24, 48
+    u_in = 0.05
+    omega = 1.2
+    steps = 40
+
+    flags = channel_with_sphere((nz, ny, nx), sphere_radius=5.0)
+    rho = np.ones((nz, ny, nx))
+    u = np.zeros((3, nz, ny, nx))
+    u[2] = u_in  # initial uniform flow along +x
+    lattice = Lattice.from_moments(rho, u, flags)
+
+    print("Channel flow past a sphere (D3Q19, threaded 3.5D)")
+    print(f"  lattice {nz}x{ny}x{nx}, sphere r=5, inlet u_x={u_in}, "
+          f"{flags.mean() * 100:.1f}% solid cells")
+
+    kernel = make_kernel(lattice, omega=omega)
+    executor = ParallelBlocking35D(kernel, dim_t=2, tile_y=20, tile_x=28, n_threads=4)
+    f_out = executor.run(lattice.f, steps)
+
+    # cross-check vs the serial naive sweep
+    reference = run_lbm(lattice, steps, omega=omega)
+    assert np.array_equal(f_out.data, reference.f.data)
+
+    uu = velocity(f_out)
+    fluid = lattice.fluid_mask()
+    mid_z, mid_y = nz // 2, ny // 2
+    sphere_x = nx // 3
+
+    print("  u_x along the channel centerline:")
+    for x in range(2, nx - 2, 6):
+        if flags[mid_z, mid_y, x]:
+            print(f"    x={x:3d}: (inside solid sphere)")
+            continue
+        print(f"    x={x:3d}: {uu[2, mid_z, mid_y, x]:+.4f}")
+
+    # flow accelerates around the obstruction: off-axis speed near the
+    # sphere exceeds the far-field centerline speed
+    side = uu[2, mid_z, 3, sphere_x]
+    far = uu[2, mid_z, mid_y, nx - 6]
+    print(f"  side-gap u_x near sphere: {side:+.4f} vs far field {far:+.4f}")
+    print(f"  density range (fluid)   : "
+          f"[{density(f_out)[fluid].min():.4f}, {density(f_out)[fluid].max():.4f}]")
+    assert (density(f_out)[fluid] > 0).all()
+    print("  threaded 3.5D result matches the serial naive sweep bit-for-bit")
+
+
+if __name__ == "__main__":
+    main()

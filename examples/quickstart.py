@@ -1,0 +1,48 @@
+"""Quickstart: 3.5D-block a 7-point stencil and verify it against naive.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Field3D,
+    SevenPointStencil,
+    TrafficStats,
+    run_3_5d,
+    run_naive,
+)
+
+
+def main() -> None:
+    # A 7-point Jacobi stencil (e.g. 3D heat diffusion), single precision.
+    kernel = SevenPointStencil(alpha=0.4, beta=0.1)
+    field = Field3D.random((64, 64, 64), dtype=np.float32, seed=0)
+    steps = 8
+
+    # Reference: plain Jacobi sweeps, one full-grid pass per time step.
+    naive_traffic = TrafficStats()
+    reference = run_naive(kernel, field, steps, traffic=naive_traffic)
+
+    # 3.5D blocking: dim_T = 2 time steps fused per memory round trip,
+    # 48x48 XY tiles streamed through Z.
+    blocked_traffic = TrafficStats()
+    blocked = run_3_5d(
+        kernel, field, steps, dim_t=2, tile_y=48, tile_x=48,
+        traffic=blocked_traffic,
+    )
+
+    # Blocking reorganizes the schedule, never the arithmetic:
+    assert np.array_equal(blocked.data, reference.data), "results must be bit-identical"
+
+    ratio = naive_traffic.total_bytes / blocked_traffic.total_bytes
+    print("3.5D blocking quickstart")
+    print(f"  grid                 : 64^3 x {steps} steps, SP")
+    print(f"  naive external bytes : {naive_traffic.total_bytes / 1e6:8.1f} MB")
+    print(f"  3.5D external bytes  : {blocked_traffic.total_bytes / 1e6:8.1f} MB")
+    print(f"  bandwidth reduction  : {ratio:.2f}X (ideal: dim_T / kappa ~ 1.9X)")
+    print("  results              : bit-identical to the naive reference")
+
+
+if __name__ == "__main__":
+    main()

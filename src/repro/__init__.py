@@ -1,0 +1,79 @@
+"""repro — a reproduction of "3.5-D Blocking Optimization for Stencil
+Computations on Modern CPUs and GPUs" (Nguyen et al., SC 2010).
+
+The package implements the paper's 3.5D blocking scheme (2.5D spatial +
+1D temporal) together with every substrate its evaluation depends on:
+PDE stencil kernels, a D3Q19 lattice-Boltzmann solver, machine models of the
+Core i7 and GTX 285, a SIMT GPU execution model, a threaded CPU runtime,
+and the performance analysis that regenerates the paper's tables and
+figures.  See DESIGN.md for the full inventory and EXPERIMENTS.md for the
+paper-vs-reproduced numbers.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Field3D, SevenPointStencil, run_naive, run_3_5d
+
+    kernel = SevenPointStencil(alpha=0.4, beta=0.1)
+    field = Field3D.random((64, 64, 64), dtype=np.float32, seed=0)
+    blocked = run_3_5d(kernel, field, steps=8, dim_t=2, tile_y=40, tile_x=40)
+    reference = run_naive(kernel, field, steps=8)
+    assert np.array_equal(blocked.data, reference.data)
+"""
+
+from .core import (
+    Blocking3D,
+    Blocking4D,
+    Blocking25D,
+    Blocking35D,
+    BlockingParams,
+    TrafficStats,
+    kappa_3d,
+    kappa_4d,
+    kappa_25d,
+    kappa_35d,
+    min_dim_t,
+    run_2_5d,
+    run_3_5d,
+    run_3d,
+    run_4d,
+    run_naive,
+    select_params,
+)
+from .stencils import (
+    Field3D,
+    GenericStencil,
+    SevenPointStencil,
+    TwentySevenPointStencil,
+    box_stencil,
+    star_stencil,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Field3D",
+    "SevenPointStencil",
+    "TwentySevenPointStencil",
+    "GenericStencil",
+    "star_stencil",
+    "box_stencil",
+    "Blocking3D",
+    "Blocking4D",
+    "Blocking25D",
+    "Blocking35D",
+    "BlockingParams",
+    "TrafficStats",
+    "run_naive",
+    "run_3d",
+    "run_2_5d",
+    "run_4d",
+    "run_3_5d",
+    "kappa_3d",
+    "kappa_25d",
+    "kappa_35d",
+    "kappa_4d",
+    "min_dim_t",
+    "select_params",
+    "__version__",
+]

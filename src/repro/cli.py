@@ -1,0 +1,308 @@
+"""Command-line interface: run, tune, and reproduce from the shell.
+
+Subcommands
+-----------
+``repro run``        execute a kernel with a chosen blocking scheme, verify
+                     against the naive reference, and report traffic.
+``repro tune``       print the Section VI decision for a kernel/machine.
+``repro reproduce``  regenerate paper artifacts (tables/figures) as text.
+``repro schedule``   render and validate the Figure-3a step schedule.
+``repro info``       version, machine table, package inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="3.5D blocking for stencil computations (Nguyen et al., SC'10)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a kernel with a blocking scheme")
+    run.add_argument("--kernel", choices=["7pt", "27pt", "lbm"], default="7pt")
+    run.add_argument(
+        "--scheme",
+        choices=["naive", "3d", "2.5d", "4d", "3.5d", "cache-oblivious"],
+        default="3.5d",
+    )
+    run.add_argument("--grid", type=int, default=48, help="cubic grid side")
+    run.add_argument("--steps", type=int, default=4)
+    run.add_argument("--dim-t", type=int, default=2)
+    run.add_argument("--tile", type=int, default=32, help="dim_X = dim_Y")
+    run.add_argument("--precision", choices=["sp", "dp"], default="sp")
+    run.add_argument("--threads", type=int, default=1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--no-check", action="store_true", help="skip the naive cross-check"
+    )
+
+    tune = sub.add_parser("tune", help="Section VI parameter selection")
+    tune.add_argument("--kernel", choices=["7pt", "27pt", "lbm"], default="7pt")
+    tune.add_argument("--machine", choices=["corei7", "gtx285"], default="corei7")
+    tune.add_argument("--precision", choices=["sp", "dp"], default="sp")
+    tune.add_argument("--capacity", type=int, default=None, help="override bytes")
+
+    rep = sub.add_parser("reproduce", help="regenerate paper artifacts")
+    rep.add_argument(
+        "artifact",
+        nargs="?",
+        default="all",
+        choices=["all", "table1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "comparisons"],
+    )
+
+    sched = sub.add_parser("schedule", help="print the Figure-3a step schedule")
+    sched.add_argument("--nz", type=int, default=12)
+    sched.add_argument("--dim-t", type=int, default=3)
+    sched.add_argument("--radius", type=int, default=1)
+    sched.add_argument("--sequential", action="store_true",
+                       help="use the 2R+1-plane sequential variant")
+    sched.add_argument("--iterations", type=int, default=None,
+                       help="truncate the printout")
+
+    sub.add_parser("info", help="version and machine inventory")
+    return parser
+
+
+def _make_kernel(name: str, grid: int, precision: str):
+    from repro.lbm import LBMKernel, Lattice
+    from repro.stencils import SevenPointStencil, TwentySevenPointStencil
+
+    dtype = np.float32 if precision == "sp" else np.float64
+    if name == "7pt":
+        return SevenPointStencil(), None, dtype
+    if name == "27pt":
+        return TwentySevenPointStencil(), None, dtype
+    shape = (grid, grid, grid)
+    rng = np.random.default_rng(0)
+    lat = Lattice.from_moments(
+        (1.0 + 0.02 * rng.random(shape)).astype(dtype),
+        (0.01 * (rng.random((3,) + shape) - 0.5)).astype(dtype),
+    )
+    return LBMKernel(lat.flags, omega=1.2), lat, dtype
+
+
+def _cmd_run(args) -> int:
+    import time
+
+    from repro.core import (
+        Blocking3D,
+        Blocking4D,
+        Blocking25D,
+        Blocking35D,
+        TrafficStats,
+        run_cache_oblivious,
+        run_naive,
+    )
+    from repro.runtime import ParallelBlocking35D
+    from repro.stencils import Field3D
+
+    kernel, lattice, dtype = _make_kernel(args.kernel, args.grid, args.precision)
+    if lattice is not None:
+        field = lattice.f
+    else:
+        field = Field3D.random((args.grid,) * 3, dtype=dtype, seed=args.seed)
+
+    traffic = TrafficStats()
+    t0 = time.perf_counter()
+    if args.scheme == "naive":
+        out = run_naive(kernel, field, args.steps, traffic)
+    elif args.scheme == "3d":
+        ex = Blocking3D(kernel, args.tile, args.tile, args.tile)
+        out = ex.run(field, args.steps, traffic)
+    elif args.scheme == "2.5d":
+        out = Blocking25D(kernel, args.tile, args.tile).run(field, args.steps, traffic)
+    elif args.scheme == "4d":
+        ex = Blocking4D(kernel, args.dim_t, args.tile, args.tile, args.tile)
+        out = ex.run(field, args.steps, traffic)
+    elif args.scheme == "cache-oblivious":
+        out = run_cache_oblivious(kernel, field, args.steps, traffic)
+    elif args.threads > 1:
+        ex = ParallelBlocking35D(kernel, args.dim_t, args.tile, args.tile, args.threads)
+        out = ex.run(field, args.steps, traffic)
+    else:
+        ex = Blocking35D(kernel, args.dim_t, args.tile, args.tile)
+        out = ex.run(field, args.steps, traffic)
+    elapsed = time.perf_counter() - t0
+
+    n_updates = args.grid**3 * args.steps
+    print(f"kernel       : {args.kernel} ({args.precision.upper()})")
+    print(f"scheme       : {args.scheme}")
+    print(f"grid         : {args.grid}^3 x {args.steps} steps")
+    print(f"wall time    : {elapsed:.3f} s "
+          f"({n_updates / elapsed / 1e6:.1f} MU/s on the NumPy substrate)")
+    print(f"ext. read    : {traffic.bytes_read / 1e6:.1f} MB")
+    print(f"ext. write   : {traffic.bytes_written / 1e6:.1f} MB")
+    print(f"bytes/update : {traffic.bytes_per_update():.2f}")
+    if not args.no_check:
+        ref = run_naive(kernel, field, args.steps)
+        if np.array_equal(out.data, ref.data):
+            print("check        : bit-identical to the naive reference")
+        else:
+            print("check        : MISMATCH against the naive reference")
+            return 1
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.core import tune
+    from repro.machine import CORE_I7, GTX_285
+
+    machine = CORE_I7 if args.machine == "corei7" else GTX_285
+    kernel, _, dtype = _make_kernel(args.kernel, 16, args.precision)
+    result = tune(
+        kernel,
+        machine,
+        dtype,
+        capacity=args.capacity,
+        derated=machine.is_gpu,
+    )
+    print(f"machine  : {machine.name}")
+    print(f"kernel   : {args.kernel} ({args.precision.upper()})")
+    print(f"gamma    : {result.gamma:.3f} bytes/op")
+    print(f"Gamma    : {result.big_gamma:.3f} bytes/op")
+    print(f"scheme   : {result.scheme}")
+    if result.params is not None and result.params.feasible:
+        p = result.params
+        print(f"dim_T    : {p.dim_t}")
+        print(f"dim_X=Y  : {p.dim_x}")
+        print(f"kappa    : {p.kappa:.3f}")
+        print(f"buffer   : {p.buffer_bytes / 1024:.0f} KB of "
+              f"{(args.capacity or machine.blocking_capacity) / 1024:.0f} KB")
+    print(f"rationale: {result.rationale}")
+    return 0
+
+
+def _cmd_reproduce(artifact: str) -> int:
+    from repro.perf import (
+        breakdown_7pt_gpu,
+        breakdown_lbm_cpu,
+        format_comparisons,
+        format_stages,
+        predict_7pt_cpu,
+        predict_7pt_gpu,
+        predict_lbm_cpu,
+        section_viid_comparisons,
+    )
+    from repro.perf.figures import breakdown_chart, grouped_bar_chart
+
+    def fig4(name, predict, schemes, grids=(64, 256, 512)):
+        groups = {}
+        for p in ("sp", "dp"):
+            for g in grids:
+                groups[f"{p.upper()} {g}^3"] = {
+                    s: predict(s, p, g).mupdates_per_s for s in schemes
+                }
+        print(grouped_bar_chart(groups, unit=" MU/s", title=name))
+
+    did = False
+    if artifact in ("all", "table1"):
+        from repro.machine import CORE_I7, GTX_285
+        from repro.perf import format_table
+
+        rows = [
+            (
+                m.name,
+                f"{m.peak_bandwidth / 1e9:.0f}",
+                f"{m.peak_ops_sp / 1e9:.0f}",
+                f"{m.peak_ops_dp / 1e9:.0f}",
+                f"{m.bytes_per_op('sp'):.2f}",
+                f"{m.bytes_per_op('dp'):.2f}",
+            )
+            for m in (CORE_I7, GTX_285)
+        ]
+        print(format_table(
+            ["platform", "BW GB/s", "SP Gops", "DP Gops", "B/op SP", "B/op DP"],
+            rows, "Table I",
+        ))
+        did = True
+    if artifact in ("all", "fig4a"):
+        print()
+        fig4("Figure 4(a): LBM on Core i7", predict_lbm_cpu, ("none", "temporal", "35d"))
+        did = True
+    if artifact in ("all", "fig4b"):
+        print()
+        fig4("Figure 4(b): 7pt on Core i7", predict_7pt_cpu, ("none", "spatial", "35d"))
+        did = True
+    if artifact in ("all", "fig4c"):
+        print()
+        groups = {
+            p.upper(): {
+                s: predict_7pt_gpu(s, p).mupdates_per_s
+                for s in ("none", "spatial", "35d")
+            }
+            for p in ("sp", "dp")
+        }
+        print(grouped_bar_chart(groups, unit=" MU/s", title="Figure 4(c): 7pt on GTX 285"))
+        did = True
+    if artifact in ("all", "fig5a"):
+        print()
+        print(breakdown_chart(breakdown_lbm_cpu(), title="Figure 5(a): LBM CPU breakdown"))
+        did = True
+    if artifact in ("all", "fig5b"):
+        print()
+        print(breakdown_chart(breakdown_7pt_gpu(), title="Figure 5(b): GPU 7pt breakdown"))
+        did = True
+    if artifact in ("all", "comparisons"):
+        print()
+        print(format_comparisons(section_viid_comparisons(), "Section VII-D"))
+        did = True
+    if artifact == "all":
+        print()
+        print(format_stages(breakdown_lbm_cpu(), "Figure 5(a) stage table"))
+    return 0 if did else 1
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.machine import CORE_I7, GTX_285
+
+    print(f"repro {repro.__version__} — 3.5D blocking (Nguyen et al., SC 2010)")
+    print("machines:")
+    for m in (CORE_I7, GTX_285):
+        print(
+            f"  {m.name}: {m.peak_bandwidth / 1e9:.0f} GB/s, "
+            f"{m.peak_ops_sp / 1e9:.0f}/{m.peak_ops_dp / 1e9:.0f} Gops SP/DP, "
+            f"blocking capacity {m.blocking_capacity >> 10} KB"
+        )
+    print("packages: core stencils lbm machine gpu runtime distributed perf")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args.artifact)
+    if args.command == "schedule":
+        from repro.core import build_schedule
+        from repro.core.schedule import schedule_to_text
+
+        schedule = build_schedule(
+            args.nz, args.radius, args.dim_t, concurrent=not args.sequential
+        )
+        schedule.validate()
+        variant = "sequential (2R+1 planes)" if args.sequential else "concurrent (2R+2 planes)"
+        print(f"3.5D schedule: nz={args.nz}, R={args.radius}, dim_T={args.dim_t}, "
+              f"{variant}, lag={schedule.lag}")
+        print(schedule_to_text(schedule, max_iterations=args.iterations))
+        print("(schedule validated: dependencies and ring liveness hold)")
+        return 0
+    if args.command == "info":
+        return _cmd_info()
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""The paper's primary contribution: 3.5D blocking and its comparisons."""
+
+from .autotune import Candidate, autotune_empirical
+from .blocking3d import Blocking3D, run_3d
+from .blocking4d import Blocking4D, run_4d
+from .blocking25d import Blocking25D, run_2_5d
+from .blocking35d import Blocking35D, run_3_5d
+from .buffer import PlaneRing, RingSet, ring_slots
+from .cache_oblivious import run_cache_oblivious, trapezoid_trace
+from .naive import naive_sweep, run_naive
+from .periodic import (
+    PAD_MODES,
+    pad_field,
+    run_3_5d_padded,
+    run_3_5d_periodic,
+    run_naive_padded,
+    run_naive_periodic,
+    wrap_pad,
+)
+from .overestimation import (
+    compute_overestimation_4d,
+    compute_overestimation_35d,
+    kappa_3d,
+    kappa_4d,
+    kappa_25d,
+    kappa_35d,
+    wavefront_working_set,
+)
+from .params import (
+    BlockingParams,
+    InfeasibleBlockingError,
+    blocking_dim,
+    capacity_bytes_needed,
+    fits_capacity,
+    min_dim_t,
+    select_params,
+)
+from .regions import AxisTile, Tile2D, axis_tiles, compute_range, loaded_extent, plan_tiles_2d
+from .schedule import Schedule, Step, StepKind, build_schedule, lag_for
+from .temporal import advance_tile_trapezoid
+from .tuner import TuningResult, tune
+from .traffic import TrafficStats
+
+__all__ = [
+    "Blocking3D",
+    "Candidate",
+    "autotune_empirical",
+    "Blocking4D",
+    "Blocking25D",
+    "Blocking35D",
+    "run_3d",
+    "run_4d",
+    "run_2_5d",
+    "run_3_5d",
+    "PlaneRing",
+    "RingSet",
+    "ring_slots",
+    "naive_sweep",
+    "run_cache_oblivious",
+    "trapezoid_trace",
+    "run_3_5d_periodic",
+    "run_naive_periodic",
+    "run_3_5d_padded",
+    "run_naive_padded",
+    "pad_field",
+    "PAD_MODES",
+    "wrap_pad",
+    "run_naive",
+    "kappa_3d",
+    "kappa_25d",
+    "kappa_35d",
+    "kappa_4d",
+    "compute_overestimation_35d",
+    "compute_overestimation_4d",
+    "wavefront_working_set",
+    "BlockingParams",
+    "InfeasibleBlockingError",
+    "blocking_dim",
+    "capacity_bytes_needed",
+    "fits_capacity",
+    "min_dim_t",
+    "select_params",
+    "AxisTile",
+    "Tile2D",
+    "axis_tiles",
+    "compute_range",
+    "loaded_extent",
+    "plan_tiles_2d",
+    "Schedule",
+    "Step",
+    "StepKind",
+    "build_schedule",
+    "lag_for",
+    "advance_tile_trapezoid",
+    "TuningResult",
+    "tune",
+    "TrafficStats",
+]

@@ -1,0 +1,348 @@
+"""The 3.5D blocking executor (paper Section V, especially V-C and V-E).
+
+3.5D blocking = 2.5D spatial blocking (block the XY plane, stream through Z)
+combined with 1D temporal blocking (execute ``dim_T`` time steps while the
+working set is resident on chip).  Per round of ``dim_T`` steps each grid
+element is read from and written to external memory once, cutting bandwidth
+demand by ``dim_T / kappa`` where ``kappa`` is the ghost-layer
+overestimation of Equation 2.
+
+The implementation follows the paper's three phases — prolog, steady-state
+stencil computation, epilog — by driving the explicit step schedule of
+:mod:`repro.core.schedule` over the ring buffers of
+:mod:`repro.core.buffer`:
+
+* time instance 0 loads XY sub-planes of the source grid into its ring
+  (**the** external-memory read),
+* instances ``1 .. dim_T-1`` compute into their rings, each on a region that
+  shrinks by R per instance away from cut tile edges (the trapezoid of
+  :mod:`repro.core.regions`),
+* instance ``dim_T`` computes the tile core and writes it straight to the
+  destination grid (**the** external-memory write).
+
+Planes in the fixed boundary shell (both the Z shell and the XY strips of
+tiles that touch the grid edge) are constant in time; they are loaded once
+per tile into persistent side buffers and served from there at every time
+instance.
+
+Executed single-threaded here; :mod:`repro.runtime.parallel35d` runs the same
+schedule with each plane partitioned row-wise across a thread pool, which is
+the paper's TLP scheme (Section V-D, option 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stencils.base import PlaneKernel
+from ..stencils.grid import Field3D, copy_shell, interior_points
+from .buffer import RingSet
+from .regions import Tile2D, compute_range, plan_tiles_2d
+from .schedule import Schedule, StepKind, build_schedule
+from .traffic import TrafficStats
+
+__all__ = ["Blocking35D", "run_3_5d", "TileContext"]
+
+
+@dataclass
+class TileContext:
+    """Per-tile working state: rings plus persistent boundary-plane copies."""
+
+    tile: Tile2D
+    rings: RingSet
+    #: persistent copies of the Z-shell planes over this tile's extent,
+    #: indexed by global plane number.
+    shell_planes: dict[int, np.ndarray]
+
+    @property
+    def ey(self) -> tuple[int, int]:
+        return self.tile.y.extent
+
+    @property
+    def ex(self) -> tuple[int, int]:
+        return self.tile.x.extent
+
+
+class Blocking35D:
+    """Reusable 3.5D executor bound to a kernel and blocking parameters.
+
+    Parameters
+    ----------
+    kernel:
+        Any :class:`~repro.stencils.base.PlaneKernel`.
+    dim_t:
+        Temporal blocking factor (the paper's ``dim_T``).
+    tile_y, tile_x:
+        On-chip blocking dimensions (the paper's ``dim_Y``, ``dim_X``).
+    concurrent:
+        ``True`` uses ``2R+2`` ring slots and the lag-(R+1) schedule whose
+        per-iteration steps are mutually independent; ``False`` uses the
+        minimal ``2R+1``-slot sequential schedule.
+    validate:
+        Validate the schedule's dependency/liveness invariants up front.
+    """
+
+    def __init__(
+        self,
+        kernel: PlaneKernel,
+        dim_t: int,
+        tile_y: int,
+        tile_x: int,
+        concurrent: bool = True,
+        validate: bool = False,
+    ) -> None:
+        if dim_t < 1:
+            raise ValueError("dim_t must be >= 1")
+        self.kernel = kernel
+        self.dim_t = dim_t
+        self.tile_y = tile_y
+        self.tile_x = tile_x
+        self.concurrent = concurrent
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        field: Field3D,
+        steps: int,
+        traffic: TrafficStats | None = None,
+    ) -> Field3D:
+        """Advance ``field`` by ``steps`` time steps; input is untouched."""
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        if steps == 0:
+            return field.copy()
+        src = field.copy()
+        dst = field.like()
+        copy_shell(src, dst, self.kernel.radius)
+        remaining = steps
+        while remaining > 0:
+            round_t = min(self.dim_t, remaining)
+            self.sweep_round(src, dst, round_t, traffic)
+            src, dst = dst, src
+            remaining -= round_t
+        return src
+
+    # ------------------------------------------------------------------
+    def sweep_round(
+        self,
+        src: Field3D,
+        dst: Field3D,
+        round_t: int,
+        traffic: TrafficStats | None = None,
+    ) -> None:
+        """One blocked round: ``dst`` receives the state ``round_t`` steps ahead."""
+        r = self.kernel.radius
+        nz, ny, nx = src.shape
+        tiles = plan_tiles_2d(ny, nx, r, round_t, self.tile_y, self.tile_x)
+        schedule = build_schedule(nz, r, round_t, self.concurrent)
+        if self.validate:
+            schedule.validate()
+        if traffic is not None:
+            traffic.notes.setdefault("tiles_per_round", len(tiles))
+            traffic.notes.setdefault("dim_t", self.dim_t)
+        for tile in tiles:
+            ctx = self._tile_context(src, tile, round_t)
+            self._load_shell_planes(src, ctx, traffic)
+            self._run_schedule(src, dst, ctx, schedule, round_t, traffic)
+
+    # ------------------------------------------------------------------
+    def _tile_context(self, src: Field3D, tile: Tile2D, round_t: int) -> TileContext:
+        ey, ex = tile.y.extent, tile.x.extent
+        rings = RingSet(
+            dim_t=round_t,
+            radius=self.kernel.radius,
+            ncomp=src.ncomp,
+            ny=ey[1] - ey[0],
+            nx=ex[1] - ex[0],
+            dtype=src.dtype,
+            concurrent=self.concurrent,
+        )
+        return TileContext(tile=tile, rings=rings, shell_planes={})
+
+    def _load_shell_planes(
+        self, src: Field3D, ctx: TileContext, traffic: TrafficStats | None
+    ) -> None:
+        """Copy the constant Z-shell planes of this tile's extent on chip."""
+        r = self.kernel.radius
+        nz = src.nz
+        (ey0, ey1), (ex0, ex1) = ctx.ey, ctx.ex
+        esize = src.element_size()
+        for z in list(range(r)) + list(range(nz - r, nz)):
+            ctx.shell_planes[z] = src.data[:, z, ey0:ey1, ex0:ex1].copy()
+            if traffic is not None:
+                traffic.read((ey1 - ey0) * (ex1 - ex0) * esize, planes=1)
+
+    # ------------------------------------------------------------------
+    def _fetch(self, ctx: TileContext, t: int, z: int) -> np.ndarray:
+        """Plane ``z`` as seen by time instance ``t`` (local extent coords)."""
+        if z in ctx.shell_planes:
+            return ctx.shell_planes[z]
+        return ctx.rings.ring(t).get(z)
+
+    def instance_regions(
+        self, ctx: TileContext, shape: tuple[int, int, int], round_t: int
+    ) -> dict[int, tuple[tuple[int, int], tuple[int, int]]]:
+        """Per-instance computable XY regions, global coords (constant in z)."""
+        _, ny, nx = shape
+        r = self.kernel.radius
+        return {
+            t: (
+                compute_range(ctx.tile.y.core, ny, r, round_t, t),
+                compute_range(ctx.tile.x.core, nx, r, round_t, t),
+            )
+            for t in range(1, round_t + 1)
+        }
+
+    def execute_step(
+        self,
+        src: Field3D,
+        dst: Field3D,
+        ctx: TileContext,
+        step,
+        regions,
+        traffic: TrafficStats | None = None,
+        rows: tuple[int, int] | None = None,
+    ) -> None:
+        """Execute one schedule step, optionally restricted to global rows.
+
+        ``rows`` is a half-open global-Y interval; the paper's thread-level
+        parallelization assigns each thread a row slice of every sub-plane
+        (Section V-D option 2), so a step is complete once all row slices
+        have run.  ``rows=None`` executes the full step.
+        """
+        kernel = self.kernel
+        r = kernel.radius
+        nz, ny, nx = src.shape
+        (ey0, ey1), (ex0, ex1) = ctx.ey, ctx.ex
+        esize = src.element_size()
+        z = step.z
+
+        if step.kind is StepKind.LOAD:
+            if z in ctx.shell_planes:
+                return  # already resident (loaded in _load_shell_planes)
+            ly0, ly1 = ey0, ey1
+            if rows is not None:
+                ly0, ly1 = max(ey0, rows[0]), min(ey1, rows[1])
+                if ly0 >= ly1:
+                    return
+            slot = ctx.rings.ring(0).slot_for(z)
+            slot[:, ly0 - ey0 : ly1 - ey0, :] = src.data[:, z, ly0:ly1, ex0:ex1]
+            if traffic is not None:
+                traffic.read(
+                    (ly1 - ly0) * (ex1 - ex0) * esize, planes=1 if rows is None else 0
+                )
+            return
+
+        t = step.t
+        (gy0, gy1), (gx0, gx1) = regions[t]
+        if rows is not None:
+            gy0, gy1 = max(gy0, rows[0]), min(gy1, rows[1])
+            if gy0 >= gy1:
+                return
+        srcs = [self._fetch(ctx, t - 1, z + dz) for dz in range(-r, r + 1)]
+        yr = (gy0 - ey0, gy1 - ey0)
+        xr = (gx0 - ex0, gx1 - ex0)
+        if step.kind is StepKind.STORE:
+            out = dst.data[:, z, ey0:ey1, ex0:ex1]
+            kernel.compute_plane(out, srcs, yr, xr, gz=z, gy0=ey0, gx0=ex0)
+            if traffic is not None:
+                traffic.write((gy1 - gy0) * (gx1 - gx0) * esize, planes=1)
+        else:
+            out = ctx.rings.ring(t).slot_for(z)
+            kernel.compute_plane(out, srcs, yr, xr, gz=z, gy0=ey0, gx0=ex0)
+            # Boundary strips inside the extent are constant in time; refresh
+            # them from the previous instance (which has them valid all the
+            # way back to the loaded planes).
+            self._fill_xy_strips(
+                out, srcs[r], (ey0, ey1), (ex0, ex1), ny, nx, rows=rows
+            )
+        if traffic is not None:
+            traffic.update((gy1 - gy0) * (gx1 - gx0), kernel.ops_per_update)
+
+    def _run_schedule(
+        self,
+        src: Field3D,
+        dst: Field3D,
+        ctx: TileContext,
+        schedule: Schedule,
+        round_t: int,
+        traffic: TrafficStats | None,
+    ) -> None:
+        regions = self.instance_regions(ctx, src.shape, round_t)
+        for step in schedule.steps:
+            self.execute_step(src, dst, ctx, step, regions, traffic)
+
+    def _fill_xy_strips(
+        self,
+        out: np.ndarray,
+        prev: np.ndarray,
+        ey: tuple[int, int],
+        ex: tuple[int, int],
+        ny: int,
+        nx: int,
+        rows: tuple[int, int] | None = None,
+    ) -> None:
+        """Copy grid-boundary strips (constant values) into a computed plane.
+
+        With ``rows`` set, only the strip portions inside that global-Y slice
+        are written, so row-partitioned threads touch disjoint memory.
+        """
+        r = self.kernel.radius
+        ey0, ey1 = ey
+        ex0, ex1 = ex
+        ly0, ly1 = (0, ey1 - ey0)
+        if rows is not None:
+            ly0 = max(0, rows[0] - ey0)
+            ly1 = min(ey1 - ey0, rows[1] - ey0)
+            if ly0 >= ly1:
+                return
+        if ey0 < r:  # tile touches the low-Y grid boundary
+            hi = min(r - ey0, ly1)
+            if hi > ly0:
+                out[:, ly0:hi, :] = prev[:, ly0:hi, :]
+        if ey1 > ny - r:
+            lo = max((ny - r) - ey0, ly0)
+            if ly1 > lo:
+                out[:, lo:ly1, :] = prev[:, lo:ly1, :]
+        if ex0 < r:
+            out[:, ly0:ly1, : r - ex0] = prev[:, ly0:ly1, : r - ex0]
+        if ex1 > nx - r:
+            k = ex1 - (nx - r)
+            out[:, ly0:ly1, -k:] = prev[:, ly0:ly1, -k:]
+
+    # ------------------------------------------------------------------
+    def buffer_bytes(self, dtype, ncomp: int | None = None) -> int:
+        """On-chip bytes the configuration needs (LHS of Equation 1)."""
+        from .buffer import ring_slots
+
+        ncomp = self.kernel.ncomp if ncomp is None else ncomp
+        slots = ring_slots(self.kernel.radius, self.concurrent)
+        return (
+            np.dtype(dtype).itemsize
+            * ncomp
+            * slots
+            * self.dim_t
+            * self.tile_y
+            * self.tile_x
+        )
+
+
+def run_3_5d(
+    kernel: PlaneKernel,
+    field: Field3D,
+    steps: int,
+    dim_t: int,
+    tile_y: int,
+    tile_x: int,
+    *,
+    concurrent: bool = True,
+    validate: bool = False,
+    traffic: TrafficStats | None = None,
+) -> Field3D:
+    """Convenience wrapper: advance ``field`` by ``steps`` with 3.5D blocking."""
+    return Blocking35D(
+        kernel, dim_t, tile_y, tile_x, concurrent=concurrent, validate=validate
+    ).run(field, steps, traffic)

@@ -1,0 +1,112 @@
+"""Ring buffers of XY sub-planes (paper Section V-C, Figure 3a).
+
+The 3.5D scheme keeps, for each blocked time instance, a small ring of XY
+sub-planes resident in on-chip memory.  The paper shows that ``2R+1`` planes
+per instance suffice when the time instances are processed strictly in order
+(one barrier per step), and that adding one more plane — ``2R+2`` — decouples
+the instances so that one step of *every* instance can run concurrently,
+multiplying the available parallelism by ``dim_T``.
+
+A plane for height ``z`` always lives in slot ``z % slots`` (the paper's
+"Buffer index for any z_s equals z_s % (2R+2)").  The ring tracks which
+global plane each slot currently holds so executors can assert the liveness
+invariant: a slot is never read for a plane it no longer holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PlaneRing", "RingSet", "ring_slots"]
+
+
+def ring_slots(radius: int, concurrent: bool) -> int:
+    """Planes per time instance: ``2R+2`` for concurrent steps, else ``2R+1``."""
+    return 2 * radius + (2 if concurrent else 1)
+
+
+class PlaneRing:
+    """A rotating buffer of ``slots`` XY planes for one time instance."""
+
+    def __init__(
+        self,
+        slots: int,
+        ncomp: int,
+        ny: int,
+        nx: int,
+        dtype,
+    ) -> None:
+        if slots < 1:
+            raise ValueError("ring needs at least one slot")
+        self.slots = slots
+        self.data = np.empty((slots, ncomp, ny, nx), dtype=dtype)
+        self._held = [-1] * slots
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def slot_for(self, z: int) -> np.ndarray:
+        """Writable view of the slot that plane ``z`` maps to; marks it held."""
+        idx = z % self.slots
+        self._held[idx] = z
+        return self.data[idx]
+
+    def get(self, z: int) -> np.ndarray:
+        """Read the plane for height ``z``; raises if it has been recycled."""
+        idx = z % self.slots
+        if self._held[idx] != z:
+            raise LookupError(
+                f"ring liveness violated: slot {idx} holds plane "
+                f"{self._held[idx]}, wanted {z}"
+            )
+        return self.data[idx]
+
+    def holds(self, z: int) -> bool:
+        return self._held[z % self.slots] == z
+
+    def reset(self) -> None:
+        self._held = [-1] * self.slots
+
+
+class RingSet:
+    """Rings for time instances ``0 .. dim_t - 1`` of one tile.
+
+    Instance 0 holds planes loaded from external memory; instances
+    ``1 .. dim_t - 1`` hold intermediate results.  The final instance
+    ``dim_t`` writes straight to the destination grid and needs no ring.
+    The aggregate footprint is the capacity term of Equation 1:
+    ``E * (2R+2) * dim_T * dim_X * dim_Y`` in the concurrent configuration.
+    """
+
+    def __init__(
+        self,
+        dim_t: int,
+        radius: int,
+        ncomp: int,
+        ny: int,
+        nx: int,
+        dtype,
+        concurrent: bool = True,
+    ) -> None:
+        if dim_t < 1:
+            raise ValueError("dim_t must be >= 1")
+        self.dim_t = dim_t
+        self.radius = radius
+        self.slots = ring_slots(radius, concurrent)
+        self.rings = [
+            PlaneRing(self.slots, ncomp, ny, nx, dtype) for _ in range(dim_t)
+        ]
+
+    @property
+    def nbytes(self) -> int:
+        """On-chip bytes this configuration occupies (Equation 1 LHS)."""
+        return sum(r.nbytes for r in self.rings)
+
+    def ring(self, t: int) -> PlaneRing:
+        """Ring for time instance ``t`` in ``[0, dim_t)``."""
+        return self.rings[t]
+
+    def reset(self) -> None:
+        for r in self.rings:
+            r.reset()

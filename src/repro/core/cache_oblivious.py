@@ -1,0 +1,115 @@
+"""Cache-oblivious space-time traversal (Frigo & Strumpen, cited in Sec. II).
+
+The paper positions 3.5D blocking against prior temporal schemes; one of
+them is the cache-oblivious trapezoid decomposition [12].  This module
+implements it with the paper's plane-granularity twist: the recursion runs
+over the (z, t) plane — each "cell" is a whole XY sub-plane, computed
+vectorized — which is the natural cache-oblivious counterpart of 2.5D
+streaming.
+
+``walk`` recursively decomposes the space-time trapezoid
+``{(z, t) : t0 <= t < t1, z0 + dz0*(t-t0) <= z < z1 + dz1*(t-t0)}``:
+
+* *space cut* when the trapezoid is wide: split along a line of slope -R
+  through the center; the left piece is computed before the right, which
+  depends on it;
+* *time cut* otherwise: compute the bottom half before the top half.
+
+Leaves (height-1 rows) advance single planes by one time step.  The
+traversal order confines the working set of every recursion level to a
+trapezoid that eventually fits any cache — with no machine parameters,
+hence "oblivious".  Results are bit-identical to the naive sweep; the
+locality benefit is demonstrated against the cache simulator in the tests
+and the ablation bench.
+"""
+
+from __future__ import annotations
+
+from ..stencils.base import PlaneKernel
+from ..stencils.grid import Field3D, copy_shell
+from .traffic import TrafficStats
+
+__all__ = ["run_cache_oblivious", "trapezoid_trace"]
+
+
+def _walk(
+    t0: int,
+    t1: int,
+    z0: int,
+    dz0: int,
+    z1: int,
+    dz1: int,
+    leaf,
+    radius: int,
+) -> None:
+    dt = t1 - t0
+    if dt <= 0:
+        return
+    if dt == 1:
+        for z in range(z0, z1):
+            leaf(t0, z)
+        return
+    r = radius
+    if 2 * (z1 - z0) + (dz1 - dz0) * dt >= 4 * r * dt:
+        # wide trapezoid: space cut along slope -R through the center
+        zm = (2 * (z0 + z1) + (2 * r + dz0 + dz1) * dt) // 4
+        _walk(t0, t1, z0, dz0, zm, -r, leaf, radius)
+        _walk(t0, t1, zm, -r, z1, dz1, leaf, radius)
+    else:
+        # time cut: bottom half first
+        s = dt // 2
+        _walk(t0, t0 + s, z0, dz0, z1, dz1, leaf, radius)
+        _walk(t0 + s, t1, z0 + dz0 * s, dz0, z1 + dz1 * s, dz1, leaf, radius)
+
+
+def run_cache_oblivious(
+    kernel: PlaneKernel,
+    field: Field3D,
+    steps: int,
+    traffic: TrafficStats | None = None,
+    trace: list | None = None,
+) -> Field3D:
+    """Advance ``field`` by ``steps`` via the cache-oblivious traversal.
+
+    Two full grids hold even/odd time levels; the recursion orders the
+    plane updates so that space-time-adjacent work is adjacent in time.
+    ``trace``, if given, receives ``(t, z)`` tuples in execution order.
+    """
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    if steps == 0:
+        return field.copy()
+    r = kernel.radius
+    nz, ny, nx = field.shape
+    grids = [field.copy(), field.like()]
+    copy_shell(grids[0], grids[1], r)
+    esize = field.element_size()
+
+    def leaf(t: int, z: int) -> None:
+        if not r <= z < nz - r:
+            return  # boundary shell planes are fixed
+        src = grids[t % 2]
+        dst = grids[(t + 1) % 2]
+        planes = [src.plane(z + dz) for dz in range(-r, r + 1)]
+        kernel.compute_plane(dst.plane(z), planes, (r, ny - r), (r, nx - r), gz=z)
+        if trace is not None:
+            trace.append((t, z))
+        if traffic is not None:
+            traffic.update((ny - 2 * r) * (nx - 2 * r), kernel.ops_per_update)
+            traffic.read((2 * r + 1) * ny * nx * esize, planes=2 * r + 1)
+            traffic.write(ny * nx * esize, planes=1)
+
+    _walk(0, steps, 0, 0, nz, 0, leaf, r)
+    return grids[steps % 2]
+
+
+def trapezoid_trace(nz: int, steps: int, radius: int = 1) -> list[tuple[int, int]]:
+    """The (t, z) execution order of the traversal, without computing."""
+    order: list[tuple[int, int]] = []
+
+    def leaf(t: int, z: int) -> None:
+        if radius <= z < nz - radius:
+            order.append((t, z))
+
+    _walk(0, steps, 0, 0, nz, 0, leaf, radius)
+    return order

@@ -1,0 +1,181 @@
+"""Blocking-parameter selection (paper Equations 1, 3, 4).
+
+Given the kernel's bandwidth-to-compute ratio γ (bytes/op after perfect
+spatial blocking), the machine's peak bytes/op Γ, the on-chip capacity C and
+the element size E, the paper's framework chooses:
+
+* the temporal factor ``dim_T ≥ η = ⌈γ/Γ⌉`` (Equation 3) — the minimum
+  bandwidth reduction that makes the kernel compute bound; larger values
+  only increase overestimation, so the minimum is used;
+* the blocking dimensions
+  ``dim_X = dim_Y = ⌊sqrt(C / (E·(2R+2)·dim_T))⌋`` (Equation 4), which
+  minimizes overestimation subject to the capacity constraint
+  ``E·(2R+2)·dim_T·dim_X·dim_Y ≤ C`` (Equation 1).
+
+Reproduced paper instances (Section VI) — see ``tests/test_params.py``:
+
+* 7-point CPU, C = 4 MB: dim_T = 2; SP dim_X ≈ 362 → 360 aligned, κ ≈ 1.02;
+  DP dim_X = 256, κ ≈ 1.03.
+* LBM CPU (E = 80/160 B): dim_T = 3; SP dim_X 66 → 64, κ ≈ 1.21;
+  DP dim_X 46 → 44, κ ≈ 1.34.
+* 7-point GPU (C = 64 KB register file): dim_T = 2, dim_X ≤ 45 → 32
+  (warp-width aligned), κ ≈ 1.31.
+* LBM GPU (C = 16 KB shared memory): dim_X ≤ 2–3 < 2·R·dim_T — blocking
+  infeasible, matching the paper's conclusion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "min_dim_t",
+    "blocking_dim",
+    "capacity_bytes_needed",
+    "fits_capacity",
+    "BlockingParams",
+    "select_params",
+    "InfeasibleBlockingError",
+]
+
+
+class InfeasibleBlockingError(ValueError):
+    """Raised when no valid blocking exists for the given capacity."""
+
+
+def min_dim_t(gamma: float, big_gamma: float) -> int:
+    """Equation 3: minimum temporal factor η = ⌈γ/Γ⌉ to become compute bound."""
+    if gamma <= 0 or big_gamma <= 0:
+        raise ValueError("gamma and Gamma must be positive")
+    return max(1, math.ceil(gamma / big_gamma))
+
+
+def blocking_dim(
+    capacity: int,
+    element_size: int,
+    radius: int,
+    dim_t: int,
+    planes_per_instance: int | None = None,
+    align: int = 1,
+) -> int:
+    """Equation 4: square blocking dimension for a given configuration.
+
+    ``planes_per_instance`` defaults to the concurrent scheme's ``2R+2``.
+    ``align`` rounds the result down to a multiple (SIMD width or warp size).
+    """
+    planes = (2 * radius + 2) if planes_per_instance is None else planes_per_instance
+    denom = element_size * planes * dim_t
+    if denom <= 0:
+        raise ValueError("invalid configuration")
+    d = int(math.isqrt(capacity // denom))
+    if align > 1:
+        d = (d // align) * align
+    return d
+
+
+def capacity_bytes_needed(
+    element_size: int,
+    radius: int,
+    dim_t: int,
+    dim_x: int,
+    dim_y: int,
+    planes_per_instance: int | None = None,
+) -> int:
+    """LHS of Equation 1: on-chip bytes a blocking configuration occupies."""
+    planes = (2 * radius + 2) if planes_per_instance is None else planes_per_instance
+    return element_size * planes * dim_t * dim_x * dim_y
+
+
+def fits_capacity(
+    capacity: int,
+    element_size: int,
+    radius: int,
+    dim_t: int,
+    dim_x: int,
+    dim_y: int,
+    planes_per_instance: int | None = None,
+) -> bool:
+    """Equation 1 as a predicate."""
+    return (
+        capacity_bytes_needed(
+            element_size, radius, dim_t, dim_x, dim_y, planes_per_instance
+        )
+        <= capacity
+    )
+
+
+@dataclass(frozen=True)
+class BlockingParams:
+    """A complete 3.5D configuration plus its analytic overheads."""
+
+    dim_t: int
+    dim_x: int
+    dim_y: int
+    radius: int
+    element_size: int
+    kappa: float
+    compute_overestimation: float
+    buffer_bytes: int
+    feasible: bool
+    #: why the configuration is infeasible, when it is
+    reason: str = ""
+
+    def bandwidth_reduction(self) -> float:
+        """Net bandwidth reduction over no-blocking: dim_T / κ (Section V-E)."""
+        return self.dim_t / self.kappa
+
+
+def select_params(
+    gamma: float,
+    big_gamma: float,
+    capacity: int,
+    element_size: int,
+    radius: int = 1,
+    align: int = 4,
+    dim_t: int | None = None,
+    concurrent: bool = True,
+) -> BlockingParams:
+    """Select 3.5D parameters per the paper's framework (Equations 1–4).
+
+    Uses the minimum ``dim_T`` of Equation 3 unless one is given.  Returns a
+    :class:`BlockingParams` whose ``feasible`` flag is False when the derived
+    block dimension cannot host the ``2·R·dim_T`` ghost cells — the situation
+    of LBM on the GTX 285's 16 KB shared memory (Section VI-B).
+    """
+    from .overestimation import compute_overestimation_35d, kappa_35d
+
+    planes = 2 * radius + (2 if concurrent else 1)
+    dt = min_dim_t(gamma, big_gamma) if dim_t is None else dim_t
+    d = blocking_dim(capacity, element_size, radius, dt, planes, align)
+    min_d = 2 * radius * dt + 1
+    if d < min_d:
+        # report the unaligned bound in the reason, like the paper's
+        # "dim_X <= 2, which is too small".
+        raw = blocking_dim(capacity, element_size, radius, dt, planes, align=1)
+        return BlockingParams(
+            dim_t=dt,
+            dim_x=d,
+            dim_y=d,
+            radius=radius,
+            element_size=element_size,
+            kappa=math.inf,
+            compute_overestimation=math.inf,
+            buffer_bytes=capacity_bytes_needed(element_size, radius, dt, d, d, planes),
+            feasible=False,
+            reason=(
+                f"dim_X <= {raw} cannot host 2*R*dim_T = {2 * radius * dt} ghost "
+                f"cells; capacity {capacity} B is too small for temporal blocking"
+            ),
+        )
+    return BlockingParams(
+        dim_t=dt,
+        dim_x=d,
+        dim_y=d,
+        radius=radius,
+        element_size=element_size,
+        kappa=kappa_35d(radius, dt, d),
+        compute_overestimation=compute_overestimation_35d(radius, dt, d),
+        buffer_bytes=capacity_bytes_needed(element_size, radius, dt, d, d, planes),
+        feasible=True,
+    )

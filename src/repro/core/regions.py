@@ -1,0 +1,133 @@
+"""Trapezoid region arithmetic for space-time blocking.
+
+When ``dim_T`` time steps are executed on a tile held in on-chip memory, the
+region with correct values shrinks by the stencil radius R per time step away
+from every *cut* edge (an edge interior to the grid).  Edges that coincide
+with the physical grid boundary do not shrink, because the boundary shell is
+held constant in time (Section V-C: "z0 ... does not change with time").
+
+This module provides the per-axis interval arithmetic used by every temporal
+executor: the loaded extent of a tile, the computable region at each
+intermediate time instance, and the decomposition of the grid interior into
+tile cores (the ``dim - 2·R·dim_T`` valid regions of Equation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AxisTile", "axis_tiles", "compute_range", "loaded_extent", "Tile2D", "plan_tiles_2d"]
+
+
+@dataclass(frozen=True)
+class AxisTile:
+    """One tile along a single axis.
+
+    ``core`` is the half-open range of final outputs this tile owns;
+    ``extent`` is the half-open range of source data it loads (core plus a
+    halo of ``radius * dim_t``, clipped to the axis).
+    """
+
+    core: tuple[int, int]
+    extent: tuple[int, int]
+
+    @property
+    def core_size(self) -> int:
+        return self.core[1] - self.core[0]
+
+    @property
+    def extent_size(self) -> int:
+        return self.extent[1] - self.extent[0]
+
+
+def loaded_extent(core: tuple[int, int], n: int, halo: int) -> tuple[int, int]:
+    """Source extent needed for a tile core after ``halo`` total shrink steps."""
+    return (max(0, core[0] - halo), min(n, core[1] + halo))
+
+
+def compute_range(
+    core: tuple[int, int],
+    n: int,
+    radius: int,
+    dim_t: int,
+    t: int,
+) -> tuple[int, int]:
+    """Computable range along one axis at time instance ``t`` (1-based).
+
+    At ``t = dim_t`` this is exactly the core; at earlier instances it is the
+    core expanded by ``radius * (dim_t - t)``, clamped to the grid interior
+    ``[radius, n - radius)``.  The clamp encodes the no-shrink-at-boundary
+    property: intermediate values adjacent to the physical boundary are exact
+    because the boundary is constant in time.
+    """
+    if not 1 <= t <= dim_t:
+        raise ValueError(f"time instance {t} outside [1, {dim_t}]")
+    grow = radius * (dim_t - t)
+    lo = max(radius, core[0] - grow)
+    hi = min(n - radius, core[1] + grow)
+    return (lo, hi)
+
+
+def axis_tiles(n: int, radius: int, dim_t: int, tile: int) -> list[AxisTile]:
+    """Decompose the interior ``[R, n-R)`` of one axis into tile cores.
+
+    ``tile`` is the on-chip blocking dimension (the paper's ``dim_X``); the
+    usable core per tile is ``tile - 2·R·dim_T`` (Equation 2's numerator),
+    except that cores touching the physical boundary need no halo on that
+    side and may extend their loaded extent less.
+
+    Raises ``ValueError`` when ``tile`` is too small to make progress.
+    """
+    halo = radius * dim_t
+    core_size = tile - 2 * halo
+    interior = (radius, n - radius)
+    if interior[0] >= interior[1]:
+        raise ValueError(f"axis of size {n} has no interior for radius {radius}")
+    if tile >= n:
+        # The whole axis fits on chip: a single boundary-to-boundary tile
+        # with no cut edges and hence no ghost cells at all.
+        return [AxisTile(core=interior, extent=(0, n))]
+    if core_size < 1:
+        raise ValueError(
+            f"tile {tile} cannot host 2*R*dim_T = {2 * halo} ghost cells"
+        )
+    tiles: list[AxisTile] = []
+    lo = interior[0]
+    while lo < interior[1]:
+        hi = min(lo + core_size, interior[1])
+        core = (lo, hi)
+        tiles.append(AxisTile(core=core, extent=loaded_extent(core, n, halo)))
+        lo = hi
+    return tiles
+
+
+@dataclass(frozen=True)
+class Tile2D:
+    """An XY tile: the cross product of one Y axis tile and one X axis tile."""
+
+    y: AxisTile
+    x: AxisTile
+
+    @property
+    def core_points(self) -> int:
+        return self.y.core_size * self.x.core_size
+
+    @property
+    def extent_points(self) -> int:
+        return self.y.extent_size * self.x.extent_size
+
+
+def plan_tiles_2d(
+    ny: int,
+    nx: int,
+    radius: int,
+    dim_t: int,
+    tile_y: int,
+    tile_x: int,
+) -> list[Tile2D]:
+    """All XY tiles covering the grid interior, in row-major order."""
+    return [
+        Tile2D(y=ty, x=tx)
+        for ty in axis_tiles(ny, radius, dim_t, tile_y)
+        for tx in axis_tiles(nx, radius, dim_t, tile_x)
+    ]

@@ -1,0 +1,89 @@
+"""External-memory traffic and operation accounting.
+
+Every blocking executor in :mod:`repro.core` threads a :class:`TrafficStats`
+through its inner loops.  The counters model the quantities the paper reasons
+about in Sections IV and V:
+
+* ``bytes_read`` / ``bytes_written`` — traffic between external memory and the
+  on-chip blocking buffers.  Ghost-layer cells are counted every time they are
+  (re)loaded, so the measured overestimation factor :math:`\\kappa` can be
+  compared against the closed forms in :mod:`repro.core.overestimation`.
+* ``updates`` — grid-point updates actually executed, including the redundant
+  recomputation of ghost cells that temporal blocking introduces.
+* ``ops`` — total operations, using the per-kernel op counts of Section IV
+  (16 ops for the 7-point stencil, 58 for the 27-point, 259 for D3Q19 LBM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficStats:
+    """Accumulated external-memory traffic and executed work.
+
+    The executor is responsible for calling :meth:`read`, :meth:`write` and
+    :meth:`update` at the points where a real implementation would touch
+    external memory or retire stencil updates.
+    """
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    updates: int = 0
+    ops: int = 0
+    plane_loads: int = 0
+    plane_stores: int = 0
+    #: optional free-form notes recorded by executors (e.g. chosen tiling)
+    notes: dict = field(default_factory=dict)
+
+    def read(self, nbytes: int, *, planes: int = 0) -> None:
+        """Record ``nbytes`` read from external memory."""
+        self.bytes_read += int(nbytes)
+        self.plane_loads += planes
+
+    def write(self, nbytes: int, *, planes: int = 0) -> None:
+        """Record ``nbytes`` written to external memory."""
+        self.bytes_written += int(nbytes)
+        self.plane_stores += planes
+
+    def update(self, npoints: int, ops_per_update: int) -> None:
+        """Record ``npoints`` grid-point updates of ``ops_per_update`` ops each."""
+        self.updates += int(npoints)
+        self.ops += int(npoints) * int(ops_per_update)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total external traffic in bytes (read + write)."""
+        return self.bytes_read + self.bytes_written
+
+    def bytes_per_update(self) -> float:
+        """Average external bytes moved per executed grid-point update."""
+        if self.updates == 0:
+            return 0.0
+        return self.total_bytes / self.updates
+
+    def kappa_measured(self, ideal_bytes: int) -> float:
+        """Measured overestimation: actual traffic over the compulsory traffic.
+
+        ``ideal_bytes`` is the compulsory traffic — each interior element read
+        once and written once per round of blocked time steps.
+        """
+        if ideal_bytes <= 0:
+            raise ValueError("ideal_bytes must be positive")
+        return self.total_bytes / ideal_bytes
+
+    def merge(self, other: "TrafficStats") -> None:
+        """Fold another counter (e.g. from a worker thread) into this one."""
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.updates += other.updates
+        self.ops += other.ops
+        self.plane_loads += other.plane_loads
+        self.plane_stores += other.plane_stores
+
+    def __add__(self, other: "TrafficStats") -> "TrafficStats":
+        out = TrafficStats()
+        out.merge(self)
+        out.merge(other)
+        return out

@@ -1,0 +1,14 @@
+"""Distributed-memory layer: slab decomposition + simulated message passing."""
+
+from .comm import CommStats, SimComm, transfer_time
+from .decompose import Slab, decompose_z
+from .runner import DistributedJacobi
+
+__all__ = [
+    "SimComm",
+    "CommStats",
+    "transfer_time",
+    "Slab",
+    "decompose_z",
+    "DistributedJacobi",
+]

@@ -1,0 +1,114 @@
+"""A simulated message-passing communicator (the mpi4py stand-in).
+
+The paper's temporal-blocking lineage extends to distributed memory
+(Wittmann, Hager & Wellein, cited in Section II): blocking ``dim_T`` steps
+per halo exchange trades message *frequency* for ghost-zone width.  No MPI
+runtime is available here, so this module provides a deterministic
+in-process communicator with the mpi4py buffer-protocol flavor —
+``send``/``recv`` of NumPy arrays by (source, dest, tag) — plus the
+accounting a performance study needs: per-rank message and byte counters
+and a latency/bandwidth cost model.
+
+Ranks execute sequentially inside the driver (a valid schedule of the real
+parallel execution); all sends of a phase complete before the matching
+receives, like buffered MPI sends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommStats", "SimComm", "transfer_time"]
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def merge(self, other: "CommStats") -> None:
+        self.messages_sent += other.messages_sent
+        self.messages_received += other.messages_received
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+
+
+class SimComm:
+    """An in-process communicator for ``size`` ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self._mail: dict[tuple[int, int, int], deque[np.ndarray]] = {}
+        self.stats = [CommStats() for _ in range(size)]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside [0, {self.size})")
+
+    def send(self, src: int, dst: int, tag: int, array: np.ndarray) -> None:
+        """Buffered send: the payload is copied at send time (MPI semantics)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        payload = np.ascontiguousarray(array).copy()
+        self._mail.setdefault((src, dst, tag), deque()).append(payload)
+        self.stats[src].messages_sent += 1
+        self.stats[src].bytes_sent += payload.nbytes
+
+    def recv(self, src: int, dst: int, tag: int) -> np.ndarray:
+        """Receive the oldest matching message; raises if none is pending."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        box = self._mail.get((src, dst, tag))
+        if not box:
+            raise LookupError(
+                f"no message from rank {src} to rank {dst} with tag {tag}"
+            )
+        payload = box.popleft()
+        self.stats[dst].messages_received += 1
+        self.stats[dst].bytes_received += payload.nbytes
+        return payload
+
+    def sendrecv(
+        self,
+        rank: int,
+        dest: int,
+        send_array: np.ndarray,
+        source: int,
+        tag: int,
+    ) -> np.ndarray:
+        """Exchange with two partners, the halo-exchange primitive."""
+        self.send(rank, dest, tag, send_array)
+        return self.recv(source, rank, tag)
+
+    def pending(self) -> int:
+        """Messages sent but not yet received (0 after a clean exchange)."""
+        return sum(len(q) for q in self._mail.values())
+
+    def total_stats(self) -> CommStats:
+        total = CommStats()
+        for s in self.stats:
+            total.merge(s)
+        return total
+
+
+def transfer_time(
+    messages: int,
+    nbytes: int,
+    latency_s: float = 1e-6,
+    bandwidth_bytes_s: float = 10e9,
+) -> float:
+    """Alpha-beta communication cost: messages*latency + bytes/bandwidth.
+
+    Temporal blocking keeps the byte term constant (the same planes cross
+    per simulated time step) while dividing the latency term by ``dim_T``.
+    """
+    return messages * latency_s + nbytes / bandwidth_bytes_s

@@ -1,0 +1,38 @@
+"""GPU execution model: SIMT machine, coalescing, shared memory, 3.5D plans."""
+
+from .coalescing import (
+    coalescing_efficiency,
+    transactions_for_warp,
+    warp_row_transactions,
+)
+from .executor import GpuExecutor35D, GpuRunReport
+from .plan import Gpu35DPlan, plan_7pt_gpu, plan_lbm_gpu
+from .sharedmem import bank_conflict_degree, row_exchange_conflicts, shared_fits
+from .simt import (
+    GTX285_SM,
+    Occupancy,
+    SharedTraffic,
+    SMConfig,
+    occupancy,
+    simt_stencil_plane,
+)
+
+__all__ = [
+    "SMConfig",
+    "GTX285_SM",
+    "Occupancy",
+    "occupancy",
+    "SharedTraffic",
+    "simt_stencil_plane",
+    "transactions_for_warp",
+    "warp_row_transactions",
+    "coalescing_efficiency",
+    "bank_conflict_degree",
+    "row_exchange_conflicts",
+    "shared_fits",
+    "Gpu35DPlan",
+    "plan_7pt_gpu",
+    "plan_lbm_gpu",
+    "GpuExecutor35D",
+    "GpuRunReport",
+]

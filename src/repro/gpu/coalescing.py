@@ -1,0 +1,64 @@
+"""Global-memory coalescing analysis (paper Section VI-A).
+
+"Global memory (GDDR) accesses on the GPU are optimized for the case that
+every thread in a warp loads 4/8 bytes of a contiguous region of memory."
+On the GT200 generation a warp's accesses are serviced by 32/64/128-byte
+segment transactions; a fully coalesced 32-lane SP load is a single 128-byte
+transaction, while a strided or misaligned pattern fans out into many.
+
+This is why the paper sets ``dim_X`` to a multiple of the warp size (32):
+every row load of a tile is then segment-aligned and fully coalesced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "transactions_for_warp",
+    "warp_row_transactions",
+    "coalescing_efficiency",
+]
+
+
+def transactions_for_warp(addresses, segment: int = 128) -> int:
+    """Memory transactions needed to service one warp's byte addresses.
+
+    Models the GT200 coalescer: the set of distinct ``segment``-aligned
+    blocks touched by the warp, one transaction each.
+    """
+    addrs = np.asarray(list(addresses), dtype=np.int64)
+    if addrs.size == 0:
+        return 0
+    if (addrs < 0).any():
+        raise ValueError("addresses must be non-negative")
+    return len(np.unique(addrs // segment))
+
+
+def warp_row_transactions(
+    base: int,
+    n_lanes: int = 32,
+    elem_size: int = 4,
+    stride: int = 1,
+    segment: int = 128,
+) -> int:
+    """Transactions for a warp reading ``n_lanes`` elements from a row.
+
+    ``stride`` is in elements; contiguous unit-stride aligned access is the
+    fully coalesced case (1 transaction for 32 SP lanes).
+    """
+    addrs = base + np.arange(n_lanes, dtype=np.int64) * stride * elem_size
+    return transactions_for_warp(addrs, segment)
+
+
+def coalescing_efficiency(
+    base: int,
+    n_lanes: int = 32,
+    elem_size: int = 4,
+    stride: int = 1,
+    segment: int = 128,
+) -> float:
+    """Useful bytes over transferred bytes for one warp access."""
+    n_tx = warp_row_transactions(base, n_lanes, elem_size, stride, segment)
+    useful = n_lanes * elem_size
+    return useful / (n_tx * segment)

@@ -1,0 +1,183 @@
+"""GPU 3.5D blocking plans (paper Sections VI-A and VI-B, GPU parts).
+
+Derives the complete kernel-launch configuration the paper describes for the
+GTX 285:
+
+* **7-point stencil, SP** — temporal blocking pays (γ = 0.5 > Γ_eff = 0.43);
+  ``dim_T = 2``; the 64 KB register file bounds ``dim_X ≤ 45``, and warp
+  alignment picks ``dim_X = 32``; κ ≈ 1.31.  Threads keep their z-columns in
+  registers and exchange X/Y neighbors through shared memory; each thread
+  covers several Y rows to amortize per-thread overheads (Section VII-C).
+* **7-point stencil, DP** — γ = 1.0 < Γ = 1.7: already compute bound, no
+  temporal blocking (``dim_T = 1``).
+* **LBM, SP** — needs ``dim_T ≥ 7`` but 16 KB of shared memory bounds
+  ``dim_X ≤ 2`` (≤ 3 even at dim_T = 2), below the ``2·R·dim_T`` ghost
+  minimum: infeasible, exactly the paper's conclusion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.overestimation import kappa_35d
+from ..core.params import blocking_dim, min_dim_t
+from ..lbm.lattice import element_size_with_flag
+from ..machine.spec import GTX_285, MachineSpec
+from .simt import GTX285_SM, Occupancy, SMConfig, occupancy
+
+__all__ = ["Gpu35DPlan", "plan_7pt_gpu", "plan_lbm_gpu"]
+
+
+@dataclass(frozen=True)
+class Gpu35DPlan:
+    """A complete GPU 3.5D launch configuration with feasibility verdict."""
+
+    kernel: str
+    precision: str
+    dim_t: int
+    dim_x: int
+    dim_y: int
+    kappa: float
+    feasible: bool
+    reason: str
+    threads_per_block: int
+    rows_per_thread: int
+    regs_per_thread: int
+    shared_bytes_per_block: int
+    occupancy: Occupancy | None
+
+    @property
+    def uses_temporal_blocking(self) -> bool:
+        return self.feasible and self.dim_t > 1
+
+
+def plan_7pt_gpu(
+    precision: str = "sp",
+    machine: MachineSpec = GTX_285,
+    sm: SMConfig = GTX285_SM,
+    rows_per_thread: int = 4,
+) -> Gpu35DPlan:
+    """The paper's GTX 285 7-point-stencil configuration."""
+    esize = 4 if precision == "sp" else 8
+    gamma = 2 * esize / 16  # 0.5 SP / 1.0 DP (Section IV-A1)
+    big_gamma = machine.bytes_per_op(precision, derated=True)
+    if gamma <= big_gamma:
+        # DP case: compute bound as-is; spatial blocking only (Section VII-A)
+        dim_t = 1
+        reason = (
+            f"gamma={gamma:.2f} <= Gamma={big_gamma:.2f}: compute bound without "
+            "temporal blocking"
+        )
+    else:
+        dim_t = min_dim_t(gamma, big_gamma)
+        reason = ""
+    # the register file is the blocking store (Section VI-A / Nvidia 3DFD)
+    bound = blocking_dim(machine.blocking_capacity, esize, 1, dim_t, align=1)
+    dim_x = blocking_dim(
+        machine.blocking_capacity, esize, 1, dim_t, align=sm.warp_size
+    )
+    if dim_x < 2 * dim_t + 1:
+        dim_x = min(bound, sm.warp_size)
+    dim_y = dim_x
+    feasible = dim_x >= 2 * dim_t + 1
+    kappa = kappa_35d(1, dim_t, dim_x) if feasible else math.inf
+    threads_per_block = dim_x * max(1, dim_y // rows_per_thread)
+    # 4 grid elements per time instance per thread (Section VI-A), plus scratch
+    regs_per_thread = 4 * dim_t * (esize // 4) + 8
+    shared_bytes = dim_x * (dim_y + 2) * esize  # one padded exchange plane
+    occ = occupancy(threads_per_block, regs_per_thread, shared_bytes, sm)
+    return Gpu35DPlan(
+        kernel="7pt",
+        precision=precision,
+        dim_t=dim_t,
+        dim_x=dim_x,
+        dim_y=dim_y,
+        kappa=kappa,
+        feasible=feasible,
+        reason=reason,
+        threads_per_block=threads_per_block,
+        rows_per_thread=rows_per_thread,
+        regs_per_thread=regs_per_thread,
+        shared_bytes_per_block=shared_bytes,
+        occupancy=occ,
+    )
+
+
+def plan_lbm_gpu(
+    precision: str = "sp",
+    machine: MachineSpec = GTX_285,
+    sm: SMConfig = GTX285_SM,
+) -> Gpu35DPlan:
+    """The paper's GTX 285 LBM feasibility analysis (Section VI-B).
+
+    LBM must double-buffer its 19 distributions in the 16 KB shared memory,
+    so the effective per-cell footprint is twice the 80/160-byte element.
+    """
+    dtype = "float32" if precision == "sp" else "float64"
+    esize = 2 * element_size_with_flag(dtype)  # src + dst buffers
+    gamma = 0.88 if precision == "sp" else 1.75
+    # the compute-bound test uses the stencil-derated Γ (Section IV-C: LBM DP
+    # "is compute-bound on GPU"); the dim_T requirement below uses the raw
+    # peak ratio, reproducing the paper's "dim_T >= 6.1" for SP.
+    if gamma <= machine.bytes_per_op(precision, derated=True):
+        big_gamma = machine.bytes_per_op(precision, derated=True)
+        return Gpu35DPlan(
+            kernel="lbm",
+            precision=precision,
+            dim_t=1,
+            dim_x=0,
+            dim_y=0,
+            kappa=1.0,
+            feasible=False,
+            reason=(
+                f"gamma={gamma:.2f} <= Gamma={big_gamma:.2f}: LBM {precision.upper()} "
+                "is already compute bound on this GPU; blocking cannot help"
+            ),
+            threads_per_block=0,
+            rows_per_thread=1,
+            regs_per_thread=0,
+            shared_bytes_per_block=0,
+            occupancy=None,
+        )
+    dim_t = min_dim_t(gamma, machine.bytes_per_op(precision, derated=False))
+    shared = sm.shared_mem_bytes
+    for dt in (dim_t, 2):  # paper also checks the minimum useful dim_T = 2
+        d = blocking_dim(shared, esize, 1, dt, align=1)
+        if d >= 2 * dt + 1:
+            kappa = kappa_35d(1, dt, d)
+            return Gpu35DPlan(
+                kernel="lbm",
+                precision=precision,
+                dim_t=dt,
+                dim_x=d,
+                dim_y=d,
+                kappa=kappa,
+                feasible=True,
+                reason="",
+                threads_per_block=d * d,
+                rows_per_thread=1,
+                regs_per_thread=24,
+                shared_bytes_per_block=esize * d * d * 4 * dt,
+                occupancy=occupancy(d * d, 24, esize * d * d, sm),
+            )
+    d_best = blocking_dim(shared, esize, 1, 2, align=1)
+    return Gpu35DPlan(
+        kernel="lbm",
+        precision=precision,
+        dim_t=dim_t,
+        dim_x=d_best,
+        dim_y=d_best,
+        kappa=math.inf,
+        feasible=False,
+        reason=(
+            f"needs dim_T >= {dim_t} but {shared // 1024} KB shared memory bounds "
+            f"dim_X <= {d_best} even at dim_T=2 — below the 2*R*dim_T ghost minimum "
+            "(Section VI-B: no 3.5D blocking for LBM on this GPU)"
+        ),
+        threads_per_block=0,
+        rows_per_thread=1,
+        regs_per_thread=0,
+        shared_bytes_per_block=0,
+        occupancy=None,
+    )

@@ -1,0 +1,53 @@
+"""Shared-memory capacity and bank-conflict model (GT200 generation).
+
+The GTX 285 has 16 KB of shared memory per SM organized in 16 banks of
+4-byte words; a half-warp's access is conflict-free when its lanes hit
+distinct banks.  The capacity limit is what rules out 3.5D blocking for
+LBM on this GPU (Section VI-B); the bank model quantifies the cost of the
+shared-memory neighbor exchange the 7-point kernel performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bank_conflict_degree", "row_exchange_conflicts", "shared_fits"]
+
+BANKS = 16
+WORD = 4
+
+
+def bank_conflict_degree(word_indices, banks: int = BANKS) -> int:
+    """Maximum number of lanes hitting one bank (1 = conflict-free).
+
+    ``word_indices`` are the 4-byte word offsets accessed by the lanes of a
+    half-warp; replays scale with the worst bank's population.
+    """
+    idx = np.asarray(list(word_indices), dtype=np.int64)
+    if idx.size == 0:
+        return 0
+    counts = np.bincount(idx % banks, minlength=banks)
+    return int(counts.max())
+
+
+def row_exchange_conflicts(
+    row_pitch_words: int, n_lanes: int = 16, banks: int = BANKS
+) -> int:
+    """Conflict degree of lane i accessing ``shared[row, i]`` for a pitch.
+
+    Unit-stride rows are conflict-free; a pitch that is a multiple of the
+    bank count serializes column accesses — why shared tiles are padded.
+    """
+    idx = np.arange(n_lanes, dtype=np.int64)  # lane i -> word i of the row
+    return bank_conflict_degree(idx, banks)
+
+
+def shared_fits(
+    tile_x: int,
+    tile_y: int,
+    element_size: int,
+    planes: int,
+    shared_bytes: int = 16 << 10,
+) -> bool:
+    """Does a blocked tile of ``planes`` XY sub-planes fit in shared memory?"""
+    return tile_x * tile_y * element_size * planes <= shared_bytes

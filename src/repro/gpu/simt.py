@@ -1,0 +1,154 @@
+"""SIMT execution model of the GTX 285 (paper Sections III-D and VI-A).
+
+The GTX 285 has 30 streaming multiprocessors; each instruction is executed
+by a 32-thread *warp* (logical 32-wide SIMD over 8 scalar units).  Per SM
+the on-chip storage is a 16 KB shared memory and a 64 KB register file — the
+capacities that determine which kernels can be 3.5D-blocked at all.
+
+Two facilities live here:
+
+* :class:`SMConfig` / :func:`occupancy` — the capacity math that limits how
+  many blocks and warps an SM can run concurrently.
+* :func:`simt_stencil_plane` — a *functional* warp-level execution of one
+  XY-plane stencil update, written the way the paper's CUDA kernel works:
+  each thread keeps its z-column values in registers, stores the current
+  plane value to shared memory, synchronizes, then reads its X/Y neighbors
+  from shared memory ("Since CUDA does not allow for explicit inter-thread
+  communication, we use the shared memory to communicate between threads",
+  Section VI-A).  It returns the computed plane together with shared-memory
+  traffic and synchronization counts, and must agree bit-for-bit with the
+  plane kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SMConfig", "GTX285_SM", "Occupancy", "occupancy", "SharedTraffic", "simt_stencil_plane"]
+
+
+@dataclass(frozen=True)
+class SMConfig:
+    """Per-SM resource limits."""
+
+    warp_size: int = 32
+    sm_count: int = 30
+    shared_mem_bytes: int = 16 << 10
+    register_file_bytes: int = 64 << 10
+    max_threads_per_sm: int = 1024
+    max_blocks_per_sm: int = 8
+    shared_banks: int = 16
+
+    @property
+    def registers_per_sm(self) -> int:
+        return self.register_file_bytes // 4  # 32-bit registers
+
+
+#: the GTX 285's streaming multiprocessor
+GTX285_SM = SMConfig()
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Concurrency one kernel configuration achieves on an SM."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    occupancy: float
+    limited_by: str
+
+
+def occupancy(
+    threads_per_block: int,
+    regs_per_thread: int,
+    shared_bytes_per_block: int,
+    cfg: SMConfig = GTX285_SM,
+) -> Occupancy:
+    """Blocks/warps an SM sustains for a kernel's resource footprint."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    limits = {
+        "threads": cfg.max_threads_per_sm // threads_per_block,
+        "blocks": cfg.max_blocks_per_sm,
+    }
+    if regs_per_thread > 0:
+        limits["registers"] = cfg.registers_per_sm // (
+            regs_per_thread * threads_per_block
+        )
+    if shared_bytes_per_block > 0:
+        limits["shared_memory"] = cfg.shared_mem_bytes // shared_bytes_per_block
+    limiter = min(limits, key=limits.get)
+    blocks = max(0, limits[limiter])
+    threads = blocks * threads_per_block
+    warps = threads // cfg.warp_size
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        threads_per_sm=threads,
+        occupancy=threads / cfg.max_threads_per_sm,
+        limited_by=limiter,
+    )
+
+
+@dataclass
+class SharedTraffic:
+    """Shared-memory operations of a SIMT plane update."""
+
+    shared_stores: int = 0
+    shared_loads: int = 0
+    syncthreads: int = 0
+    register_reads: int = 0
+
+
+def simt_stencil_plane(
+    alpha: float,
+    beta: float,
+    below: np.ndarray,
+    mid: np.ndarray,
+    above: np.ndarray,
+    cfg: SMConfig = GTX285_SM,
+) -> tuple[np.ndarray, SharedTraffic]:
+    """One 7-point-stencil plane computed in explicit SIMT style.
+
+    ``below``/``mid``/``above`` are (ny, nx) planes held in the threads'
+    registers (z-column register blocking, as in the Nvidia 3DFD kernel the
+    paper builds on).  The interior ``(ny-2) x (nx-2)`` output is computed
+    warp-by-warp: every thread stores its ``mid`` value into the shared-
+    memory tile, the block synchronizes, then each thread gathers its 4
+    in-plane neighbors from shared memory and its z neighbors from
+    registers.
+    """
+    ny, nx = mid.shape
+    dtype = mid.dtype.type
+    out = np.zeros_like(mid)
+    traffic = SharedTraffic()
+
+    # stage the plane into "shared memory" one block-row at a time
+    shared = np.empty_like(mid)
+    n_threads = ny * nx
+    n_warps = (n_threads + cfg.warp_size - 1) // cfg.warp_size
+    flat_src = mid.reshape(-1)
+    flat_dst = shared.reshape(-1)
+    for w in range(n_warps):
+        lo = w * cfg.warp_size
+        hi = min(lo + cfg.warp_size, n_threads)
+        flat_dst[lo:hi] = flat_src[lo:hi]  # one coalesced shared store per lane
+        traffic.shared_stores += hi - lo
+    traffic.syncthreads += 1
+
+    # each interior thread now reads 4 neighbors from shared memory and the
+    # two z-neighbors from its registers
+    interior = np.s_[1 : ny - 1, 1 : nx - 1]
+    acc = below[interior] + above[interior]
+    traffic.register_reads += 2 * (ny - 2) * (nx - 2)
+    # paired opposite-neighbor adds, matching SevenPointStencil's
+    # mirror-invariant evaluation order
+    acc = acc + (shared[: ny - 2, 1 : nx - 1] + shared[2:ny, 1 : nx - 1])
+    acc = acc + (shared[1 : ny - 1, : nx - 2] + shared[1 : ny - 1, 2:nx])
+    traffic.shared_loads += 4 * (ny - 2) * (nx - 2)
+    out[interior] = dtype(alpha) * shared[interior] + dtype(beta) * acc
+    traffic.shared_loads += (ny - 2) * (nx - 2)
+    return out, traffic

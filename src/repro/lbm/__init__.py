@@ -1,0 +1,57 @@
+"""D3Q19 Lattice-Boltzmann substrate (paper Section IV-B)."""
+
+from .collision import FLOPS_PER_UPDATE, OPS_PER_UPDATE, collide_bgk, equilibrium
+from .d3q19 import CS2, N_DIRECTIONS, OPPOSITE, VELOCITIES, WEIGHTS, direction_index
+from .geometry import (
+    channel_with_sphere,
+    empty_box,
+    porous_medium,
+    solid_walls,
+    sphere_obstacle,
+)
+from .forcing import ForcedLBMKernel, collide_bgk_forced
+from .kernel import LBMKernel
+from .lattice import CellType, Lattice, element_size_with_flag
+from .mrt import MRTLBMKernel, collide_mrt, moment_basis, relaxation_rates
+from .macros import density, kinetic_energy, momentum, total_mass, velocity
+from .solver import make_kernel, run_lbm, run_lbm_35d, run_lbm_temporal_only
+from .streaming import stream_pull, stream_push
+
+__all__ = [
+    "N_DIRECTIONS",
+    "VELOCITIES",
+    "WEIGHTS",
+    "OPPOSITE",
+    "CS2",
+    "direction_index",
+    "equilibrium",
+    "collide_bgk",
+    "OPS_PER_UPDATE",
+    "FLOPS_PER_UPDATE",
+    "Lattice",
+    "CellType",
+    "element_size_with_flag",
+    "LBMKernel",
+    "ForcedLBMKernel",
+    "collide_bgk_forced",
+    "MRTLBMKernel",
+    "collide_mrt",
+    "moment_basis",
+    "relaxation_rates",
+    "density",
+    "velocity",
+    "momentum",
+    "total_mass",
+    "kinetic_energy",
+    "empty_box",
+    "solid_walls",
+    "sphere_obstacle",
+    "channel_with_sphere",
+    "porous_medium",
+    "make_kernel",
+    "run_lbm",
+    "run_lbm_35d",
+    "run_lbm_temporal_only",
+    "stream_pull",
+    "stream_push",
+]

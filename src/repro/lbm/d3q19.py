@@ -1,0 +1,77 @@
+"""The D3Q19 lattice: velocity set, quadrature weights, opposite directions.
+
+D3Q19 (paper Section IV-B, Figure 1b) discretizes velocity space into 19
+directions: the rest vector, 6 face neighbors and 12 edge neighbors of the
+unit cube.  Its radius of extent is 1 in the L-infinity norm (the paper's
+definition of R for LBM), so the blocking machinery treats LBM exactly like
+a radius-1 box stencil with 19 values per grid point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "VELOCITIES",
+    "WEIGHTS",
+    "OPPOSITE",
+    "N_DIRECTIONS",
+    "CS2",
+    "direction_index",
+]
+
+#: number of discrete velocities
+N_DIRECTIONS = 19
+
+#: lattice speed of sound squared (c_s^2 = 1/3 in lattice units)
+CS2 = 1.0 / 3.0
+
+
+def _build_velocities() -> np.ndarray:
+    vels = [(0, 0, 0)]
+    # 6 face neighbors
+    for axis in range(3):
+        for sign in (-1, 1):
+            v = [0, 0, 0]
+            v[axis] = sign
+            vels.append(tuple(v))
+    # 12 edge neighbors (two non-zero components)
+    for a in range(3):
+        for b in range(a + 1, 3):
+            for sa in (-1, 1):
+                for sb in (-1, 1):
+                    v = [0, 0, 0]
+                    v[a], v[b] = sa, sb
+                    vels.append(tuple(v))
+    return np.array(vels, dtype=np.int64)
+
+
+#: (19, 3) integer array of lattice velocities, ordered (dz, dy, dx)
+VELOCITIES = _build_velocities()
+
+#: quadrature weights: 1/3 rest, 1/18 face, 1/36 edge
+WEIGHTS = np.array(
+    [1.0 / 3.0]
+    + [1.0 / 18.0] * 6
+    + [1.0 / 36.0] * 12
+)
+
+
+def _build_opposite() -> np.ndarray:
+    opp = np.empty(N_DIRECTIONS, dtype=np.int64)
+    for i, v in enumerate(VELOCITIES):
+        (j,) = np.nonzero((VELOCITIES == -v).all(axis=1))[0]
+        opp[i] = j
+    return opp
+
+
+#: OPPOSITE[i] is the direction with velocity -c_i (used by bounce-back)
+OPPOSITE = _build_opposite()
+
+
+def direction_index(dz: int, dy: int, dx: int) -> int:
+    """Index of the direction with velocity (dz, dy, dx)."""
+    matches = np.nonzero((VELOCITIES == (dz, dy, dx)).all(axis=1))[0]
+    if len(matches) != 1:
+        raise ValueError(f"({dz}, {dy}, {dx}) is not a D3Q19 velocity")
+    return int(matches[0])

@@ -1,0 +1,116 @@
+"""D3Q19 LBM as a radius-1 plane kernel (fused stream + collide, pull scheme).
+
+The paper's LBM time step reads 19 values (plus the flag), computes new
+values, and propagates them to the 18 neighbors and the local site (Section
+IV-B).  We implement the equivalent *pull* formulation, which makes every
+cell's new state a pure function of its 27-neighborhood at the previous time
+step:
+
+1. gather ``f_i(x - c_i, t)`` for every direction (streaming),
+2. where the source neighbor is a solid cell, substitute the cell's own
+   opposite-direction value ``f_{opp(i)}(x, t)`` (half-way bounce-back),
+3. BGK-collide the gathered values (collision),
+4. solid cells themselves are left unchanged.
+
+Radius 1 in the L-infinity norm, 19 components, 259 ops per update — plugging
+this kernel into the generic blocking executors yields naive, temporally
+blocked and 3.5D-blocked LBM with bit-identical physics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..stencils.base import PlaneKernel, validate_footprint
+from .collision import FLOPS_PER_UPDATE, OPS_PER_UPDATE, collide_bgk
+from .d3q19 import N_DIRECTIONS, OPPOSITE, VELOCITIES
+from .lattice import CellType, element_size_with_flag
+
+__all__ = ["LBMKernel"]
+
+
+class LBMKernel(PlaneKernel):
+    """Fused D3Q19 stream-collide update bound to a flag field."""
+
+    radius = 1
+    ncomp = N_DIRECTIONS
+    ops_per_update = OPS_PER_UPDATE
+    flops_per_update = FLOPS_PER_UPDATE
+
+    def __init__(self, flags: np.ndarray, omega: float = 1.0) -> None:
+        if flags.ndim != 3:
+            raise ValueError("flags must be a (nz, ny, nx) array")
+        if not 0.0 < omega < 2.0:
+            raise ValueError(f"BGK stability requires 0 < omega < 2, got {omega}")
+        self.flags = flags
+        self.omega = omega
+        self._solid = flags == CellType.SOLID
+        self._any_solid = bool(self._solid.any())
+
+    def __repr__(self) -> str:
+        return f"LBMKernel(omega={self.omega}, shape={self.flags.shape})"
+
+    def element_size(self, dtype) -> int:
+        """The paper's E includes the flag: 80 bytes SP, 160 bytes DP."""
+        return element_size_with_flag(dtype)
+
+    def padded_for(self, halo: int, shape: tuple[int, int, int]) -> "LBMKernel":
+        """A kernel whose flag field is periodically wrapped by ``halo``."""
+        if self.flags.shape != tuple(shape):
+            raise ValueError(
+                f"flags shape {self.flags.shape} does not match grid {shape}"
+            )
+        if halo == 0:
+            return self
+        wrapped = np.pad(self.flags, halo, mode="wrap")
+        return LBMKernel(wrapped, omega=self.omega)
+
+    def restricted_to(self, zlo: int, zhi: int) -> "LBMKernel":
+        """A kernel addressing only the Z slab ``[zlo, zhi)`` of the flags."""
+        if not 0 <= zlo < zhi <= self.flags.shape[0]:
+            raise ValueError(f"invalid slab [{zlo}, {zhi})")
+        return LBMKernel(self.flags[zlo:zhi], omega=self.omega)
+
+    def _collide(self, f_in: np.ndarray) -> np.ndarray:
+        """Collision stage; subclasses may add forcing or other physics."""
+        return collide_bgk(f_in, self.omega)
+
+    def compute_plane(
+        self,
+        out: np.ndarray,
+        src: Sequence[np.ndarray],
+        yr: tuple[int, int],
+        xr: tuple[int, int],
+        gz: int = 0,
+        gy0: int = 0,
+        gx0: int = 0,
+    ) -> None:
+        validate_footprint(out.shape[1:], yr, xr, self.radius)
+        y0, y1 = yr
+        x0, x1 = xr
+        own = src[1]
+        f_in = np.empty((N_DIRECTIONS, y1 - y0, x1 - x0), dtype=out.dtype)
+        for i in range(N_DIRECTIONS):
+            cz, cy, cx = VELOCITIES[i]
+            f_in[i] = src[1 - cz][i, y0 - cy : y1 - cy, x0 - cx : x1 - cx]
+            if self._any_solid:
+                # bounce back off solid source neighbors
+                nbr_solid = self._solid[
+                    gz - cz,
+                    gy0 + y0 - cy : gy0 + y1 - cy,
+                    gx0 + x0 - cx : gx0 + x1 - cx,
+                ]
+                if nbr_solid.any():
+                    f_in[i][nbr_solid] = own[OPPOSITE[i], y0:y1, x0:x1][nbr_solid]
+
+        f_out = self._collide(f_in)
+
+        if self._any_solid:
+            own_solid = self._solid[gz, gy0 + y0 : gy0 + y1, gx0 + x0 : gx0 + x1]
+            if own_solid.any():
+                # solid cells are frozen: carry the previous state forward
+                f_out[:, own_solid] = own[:, y0:y1, x0:x1][:, own_solid]
+
+        out[:, y0:y1, x0:x1] = f_out

@@ -1,0 +1,54 @@
+"""Macroscopic moments of the distribution functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stencils.grid import Field3D
+from .d3q19 import N_DIRECTIONS, VELOCITIES
+
+__all__ = ["density", "velocity", "momentum", "total_mass", "kinetic_energy"]
+
+
+def density(f: Field3D | np.ndarray) -> np.ndarray:
+    """Cell density: zeroth moment ``rho = sum_i f_i``."""
+    data = f.data if isinstance(f, Field3D) else np.asarray(f)
+    return data.sum(axis=0)
+
+
+def momentum(f: Field3D | np.ndarray) -> np.ndarray:
+    """Momentum density ``rho*u = sum_i c_i f_i``, shape ``(3,) + S``."""
+    data = f.data if isinstance(f, Field3D) else np.asarray(f)
+    mom = np.zeros((3,) + data.shape[1:], dtype=data.dtype)
+    for i in range(N_DIRECTIONS):
+        cz, cy, cx = VELOCITIES[i]
+        if cz:
+            mom[0] += cz * data[i]
+        if cy:
+            mom[1] += cy * data[i]
+        if cx:
+            mom[2] += cx * data[i]
+    return mom
+
+
+def velocity(f: Field3D | np.ndarray) -> np.ndarray:
+    """Velocity field ``u = momentum / rho``, shape ``(3,) + S``."""
+    return momentum(f) / density(f)
+
+
+def total_mass(f: Field3D | np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Total mass, optionally restricted to ``mask`` (e.g. fluid cells)."""
+    rho = density(f)
+    if mask is not None:
+        rho = rho[mask]
+    return float(rho.sum(dtype=np.float64))
+
+
+def kinetic_energy(f: Field3D | np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Total kinetic energy ``0.5 * sum rho |u|^2`` over the (masked) domain."""
+    rho = density(f)
+    mom = momentum(f)
+    ke = 0.5 * (mom[0] ** 2 + mom[1] ** 2 + mom[2] ** 2) / rho
+    if mask is not None:
+        ke = ke[mask]
+    return float(ke.sum(dtype=np.float64))

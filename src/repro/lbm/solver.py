@@ -1,0 +1,95 @@
+"""LBM time-loop drivers: naive, temporal-only, and 3.5D-blocked.
+
+These are the three LBM variants Figure 4(a) compares:
+
+* ``run_lbm`` (no blocking) — one full-lattice sweep per time step, the
+  bandwidth-bound baseline;
+* ``run_lbm_temporal_only`` — temporal blocking with the XY *plane* as the
+  tile (no spatial blocking).  The buffer holds whole ``N^2`` planes, which
+  fits on chip only for small grids — reproducing the paper's observation
+  that temporal-only blocking helps at 64^3 but not beyond;
+* ``run_lbm_35d`` — the full 3.5D scheme with the paper's ``dim_T = 3`` and
+  capacity-derived ``dim_X = dim_Y``.
+
+All three produce bit-identical lattices because they drive the same
+:class:`~repro.lbm.kernel.LBMKernel` through different schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.blocking35d import Blocking35D
+from ..core.naive import run_naive
+from ..core.traffic import TrafficStats
+from .kernel import LBMKernel
+from .lattice import Lattice
+
+__all__ = ["run_lbm", "run_lbm_temporal_only", "run_lbm_35d", "make_kernel"]
+
+
+def make_kernel(lattice: Lattice, omega: float = 1.0) -> LBMKernel:
+    """An :class:`LBMKernel` bound to this lattice's flag field."""
+    return LBMKernel(lattice.flags, omega=omega)
+
+
+def _finish(lattice: Lattice, f) -> Lattice:
+    return Lattice(f=f, flags=lattice.flags)
+
+
+def run_lbm(
+    lattice: Lattice,
+    steps: int,
+    omega: float = 1.0,
+    traffic: TrafficStats | None = None,
+) -> Lattice:
+    """No-blocking LBM: full-lattice sweeps (the Figure 4a baseline)."""
+    kernel = make_kernel(lattice, omega)
+    return _finish(lattice, run_naive(kernel, lattice.f, steps, traffic))
+
+
+def run_lbm_temporal_only(
+    lattice: Lattice,
+    steps: int,
+    dim_t: int = 3,
+    omega: float = 1.0,
+    traffic: TrafficStats | None = None,
+) -> Lattice:
+    """Temporal blocking with whole XY planes as the tile (no XY blocking)."""
+    ny, nx = lattice.shape[1], lattice.shape[2]
+    kernel = make_kernel(lattice, omega)
+    ex = Blocking35D(kernel, dim_t=dim_t, tile_y=ny, tile_x=nx)
+    return _finish(lattice, ex.run(lattice.f, steps, traffic))
+
+
+def run_lbm_35d(
+    lattice: Lattice,
+    steps: int,
+    dim_t: int = 3,
+    tile: int | tuple[int, int] | None = None,
+    capacity: int | None = None,
+    omega: float = 1.0,
+    traffic: TrafficStats | None = None,
+    validate: bool = False,
+) -> Lattice:
+    """3.5D-blocked LBM.
+
+    ``tile`` may be given directly; otherwise it is derived from ``capacity``
+    via Equation 4 (defaulting to the paper's 4 MB half-LLC budget, which
+    yields dim_X = 64 SP / 44 DP at dim_T = 3).
+    """
+    kernel = make_kernel(lattice, omega)
+    if tile is None:
+        from ..core.params import blocking_dim
+
+        cap = (4 << 20) if capacity is None else capacity
+        d = blocking_dim(cap, kernel.element_size(lattice.dtype), 1, dim_t, align=4)
+        if d < 2 * dim_t + 1:
+            raise ValueError(
+                f"capacity {cap} B too small for dim_T={dim_t} LBM blocking"
+            )
+        tile = (d, d)
+    elif isinstance(tile, int):
+        tile = (tile, tile)
+    ex = Blocking35D(kernel, dim_t=dim_t, tile_y=tile[0], tile_x=tile[1], validate=validate)
+    return _finish(lattice, ex.run(lattice.f, steps, traffic))

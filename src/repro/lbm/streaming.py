@@ -1,0 +1,81 @@
+"""Standalone (unfused) streaming steps — references for testing the kernel.
+
+The production path fuses streaming with collision in
+:class:`~repro.lbm.kernel.LBMKernel`; this module provides streaming on its
+own in both formulations so tests can cross-check them:
+
+* :func:`stream_pull` — gather: ``f_i'(x) = f_i(x - c_i)``, with half-way
+  bounce-back off solid source neighbors.  This matches the fused kernel's
+  propagation stage.
+* :func:`stream_push` — scatter: push each cell's ``f_i`` to its ``+ c_i``
+  neighbor, the formulation the paper describes ("Propagate the 19 new
+  values to 18 neighboring sites and the local site", Section IV-B).
+
+On an all-fluid interior the two are exactly equivalent; the test suite
+asserts it.  Both update only the interior and leave the boundary shell and
+solid cells unchanged, consistent with the blocking framework's fixed-shell
+convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stencils.grid import Field3D
+from .d3q19 import N_DIRECTIONS, OPPOSITE, VELOCITIES
+from .lattice import CellType
+
+__all__ = ["stream_pull", "stream_push"]
+
+
+def stream_pull(f: Field3D, flags: np.ndarray) -> Field3D:
+    """Gather-streaming of the interior with bounce-back at solids."""
+    out = f.copy()
+    nz, ny, nx = f.shape
+    solid = flags == CellType.SOLID
+    for i in range(N_DIRECTIONS):
+        cz, cy, cx = VELOCITIES[i]
+        src = f.data[
+            i, 1 - cz : nz - 1 - cz, 1 - cy : ny - 1 - cy, 1 - cx : nx - 1 - cx
+        ]
+        gathered = src.copy()
+        nbr_solid = solid[
+            1 - cz : nz - 1 - cz, 1 - cy : ny - 1 - cy, 1 - cx : nx - 1 - cx
+        ]
+        if nbr_solid.any():
+            own_opposite = f.data[OPPOSITE[i], 1:-1, 1:-1, 1:-1]
+            gathered[nbr_solid] = own_opposite[nbr_solid]
+        out.data[i, 1:-1, 1:-1, 1:-1] = gathered
+    own_solid = solid[1:-1, 1:-1, 1:-1]
+    if own_solid.any():
+        out.data[:, 1:-1, 1:-1, 1:-1][:, own_solid] = f.data[
+            :, 1:-1, 1:-1, 1:-1
+        ][:, own_solid]
+    return out
+
+
+def stream_push(f: Field3D, flags: np.ndarray) -> Field3D:
+    """Scatter-streaming of the interior (no bounce-back; all-fluid use).
+
+    Every interior destination cell whose source ``x - c_i`` is also inside
+    the grid receives that value; destinations fed from the boundary shell
+    take the shell's (constant) value, mirroring the pull formulation.
+    """
+    out = f.copy()
+    nz, ny, nx = f.shape
+    for i in range(N_DIRECTIONS):
+        cz, cy, cx = VELOCITIES[i]
+        # scatter: source region s maps onto destination region s + c_i;
+        # restrict the destination to the interior.
+        dz0, dy0, dx0 = 1, 1, 1
+        dz1, dy1, dx1 = nz - 1, ny - 1, nx - 1
+        out.data[i, dz0:dz1, dy0:dy1, dx0:dx1] = f.data[
+            i, dz0 - cz : dz1 - cz, dy0 - cy : dy1 - cy, dx0 - cx : dx1 - cx
+        ]
+    solid = flags == CellType.SOLID
+    own_solid = solid[1:-1, 1:-1, 1:-1]
+    if own_solid.any():
+        out.data[:, 1:-1, 1:-1, 1:-1][:, own_solid] = f.data[
+            :, 1:-1, 1:-1, 1:-1
+        ][:, own_solid]
+    return out

@@ -1,0 +1,49 @@
+"""Simulated hardware substrate: machine specs, caches, TLB, roofline."""
+
+from .cache import Cache, CacheStats
+from .memory import (
+    MemoryHierarchy,
+    SweepReport,
+    simulate_jacobi_sweep,
+    simulate_streaming_pass,
+)
+from .roofline import RooflinePoint, attainable_updates, is_bandwidth_bound
+from .simd import SimdCost, simd_speedup, sse_scaling_7pt
+from .spec import CORE_I7, FERMI, GTX_285, MachineSpec, scaled_machine
+from .timing import (
+    FAST_BARRIER_S,
+    PTHREAD_BARRIER_S,
+    TimedRun,
+    scaling_curve,
+    simulate_parallel_run,
+)
+from .tlb import PAGE_2M, PAGE_4K, Tlb, TlbStats
+
+__all__ = [
+    "MachineSpec",
+    "CORE_I7",
+    "GTX_285",
+    "FERMI",
+    "scaled_machine",
+    "Cache",
+    "CacheStats",
+    "Tlb",
+    "TlbStats",
+    "PAGE_4K",
+    "PAGE_2M",
+    "MemoryHierarchy",
+    "SweepReport",
+    "TimedRun",
+    "simulate_parallel_run",
+    "scaling_curve",
+    "FAST_BARRIER_S",
+    "PTHREAD_BARRIER_S",
+    "SimdCost",
+    "simd_speedup",
+    "sse_scaling_7pt",
+    "simulate_jacobi_sweep",
+    "simulate_streaming_pass",
+    "RooflinePoint",
+    "attainable_updates",
+    "is_bandwidth_bound",
+]

@@ -1,0 +1,80 @@
+"""Roofline throughput model (the analysis engine of Sections IV-VII).
+
+A kernel whose bytes/op γ exceeds the machine balance Γ is bandwidth bound:
+its throughput is ``BW / bytes_per_update``.  Otherwise it is compute bound
+at ``ops_rate / ops_per_update``.  Every performance argument in the paper —
+which kernels need temporal blocking (Section IV-C), what dim_T buys
+(Section V-E), and the absolute updates/s of Figures 4 and 5 — is an
+instance of this model, parameterized by the traffic and op inflation of the
+chosen blocking scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import MachineSpec
+
+__all__ = ["RooflinePoint", "attainable_updates", "is_bandwidth_bound"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Predicted throughput of one (kernel, scheme, machine) combination."""
+
+    updates_per_s: float
+    bandwidth_bound: bool
+    compute_limit: float
+    bandwidth_limit: float
+    bytes_per_update: float
+    ops_per_update: float
+
+    @property
+    def mupdates_per_s(self) -> float:
+        """Millions of updates per second (the paper's reporting unit)."""
+        return self.updates_per_s / 1e6
+
+
+def attainable_updates(
+    machine: MachineSpec,
+    precision: str,
+    ops_per_update: float,
+    bytes_per_update: float,
+    compute_efficiency: float = 1.0,
+    derated: bool = True,
+    achievable_bw: bool = True,
+) -> RooflinePoint:
+    """Roofline throughput in grid-point updates per second.
+
+    ``ops_per_update`` and ``bytes_per_update`` should already include any
+    blocking overheads (κ-inflated ops, dim_T-reduced traffic).
+    ``compute_efficiency`` folds in implementation effects the paper
+    quantifies separately — SIMD efficiency, unaligned accesses, per-thread
+    overheads (Section VII-C).
+    """
+    if ops_per_update <= 0 or bytes_per_update < 0:
+        raise ValueError("invalid kernel characteristics")
+    if not 0 < compute_efficiency <= 1:
+        raise ValueError("compute_efficiency must be in (0, 1]")
+    ops_rate = machine.stencil_ops(precision) if derated else machine.peak_ops(precision)
+    bw = machine.achievable_bandwidth if achievable_bw else machine.peak_bandwidth
+    compute_limit = ops_rate * compute_efficiency / ops_per_update
+    bandwidth_limit = (
+        bw / bytes_per_update if bytes_per_update > 0 else float("inf")
+    )
+    bound_by_bw = bandwidth_limit < compute_limit
+    return RooflinePoint(
+        updates_per_s=min(compute_limit, bandwidth_limit),
+        bandwidth_bound=bound_by_bw,
+        compute_limit=compute_limit,
+        bandwidth_limit=bandwidth_limit,
+        bytes_per_update=bytes_per_update,
+        ops_per_update=ops_per_update,
+    )
+
+
+def is_bandwidth_bound(
+    machine: MachineSpec, precision: str, gamma: float, derated: bool = True
+) -> bool:
+    """Section IV-C's test: γ (kernel bytes/op) > Γ (machine bytes/op)."""
+    return gamma > machine.bytes_per_op(precision, derated=derated)

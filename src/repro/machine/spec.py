@@ -1,0 +1,153 @@
+"""Machine descriptions: the paper's Table I plus capacity/topology details.
+
+The two evaluation platforms (Section III-D/E):
+
+* **Intel Core i7** (Nehalem, 4 cores @ 3.2 GHz): 30 GB/s peak DDR3
+  bandwidth (22 GB/s achievable), 102 SP / 51 DP Gops, 8 MB shared LLC of
+  which the paper budgets half (4 MB) for the blocking buffers, 4-wide SP
+  SSE (2-wide DP).
+* **NVIDIA GTX 285** (30 SMs @ 1.55 GHz (actually 1.476 for the SPs;
+  we keep the paper's figure)): 159 GB/s peak (131 achievable), 1116 SP /
+  93 DP Gops *assuming full SFU + madd use* — stencil op mixes get roughly
+  a third of SP and half of DP peak, making the *effective* bytes/op 0.43 SP
+  and ~3.4 DP (Section III-E).  On-chip storage per SM: 16 KB shared memory
+  and a 64 KB register file.
+
+Every quantity the evaluation relies on is data here, so hypothetical
+machines (Section VIII's falling bandwidth-to-compute trend, Fermi-class
+caches) are just other instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "CORE_I7", "GTX_285", "FERMI", "scaled_machine"]
+
+GB = 1e9
+MB = 1 << 20
+KB = 1 << 10
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Peak rates and capacities of one platform."""
+
+    name: str
+    #: peak external memory bandwidth, bytes/s
+    peak_bandwidth: float
+    #: measured achievable bandwidth, bytes/s (Section III-E: 20-25% off peak)
+    achievable_bandwidth: float
+    #: peak ops/s, single / double precision (the paper's "Gops")
+    peak_ops_sp: float
+    peak_ops_dp: float
+    #: ops/s reachable by stencil-style op mixes (GPU: no SFU, few madds)
+    stencil_ops_sp: float
+    stencil_ops_dp: float
+    cores: int
+    #: hardware SIMD lanes per core (SP); DP is half
+    simd_width_sp: int
+    #: on-chip capacity available for blocking buffers, bytes
+    blocking_capacity: int
+    #: total last-level cache / shared-memory size, bytes
+    llc_bytes: int
+    frequency_ghz: float
+    cache_line: int = 64
+    is_gpu: bool = False
+
+    # ------------------------------------------------------------------
+    def peak_ops(self, precision: str) -> float:
+        return self.peak_ops_sp if precision == "sp" else self.peak_ops_dp
+
+    def stencil_ops(self, precision: str) -> float:
+        return self.stencil_ops_sp if precision == "sp" else self.stencil_ops_dp
+
+    def bytes_per_op(self, precision: str, derated: bool = False) -> float:
+        """The machine balance Γ (Table I), optionally with the stencil derate."""
+        ops = self.stencil_ops(precision) if derated else self.peak_ops(precision)
+        return self.peak_bandwidth / ops
+
+    def simd_width(self, precision: str) -> int:
+        return self.simd_width_sp if precision == "sp" else max(1, self.simd_width_sp // 2)
+
+
+#: Intel Core i7 (Table I row 1)
+CORE_I7 = MachineSpec(
+    name="Intel Core i7 (Nehalem 3.2 GHz)",
+    peak_bandwidth=30 * GB,
+    achievable_bandwidth=22 * GB,
+    peak_ops_sp=102e9,
+    peak_ops_dp=51e9,
+    stencil_ops_sp=102e9,
+    stencil_ops_dp=51e9,
+    cores=4,
+    simd_width_sp=4,
+    blocking_capacity=4 * MB,  # half the LLC (Section VI-A)
+    llc_bytes=8 * MB,
+    frequency_ghz=3.2,
+)
+
+#: NVIDIA GTX 285 (Table I row 2).  blocking_capacity is the 64 KB register
+#: file used for the 7-point stencil (Section VI-A); LBM is limited to the
+#: 16 KB shared memory, passed explicitly where needed.
+GTX_285 = MachineSpec(
+    name="NVIDIA GTX 285",
+    peak_bandwidth=159 * GB,
+    achievable_bandwidth=131 * GB,
+    peak_ops_sp=1116e9,
+    peak_ops_dp=93e9,
+    stencil_ops_sp=1116e9 / 3,  # "only get a third of the peak SP compute"
+    stencil_ops_dp=93e9 / 2,  # "half of peak DP ops"
+    cores=30,  # streaming multiprocessors
+    simd_width_sp=32,  # logical SIMD width (warp)
+    blocking_capacity=64 * KB,  # register file per SM
+    llc_bytes=16 * KB,  # shared memory per SM
+    frequency_ghz=1.55,
+    cache_line=128,  # coalescing segment
+    is_gpu=True,
+)
+
+
+#: NVIDIA Fermi (Tesla C2050 class) — the "upcoming Fermi [9]" of the
+#: paper's Sections I and VIII.  Modeled values: 144 GB/s, 1.03 TFLOPS SP,
+#: 515 GFLOPS DP, 48 KB shared memory and a 128 KB register file per SM.
+#: Used to check the Discussion's predictions: LBM SP becomes blockable,
+#: and the much higher DP rate makes DP stencils bandwidth bound.
+FERMI = MachineSpec(
+    name="NVIDIA Fermi (C2050 class)",
+    peak_bandwidth=144 * GB,
+    achievable_bandwidth=115 * GB,
+    peak_ops_sp=1030e9,
+    peak_ops_dp=515e9,
+    stencil_ops_sp=1030e9 / 2,  # no SFU derate as severe as GT200; madd-capable
+    stencil_ops_dp=515e9 / 2,
+    cores=14,
+    simd_width_sp=32,
+    blocking_capacity=128 * KB,  # register file per SM
+    llc_bytes=48 * KB,  # configurable shared memory per SM
+    frequency_ghz=1.15,
+    cache_line=128,
+    is_gpu=True,
+)
+
+
+def scaled_machine(
+    base: MachineSpec,
+    name: str | None = None,
+    bandwidth_scale: float = 1.0,
+    compute_scale: float = 1.0,
+    capacity_scale: float = 1.0,
+) -> MachineSpec:
+    """A hypothetical machine scaled from ``base`` (Section VIII trends)."""
+    return replace(
+        base,
+        name=name or f"{base.name} (x{compute_scale} compute, x{bandwidth_scale} BW)",
+        peak_bandwidth=base.peak_bandwidth * bandwidth_scale,
+        achievable_bandwidth=base.achievable_bandwidth * bandwidth_scale,
+        peak_ops_sp=base.peak_ops_sp * compute_scale,
+        peak_ops_dp=base.peak_ops_dp * compute_scale,
+        stencil_ops_sp=base.stencil_ops_sp * compute_scale,
+        stencil_ops_dp=base.stencil_ops_dp * compute_scale,
+        blocking_capacity=int(base.blocking_capacity * capacity_scale),
+        llc_bytes=int(base.llc_bytes * capacity_scale),
+    )

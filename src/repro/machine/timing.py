@@ -1,0 +1,139 @@
+"""Timing simulator for the threaded 3.5D execution (Section VII-A scaling).
+
+Models one blocked round as the paper's runtime executes it: per
+z-iteration, every thread computes its row slice of each time instance
+(compute time at the machine's per-core rate), all threads share the
+external memory bandwidth for the iteration's loads/stores, and a barrier
+closes the iteration.  Summing over iterations, tiles and rounds yields a
+simulated wall-clock from which core-scaling curves and barrier-cost
+sensitivity fall out mechanically:
+
+* with the paper's fast software barrier the 4-core scaling lands near the
+  reported 3.6X;
+* replacing it with a pthread-class barrier (the paper's "50X" comparison)
+  visibly flattens the curve — the reason the paper bothered building one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.overestimation import compute_overestimation_35d, kappa_35d
+from .spec import MachineSpec
+
+__all__ = ["TimedRun", "simulate_parallel_run", "scaling_curve"]
+
+#: measured cost classes for a 4-thread barrier crossing
+FAST_BARRIER_S = 0.2e-6  # centralized sense-reversing spin barrier
+PTHREAD_BARRIER_S = 10e-6  # condition-variable barrier ("50X" slower class)
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """Simulated execution of ``steps`` time steps of a blocked kernel."""
+
+    total_s: float
+    compute_s: float
+    memory_s: float
+    barrier_s: float
+    iterations: int
+    updates: int
+
+    @property
+    def mupdates_per_s(self) -> float:
+        return self.updates / self.total_s / 1e6
+
+    @property
+    def barrier_fraction(self) -> float:
+        return self.barrier_s / self.total_s
+
+
+def simulate_parallel_run(
+    machine: MachineSpec,
+    grid: int,
+    steps: int,
+    ops_per_update: float,
+    bytes_per_update: float,
+    dim_t: int,
+    tile: int,
+    threads: int,
+    precision: str = "sp",
+    simd_efficiency: float = 0.8,
+    barrier_s: float = FAST_BARRIER_S,
+    radius: int = 1,
+) -> TimedRun:
+    """Simulate the threaded 3.5D run on a ``grid^3`` problem.
+
+    Per iteration: ``dim_t`` sub-plane computations, row-partitioned over
+    ``threads`` (the slowest thread carries the ceiling of the split);
+    loads/stores of the iteration share the machine bandwidth; one barrier.
+    """
+    if threads < 1 or tile <= 2 * radius * dim_t:
+        raise ValueError("invalid configuration")
+    kappa = kappa_35d(radius, dim_t, min(tile, grid + 2 * radius * dim_t))
+    compute_inflation = compute_overestimation_35d(
+        radius, dim_t, min(tile, grid + 2 * radius * dim_t)
+    )
+    core_rate = (
+        machine.peak_ops(precision) / machine.cores
+    ) * simd_efficiency  # ops/s per core
+
+    rounds = -(-steps // dim_t)
+    core = max(tile - 2 * radius * dim_t, 1)
+    tiles = (-(-grid // core)) ** 2
+    iters_per_tile = grid + (radius + 1) * dim_t  # steady state + prolog/epilog
+    iterations = rounds * tiles * iters_per_tile
+
+    # per-iteration work: dim_t plane computations of ~tile^2 points each
+    updates_per_iter = dim_t * tile * tile * compute_inflation / kappa
+    rows_per_thread = -(-tile // threads)
+    compute_per_iter = (
+        dim_t * rows_per_thread * tile * compute_inflation / kappa * ops_per_update
+    ) / core_rate
+    # external traffic per iteration: one plane loaded + one core plane stored
+    bytes_per_iter = (
+        tile * tile * (bytes_per_update / 2)  # load share
+        + core * core * (bytes_per_update / 2)  # store share
+    ) * kappa / kappa  # ghost inflation already in the tile footprint
+    memory_per_iter = bytes_per_iter / machine.achievable_bandwidth
+
+    iter_time = max(compute_per_iter, memory_per_iter) + barrier_s
+    compute_s = compute_per_iter * iterations
+    memory_s = memory_per_iter * iterations
+    total = iter_time * iterations
+    return TimedRun(
+        total_s=total,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        barrier_s=barrier_s * iterations,
+        iterations=iterations,
+        updates=int(updates_per_iter * iterations),
+    )
+
+
+def scaling_curve(
+    machine: MachineSpec,
+    grid: int = 256,
+    steps: int = 4,
+    ops_per_update: float = 16,
+    bytes_per_update: float = 4.0,
+    dim_t: int = 2,
+    tile: int = 360,
+    max_threads: int | None = None,
+    barrier_s: float = FAST_BARRIER_S,
+    **kw,
+) -> dict[int, float]:
+    """Speedup over 1 thread for 1..max_threads threads."""
+    max_threads = machine.cores if max_threads is None else max_threads
+    base = simulate_parallel_run(
+        machine, grid, steps, ops_per_update, bytes_per_update, dim_t, tile, 1,
+        barrier_s=barrier_s, **kw,
+    ).total_s
+    return {
+        t: base
+        / simulate_parallel_run(
+            machine, grid, steps, ops_per_update, bytes_per_update, dim_t, tile, t,
+            barrier_s=barrier_s, **kw,
+        ).total_s
+        for t in range(1, max_threads + 1)
+    }

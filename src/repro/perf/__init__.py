@@ -1,0 +1,41 @@
+"""Performance analysis reproducing the paper's tables and figures."""
+
+from .breakdown import Stage, breakdown_7pt_gpu, breakdown_lbm_cpu
+from .calibration import CPU_CAL, GPU_CAL, CpuCalibration, GpuCalibration
+from .comparisons import Comparison, section_viid_comparisons
+from .kernels import KERNELS, LBM_D3Q19, SEVEN_POINT, TWENTY_SEVEN_POINT, KernelModel
+from .model import (
+    SCHEMES,
+    PerfEstimate,
+    predict_7pt_cpu,
+    predict_7pt_gpu,
+    predict_lbm_cpu,
+    predict_lbm_gpu,
+)
+from .report import format_comparisons, format_stages, format_table
+
+__all__ = [
+    "KernelModel",
+    "SEVEN_POINT",
+    "TWENTY_SEVEN_POINT",
+    "LBM_D3Q19",
+    "KERNELS",
+    "CpuCalibration",
+    "GpuCalibration",
+    "CPU_CAL",
+    "GPU_CAL",
+    "PerfEstimate",
+    "SCHEMES",
+    "predict_7pt_cpu",
+    "predict_lbm_cpu",
+    "predict_7pt_gpu",
+    "predict_lbm_gpu",
+    "Stage",
+    "breakdown_lbm_cpu",
+    "breakdown_7pt_gpu",
+    "Comparison",
+    "section_viid_comparisons",
+    "format_table",
+    "format_stages",
+    "format_comparisons",
+]

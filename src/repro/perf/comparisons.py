@@ -1,0 +1,130 @@
+"""Normalized comparisons against prior work (paper Section VII-D).
+
+The paper normalizes each prior result to its own platform (bandwidth ratio
+for bandwidth-bound numbers, frequency/socket ratio for compute-bound ones)
+and reports the speedup of its 3.5D implementation.  This module reproduces
+each comparison row with the same normalization arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import (
+    predict_7pt_cpu,
+    predict_7pt_gpu,
+    predict_lbm_cpu,
+)
+
+__all__ = ["Comparison", "section_viid_comparisons"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One Section VII-D row: prior work vs this paper's implementation."""
+
+    label: str
+    prior_raw: float
+    prior_normalized: float
+    ours_modeled: float
+    paper_ours: float
+    paper_speedup: float
+    normalization: str
+
+    @property
+    def modeled_speedup(self) -> float:
+        return self.ours_modeled / self.prior_normalized
+
+
+def section_viid_comparisons() -> list[Comparison]:
+    """All Section VII-D comparison rows (CPU and GPU)."""
+    rows: list[Comparison] = []
+
+    # --- 7-point DP CPU vs Datta [10]: 1000 MU/s on Xeon X5550 @16.5 GB/s,
+    # bandwidth bound -> normalize by bandwidth ratio 22/16.5.
+    datta_dp_norm = 1000 * 22 / 16.5
+    rows.append(
+        Comparison(
+            label="7pt DP CPU vs Datta [10]",
+            prior_raw=1000,
+            prior_normalized=datta_dp_norm,
+            ours_modeled=predict_7pt_cpu("35d", "dp").mupdates_per_s,
+            paper_ours=1995,
+            paper_speedup=1.5,
+            normalization="bandwidth ratio 22/16.5 (both bandwidth bound)",
+        )
+    )
+
+    # --- 7-point SP CPU: best prior is bandwidth bound; our no-blocking
+    # number is exactly that bound, so the comparison is 3.5D vs naive.
+    sp_naive = predict_7pt_cpu("none", "sp").mupdates_per_s
+    rows.append(
+        Comparison(
+            label="7pt SP CPU vs best bandwidth-bound prior",
+            prior_raw=sp_naive,
+            prior_normalized=sp_naive,
+            ours_modeled=predict_7pt_cpu("35d", "sp").mupdates_per_s,
+            paper_ours=4000,
+            paper_speedup=1.5,
+            normalization="prior equals the bandwidth-bound roofline",
+        )
+    )
+
+    # --- LBM DP CPU vs Habich [13]: 64 MLUPS on dual-socket 2.66 GHz
+    # Nehalem -> x0.5 sockets, x(3.2/2.66) frequency = 38.5 MLUPS.
+    habich_norm = 64 * 0.5 * (3.2 / 2.66)
+    rows.append(
+        Comparison(
+            label="LBM DP CPU vs Habich [13]",
+            prior_raw=64,
+            prior_normalized=habich_norm,
+            ours_modeled=predict_lbm_cpu("35d", "dp").mupdates_per_s,
+            paper_ours=80,
+            paper_speedup=2.08,
+            normalization="0.5 socket x 3.2/2.66 GHz (compute bound)",
+        )
+    )
+
+    # --- LBM SP CPU: 3.5D vs the bandwidth-bound 87 MLUPS baseline.
+    lbm_sp_naive = predict_lbm_cpu("none", "sp").mupdates_per_s
+    rows.append(
+        Comparison(
+            label="LBM SP CPU vs bandwidth-bound baseline",
+            prior_raw=lbm_sp_naive,
+            prior_normalized=lbm_sp_naive,
+            ours_modeled=predict_lbm_cpu("35d", "sp").mupdates_per_s,
+            paper_ours=180,
+            paper_speedup=2.1,
+            normalization="prior equals the bandwidth-bound roofline",
+        )
+    )
+
+    # --- 7-point SP GPU: 1.8X over the bandwidth-bound spatially blocked
+    # implementation (Datta-class prior numbers are spatial-only).
+    gpu_spatial = predict_7pt_gpu("spatial", "sp").mupdates_per_s
+    rows.append(
+        Comparison(
+            label="7pt SP GPU vs spatially blocked prior",
+            prior_raw=gpu_spatial,
+            prior_normalized=gpu_spatial,
+            ours_modeled=predict_7pt_gpu("35d", "sp").mupdates_per_s,
+            paper_ours=17100,
+            paper_speedup=1.8,
+            normalization="prior equals the spatially blocked bound",
+        )
+    )
+
+    # --- 7-point DP GPU vs Datta [11] on GTX 280: 4500 MU/s compute bound;
+    # the paper is 10-15% *slower* after normalization (reported ~0.87X).
+    rows.append(
+        Comparison(
+            label="7pt DP GPU vs Datta [11]",
+            prior_raw=4500,
+            prior_normalized=4500 * 1.18,  # GTX285/GTX280 DP throughput ratio
+            ours_modeled=predict_7pt_gpu("spatial", "dp").mupdates_per_s,
+            paper_ours=4600,
+            paper_speedup=0.87,
+            normalization="GTX 280 -> GTX 285 compute scaling ~1.18",
+        )
+    )
+    return rows

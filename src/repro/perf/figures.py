@@ -1,0 +1,118 @@
+"""Plain-text bar charts for the paper's figures (no plotting dependency).
+
+Renders Figure-4-style grouped series and Figure-5-style breakdowns as
+aligned ASCII bars, so the reproduction report is readable in any terminal
+or log file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "breakdown_chart", "roofline_chart"]
+
+_BAR = "#"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """One bar per (label, value), scaled to the maximum."""
+    if not values:
+        return title
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, v in values.items():
+        bar = _BAR * (round(v / peak * width) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} | {bar} {v:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Figure-4 style: one group (grid size / precision) of bars per row set."""
+    peak = max(v for g in groups.values() for v in g.values())
+    label_w = max(len(k) for g in groups.values() for k in g)
+    lines = [title] if title else []
+    for group_name, series in groups.items():
+        lines.append(f"{group_name}:")
+        for label, v in series.items():
+            bar = _BAR * (round(v / peak * width) if peak > 0 else 0)
+            lines.append(f"  {label.ljust(label_w)} | {bar} {v:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def breakdown_chart(stages: Sequence, width: int = 40, title: str = "") -> str:
+    """Figure-5 style: cumulative optimization bars, model vs paper."""
+    peak = max(max(s.modeled_mups, s.paper_mups) for s in stages)
+    label_w = max(len(s.name) for s in stages)
+    lines = [title] if title else []
+    for s in stages:
+        model_bar = _BAR * round(s.modeled_mups / peak * width)
+        paper_bar = "." * round(s.paper_mups / peak * width)
+        lines.append(
+            f"{s.name.ljust(label_w)} | {model_bar} {s.modeled_mups:,.0f} (model)"
+        )
+        lines.append(
+            f"{''.ljust(label_w)} | {paper_bar} {s.paper_mups:,.0f} (paper)"
+        )
+    return "\n".join(lines)
+
+
+def roofline_chart(
+    machine,
+    points: Mapping[str, tuple[float, float]],
+    precision: str = "sp",
+    width: int = 56,
+    height: int = 14,
+) -> str:
+    """ASCII roofline: machine ceilings with kernel points overlaid.
+
+    ``points`` maps labels to ``(bytes_per_op, ops_per_update_rate)`` pairs
+    where the rate is in updates/s times ops/update — i.e. achieved ops/s.
+    Axes are log-scaled: x = operational intensity (ops/byte),
+    y = achieved ops/s.
+    """
+    import math
+
+    bw = machine.achievable_bandwidth
+    peak = machine.stencil_ops(precision)
+    # x-range: around the ridge point intensity = peak / bw
+    ridge = peak / bw
+    x_lo, x_hi = ridge / 32, ridge * 32
+    y_hi, y_lo = peak * 2, peak / 256
+
+    def x_col(intensity):
+        t = (math.log(intensity) - math.log(x_lo)) / (math.log(x_hi) - math.log(x_lo))
+        return min(width - 1, max(0, int(t * (width - 1))))
+
+    def y_row(ops):
+        t = (math.log(ops) - math.log(y_lo)) / (math.log(y_hi) - math.log(y_lo))
+        return min(height - 1, max(0, height - 1 - int(t * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for c in range(width):
+        intensity = x_lo * (x_hi / x_lo) ** (c / (width - 1))
+        attainable = min(peak, bw * intensity)
+        r = y_row(max(attainable, y_lo))
+        grid[r][c] = "-" if attainable >= peak else "/"
+    marks = []
+    for i, (label, (bytes_per_op, achieved_ops)) in enumerate(points.items()):
+        intensity = 1.0 / bytes_per_op
+        r, c = y_row(max(achieved_ops, y_lo)), x_col(intensity)
+        sym = chr(ord("A") + i)
+        grid[r][c] = sym
+        marks.append(f"  {sym} = {label}")
+    lines = [f"roofline: {machine.name} ({precision.upper()})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + "> ops/byte (log)")
+    lines += marks
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Kernel performance characteristics (paper Section IV).
+
+Per-update operation counts and external-memory traffic for the three
+kernels the paper analyzes, in both precisions and under each traffic
+regime:
+
+===========  ====  ======  ==========================================
+kernel       ops   flops   bytes/update after spatial blocking
+===========  ====  ======  ==========================================
+7-point       16     8     2 values  (8 B SP / 16 B DP) -> γ 0.5 / 1.0
+27-point      58    30     2 values  -> γ 0.14 / 0.28
+D3Q19 LBM    259   220     SP 228 B unblocked (76 read + 152 write,
+                           no streaming stores possible), 156 B with
+                           blocking (one read + one write + flag)
+===========  ====  ======  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelModel", "SEVEN_POINT", "TWENTY_SEVEN_POINT", "LBM_D3Q19", "KERNELS"]
+
+
+def _esize(precision: str) -> int:
+    return 4 if precision == "sp" else 8
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Analytical cost model of one kernel."""
+
+    name: str
+    ops_per_update: int
+    flops_per_update: int
+    #: scalar values per grid point (1 for stencils, 19+flag for LBM)
+    values_per_point: int
+    #: values read per update from external memory, after spatial blocking
+    read_values: float
+    #: values written per update
+    write_values: float
+    #: extra written values when streaming stores are impossible (LBM's
+    #: unaligned neighbor writes double the store traffic: 152 B vs 76 B SP)
+    write_values_no_streaming: float
+    radius: int = 1
+
+    def element_size(self, precision: str) -> int:
+        return self.values_per_point * _esize(precision)
+
+    def bytes_ideal(self, precision: str) -> float:
+        """Compulsory bytes/update with perfect blocking (1 read + 1 write)."""
+        return (self.read_values + self.write_values) * _esize(precision)
+
+    def bytes_unblocked(self, precision: str, streaming_stores: bool) -> float:
+        """Bytes/update of a full sweep with no temporal reuse."""
+        writes = (
+            self.write_values if streaming_stores else self.write_values_no_streaming
+        )
+        return (self.read_values + writes) * _esize(precision)
+
+    def gamma(self, precision: str, streaming_stores: bool = False) -> float:
+        """The paper's kernel bytes/op γ (Section IV uses unblocked traffic)."""
+        return self.bytes_unblocked(precision, streaming_stores) / self.ops_per_update
+
+    def gamma_blocked(self, precision: str) -> float:
+        """bytes/op after spatial blocking (what Equation 3 compares to Γ)."""
+        return self.bytes_ideal(precision) / self.ops_per_update
+
+
+#: Section IV-A1: 2 mul + 6 add + 7 load + 1 store; spatially blocked traffic
+#: 1 read of A + 1 write of B.
+SEVEN_POINT = KernelModel(
+    name="7pt",
+    ops_per_update=16,
+    flops_per_update=8,
+    values_per_point=1,
+    read_values=1,
+    write_values=1,
+    write_values_no_streaming=2,  # RFO doubles write traffic without NT stores
+)
+
+#: Section IV-A2: 4 mul + 26 add + 27 load + 1 store.
+TWENTY_SEVEN_POINT = KernelModel(
+    name="27pt",
+    ops_per_update=58,
+    flops_per_update=30,
+    values_per_point=1,
+    read_values=1,
+    write_values=1,
+    write_values_no_streaming=2,
+)
+
+#: Section IV-B: 220 flops + 20 reads + 19 writes; 19 reads + flag in, 19
+#: values out, but SoA neighbor writes cannot use streaming stores, so the
+#: written bytes double (152 B SP): 228 B total -> γ = 0.88 SP / 1.75 DP.
+LBM_D3Q19 = KernelModel(
+    name="lbm",
+    ops_per_update=259,
+    flops_per_update=220,
+    values_per_point=20,  # 19 distributions + flag (E = 80 B SP / 160 B DP)
+    read_values=19,  # the flag read rides along ("76-80 bytes"); use 76
+    write_values=19,
+    write_values_no_streaming=38,
+)
+
+KERNELS = {k.name: k for k in (SEVEN_POINT, TWENTY_SEVEN_POINT, LBM_D3Q19)}

@@ -1,0 +1,126 @@
+"""Structured sweep data and CSV export for the reproduced figures.
+
+Collects every Figure-4 series and Figure-5 breakdown into flat records —
+the form a downstream analysis or plotting pipeline wants — and writes them
+as CSV (stdlib only).  ``examples/export_results.py`` uses this to emit the
+complete reproduction dataset.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Mapping
+from dataclasses import asdict
+
+from .breakdown import breakdown_7pt_gpu, breakdown_lbm_cpu
+from .comparisons import section_viid_comparisons
+from .model import (
+    predict_7pt_cpu,
+    predict_7pt_gpu,
+    predict_lbm_cpu,
+    predict_lbm_gpu,
+)
+
+__all__ = [
+    "figure4_records",
+    "figure5_records",
+    "comparison_records",
+    "all_records",
+    "to_csv",
+]
+
+_PAPER_ANCHORS = {
+    # (kernel, platform, precision, scheme, grid) -> paper-reported MU/s
+    ("lbm", "cpu", "sp", "none", 256): 87,
+    ("lbm", "cpu", "sp", "35d", 256): 171,
+    ("lbm", "cpu", "dp", "35d", 256): 80,
+    ("7pt", "cpu", "sp", "none", 256): 2600,
+    ("7pt", "cpu", "sp", "35d", 256): 3900,
+    ("7pt", "cpu", "dp", "35d", 256): 1995,
+    ("7pt", "gpu", "sp", "none", 256): 3300,
+    ("7pt", "gpu", "sp", "spatial", 256): 9234,
+    ("7pt", "gpu", "sp", "35d", 256): 17115,
+    ("7pt", "gpu", "dp", "spatial", 256): 4600,
+    ("lbm", "gpu", "sp", "none", 256): 485,
+}
+
+
+def figure4_records() -> list[dict]:
+    """All Figure 4 model points as flat dicts, with paper anchors attached."""
+    records: list[dict] = []
+    specs = [
+        (predict_lbm_cpu, ("none", "temporal", "35d"), (64, 256, 512)),
+        (predict_7pt_cpu, ("none", "spatial", "35d"), (64, 256, 512)),
+        (predict_7pt_gpu, ("none", "spatial", "35d"), (256,)),
+        (predict_lbm_gpu, ("none", "35d"), (256,)),
+    ]
+    for predict, schemes, grids in specs:
+        for precision in ("sp", "dp"):
+            for grid in grids:
+                for scheme in schemes:
+                    est = predict(scheme, precision, grid)
+                    rec = asdict(est)
+                    key = (est.kernel, est.platform, precision, scheme, grid)
+                    rec["paper_mupdates_per_s"] = _PAPER_ANCHORS.get(key, "")
+                    records.append(rec)
+    return records
+
+
+def figure5_records() -> list[dict]:
+    """Figure 5(a)/(b) breakdown stages as flat dicts."""
+    records = []
+    for figure, stages in (
+        ("5a_lbm_cpu", breakdown_lbm_cpu()),
+        ("5b_7pt_gpu", breakdown_7pt_gpu()),
+    ):
+        for i, s in enumerate(stages):
+            records.append(
+                {
+                    "figure": figure,
+                    "stage_index": i,
+                    "stage": s.name,
+                    "model_mups": s.modeled_mups,
+                    "paper_mups": s.paper_mups,
+                    "ratio": s.ratio,
+                    "mechanism": s.mechanism,
+                }
+            )
+    return records
+
+
+def comparison_records() -> list[dict]:
+    """Section VII-D comparison rows as flat dicts."""
+    return [
+        {
+            "comparison": c.label,
+            "prior_raw": c.prior_raw,
+            "prior_normalized": c.prior_normalized,
+            "ours_modeled": c.ours_modeled,
+            "modeled_speedup": c.modeled_speedup,
+            "paper_speedup": c.paper_speedup,
+            "normalization": c.normalization,
+        }
+        for c in section_viid_comparisons()
+    ]
+
+
+def all_records() -> dict[str, list[dict]]:
+    """Every reproduced dataset, keyed by artifact name."""
+    return {
+        "figure4": figure4_records(),
+        "figure5": figure5_records(),
+        "comparisons": comparison_records(),
+    }
+
+
+def to_csv(records: Iterable[Mapping]) -> str:
+    """Render records (dicts with a common key set) as a CSV string."""
+    records = list(records)
+    if not records:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+    return buf.getvalue()

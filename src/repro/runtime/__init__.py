@@ -1,0 +1,17 @@
+"""CPU parallel runtime: software barriers, worker pool, threaded 3.5D."""
+
+from .barrier import PthreadsBarrier, SenseReversingBarrier
+from .parallel35d import ParallelBlocking35D, run_parallel_3_5d
+from .partition import partition_balance, partition_rows, partition_span
+from .threadpool import WorkerPool
+
+__all__ = [
+    "SenseReversingBarrier",
+    "PthreadsBarrier",
+    "WorkerPool",
+    "partition_rows",
+    "partition_span",
+    "partition_balance",
+    "ParallelBlocking35D",
+    "run_parallel_3_5d",
+]

@@ -1,0 +1,156 @@
+"""Thread-parallel 3.5D executor (paper Sections V-D and V-E).
+
+This is the paper's chosen parallelization — option (2) of Section V-D:
+
+* every XY sub-plane (at every time instance) is divided row-wise across
+  *all* threads, so each thread performs the same amount of external memory
+  traffic and stencil computation (the load-balance property the tests
+  assert);
+* the ``2R+2``-plane (concurrent) ring layout makes the ``dim_T + 1`` steps
+  of one z-iteration mutually independent, so threads sweep through an
+  entire iteration without intermediate synchronization;
+* one barrier separates consecutive z-iterations ("There is a barrier after
+  each thread has finished its computation before moving to the next z").
+
+Every thread reads from memory for ``t' = 0``, works in the cached buffers
+for the intermediate instances, and writes to memory for ``t' = dim_T`` —
+unlike wavefront schemes where dedicated threads own time instances and
+bandwidth use is imbalanced (the Section II critique of Habich/Wellein).
+"""
+
+from __future__ import annotations
+
+from ..core.blocking35d import Blocking35D
+from ..core.schedule import build_schedule
+from ..core.traffic import TrafficStats
+from ..stencils.base import PlaneKernel
+from ..stencils.grid import Field3D, copy_shell
+from .partition import partition_span
+from .threadpool import WorkerPool
+
+__all__ = ["ParallelBlocking35D", "run_parallel_3_5d"]
+
+
+class ParallelBlocking35D:
+    """Row-partitioned threaded 3.5D executor.
+
+    Numerically identical to the serial :class:`Blocking35D` (and hence the
+    naive reference); the schedule requires the concurrent (2R+2 slot) ring
+    configuration.
+    """
+
+    def __init__(
+        self,
+        kernel: PlaneKernel,
+        dim_t: int,
+        tile_y: int,
+        tile_x: int,
+        n_threads: int,
+        pool: WorkerPool | None = None,
+        validate: bool = False,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.inner = Blocking35D(
+            kernel, dim_t, tile_y, tile_x, concurrent=True, validate=validate
+        )
+        self.kernel = kernel
+        self.n_threads = n_threads
+        self._pool = pool
+        self._owns_pool = pool is None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        field: Field3D,
+        steps: int,
+        traffic: TrafficStats | None = None,
+        per_thread_traffic: list[TrafficStats] | None = None,
+    ) -> Field3D:
+        """Advance ``field`` by ``steps``; optionally collect per-thread stats."""
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        if steps == 0:
+            return field.copy()
+        pool = self._pool or WorkerPool(self.n_threads)
+        try:
+            src = field.copy()
+            dst = field.like()
+            copy_shell(src, dst, self.kernel.radius)
+            thread_stats = [TrafficStats() for _ in range(self.n_threads)]
+            remaining = steps
+            while remaining > 0:
+                round_t = min(self.inner.dim_t, remaining)
+                self._sweep_round(pool, src, dst, round_t, traffic, thread_stats)
+                src, dst = dst, src
+                remaining -= round_t
+            if traffic is not None:
+                for ts in thread_stats:
+                    traffic.merge(ts)
+            if per_thread_traffic is not None:
+                per_thread_traffic.extend(thread_stats)
+            return src
+        finally:
+            if self._owns_pool:
+                pool.shutdown()
+
+    # ------------------------------------------------------------------
+    def _sweep_round(
+        self,
+        pool: WorkerPool,
+        src: Field3D,
+        dst: Field3D,
+        round_t: int,
+        traffic: TrafficStats | None,
+        thread_stats: list[TrafficStats],
+    ) -> None:
+        from ..core.regions import plan_tiles_2d
+
+        inner = self.inner
+        r = self.kernel.radius
+        nz, ny, nx = src.shape
+        tiles = plan_tiles_2d(ny, nx, r, round_t, inner.tile_y, inner.tile_x)
+        schedule = build_schedule(nz, r, round_t, concurrent=True)
+        if inner.validate:
+            schedule.validate()
+        if traffic is not None:
+            traffic.notes.setdefault("tiles_per_round", len(tiles))
+            traffic.notes.setdefault("threads", self.n_threads)
+        iterations = schedule.iterations()
+        for tile in tiles:
+            ctx = inner._tile_context(src, tile, round_t)
+            inner._load_shell_planes(src, ctx, traffic)
+            regions = inner.instance_regions(ctx, src.shape, round_t)
+            rows = partition_span(ctx.ey[0], ctx.ey[1], self.n_threads)
+            for k in sorted(iterations):
+                steps_k = iterations[k]
+
+                def run_iteration(tid: int, steps_k=steps_k) -> None:
+                    row = rows[tid]
+                    if row[0] >= row[1]:
+                        return
+                    for step in steps_k:
+                        inner.execute_step(
+                            src, dst, ctx, step, regions, thread_stats[tid], rows=row
+                        )
+
+                # run_spmd joins all workers: the per-iteration barrier
+                pool.run_spmd(run_iteration)
+
+
+def run_parallel_3_5d(
+    kernel: PlaneKernel,
+    field: Field3D,
+    steps: int,
+    dim_t: int,
+    tile_y: int,
+    tile_x: int,
+    n_threads: int = 4,
+    *,
+    traffic: TrafficStats | None = None,
+    validate: bool = False,
+) -> Field3D:
+    """Convenience wrapper for :class:`ParallelBlocking35D`."""
+    return ParallelBlocking35D(
+        kernel, dim_t, tile_y, tile_x, n_threads, validate=validate
+    ).run(field, steps, traffic)

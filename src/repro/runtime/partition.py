@@ -1,0 +1,45 @@
+"""Work partitioning across threads (paper Section V-D, Figure 3b).
+
+The paper divides ``dim_Y`` of every XY sub-plane by the thread count and
+assigns each thread the corresponding rows — so every thread performs the
+same amount of external memory traffic and the same number of stencil ops
+("a flexible load-balancing scheme", Section I).  When ``dim_Y < T`` the
+threads get partial rows; we expose both row-granular and point-granular
+partitions.
+"""
+
+from __future__ import annotations
+
+__all__ = ["partition_rows", "partition_span", "partition_balance"]
+
+
+def partition_span(lo: int, hi: int, n_parts: int) -> list[tuple[int, int]]:
+    """Split ``[lo, hi)`` into ``n_parts`` contiguous near-equal intervals.
+
+    Sizes differ by at most one; empty intervals appear only when the span
+    has fewer points than parts.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    if hi < lo:
+        raise ValueError("hi must be >= lo")
+    total = hi - lo
+    base, extra = divmod(total, n_parts)
+    parts = []
+    start = lo
+    for i in range(n_parts):
+        size = base + (1 if i < extra else 0)
+        parts.append((start, start + size))
+        start += size
+    return parts
+
+
+def partition_rows(n_rows: int, n_threads: int) -> list[tuple[int, int]]:
+    """Row ranges for each thread over ``[0, n_rows)``."""
+    return partition_span(0, n_rows, n_threads)
+
+
+def partition_balance(parts: list[tuple[int, int]]) -> int:
+    """Max minus min part size — 0 or 1 for a fair partition."""
+    sizes = [hi - lo for lo, hi in parts]
+    return max(sizes) - min(sizes)

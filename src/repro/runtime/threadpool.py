@@ -1,0 +1,80 @@
+"""A persistent worker pool (the pthreads analog of Section VI).
+
+The paper keeps one pthread per core alive for the whole run and
+synchronizes them with its software barrier; spawning threads per time step
+would dwarf the stencil work.  This pool mirrors that: N persistent workers,
+each with a task queue, plus a ``run_spmd`` entry that hands every worker
+the same function with its thread id — the SPMD launch shape of the 3.5D
+algorithm.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """N persistent worker threads executing SPMD tasks."""
+
+    def __init__(self, n_threads: int) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.n_threads = n_threads
+        self._queues: list[queue.Queue] = [queue.Queue() for _ in range(n_threads)]
+        self._done: queue.Queue = queue.Queue()
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._worker, args=(tid,), daemon=True)
+            for tid in range(n_threads)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _worker(self, tid: int) -> None:
+        q = self._queues[tid]
+        while True:
+            task = q.get()
+            if task is None:
+                return
+            fn = task
+            try:
+                fn(tid)
+                self._done.put((tid, None))
+            except BaseException as exc:  # propagate to the caller
+                self._done.put((tid, exc))
+
+    def run_spmd(self, fn: Callable[[int], None]) -> None:
+        """Run ``fn(thread_id)`` on every worker; blocks until all finish.
+
+        The first worker exception is re-raised in the caller.
+        """
+        if self._shutdown:
+            raise RuntimeError("pool is shut down")
+        for q in self._queues:
+            q.put(fn)
+        first_exc: BaseException | None = None
+        for _ in range(self.n_threads):
+            _, exc = self._done.get()
+            if exc is not None and first_exc is None:
+                first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+
+    def shutdown(self) -> None:
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for q in self._queues:
+            q.put(None)
+        for t in self._threads:
+            t.join(timeout=5)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

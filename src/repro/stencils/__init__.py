@@ -1,0 +1,28 @@
+"""Stencil kernels and grid containers (the PDE-solver substrate)."""
+
+from .base import PlaneKernel, validate_footprint
+from .fd import heat_stencil, laplacian_coefficients, laplacian_stencil, stable_dt_factor
+from .generic import GenericStencil, box_stencil, star_stencil
+from .grid import Field3D, copy_shell, interior_points, interior_slices
+from .seven_point import SevenPointStencil
+from .twentyseven_point import TwentySevenPointStencil
+from .variable import VariableCoefficientStencil
+
+__all__ = [
+    "PlaneKernel",
+    "validate_footprint",
+    "Field3D",
+    "copy_shell",
+    "interior_points",
+    "interior_slices",
+    "SevenPointStencil",
+    "TwentySevenPointStencil",
+    "VariableCoefficientStencil",
+    "GenericStencil",
+    "star_stencil",
+    "box_stencil",
+    "laplacian_stencil",
+    "laplacian_coefficients",
+    "heat_stencil",
+    "stable_dt_factor",
+]

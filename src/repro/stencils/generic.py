@@ -1,0 +1,90 @@
+"""Arbitrary-coefficient stencils of any radius.
+
+The paper fixes :math:`R = 1` for its two kernels but develops the blocking
+formulation for general radius (Section V, Notation).  This module provides
+star and box stencils of arbitrary radius so the general-R scheduling and
+overestimation machinery can be exercised and property-tested.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .base import PlaneKernel, validate_footprint
+
+__all__ = ["GenericStencil", "star_stencil", "box_stencil"]
+
+
+class GenericStencil(PlaneKernel):
+    """A stencil defined by a mapping ``(dz, dy, dx) -> weight``.
+
+    The per-update op count follows the paper's convention: one load per tap,
+    one store, one add per tap beyond the first, and one multiply per distinct
+    weight group (we conservatively count one multiply per tap).
+    """
+
+    ncomp = 1
+
+    def __init__(self, taps: Mapping[tuple[int, int, int], float]) -> None:
+        if not taps:
+            raise ValueError("a stencil needs at least one tap")
+        self.taps = dict(taps)
+        self.radius = max(max(abs(d) for d in off) for off in self.taps)
+        if self.radius < 1:
+            raise ValueError("stencil radius must be >= 1")
+        ntaps = len(self.taps)
+        # loads + store + adds + multiplies
+        self.ops_per_update = ntaps + 1 + (ntaps - 1) + ntaps
+        self.flops_per_update = (ntaps - 1) + ntaps
+        # Pre-sort taps for a deterministic evaluation order (bit-exactness
+        # across all blocking schedules depends on it).
+        self._order = sorted(self.taps)
+
+    def __repr__(self) -> str:
+        return f"GenericStencil(radius={self.radius}, taps={len(self.taps)})"
+
+    def compute_plane(
+        self,
+        out: np.ndarray,
+        src: Sequence[np.ndarray],
+        yr: tuple[int, int],
+        xr: tuple[int, int],
+        gz: int = 0,
+        gy0: int = 0,
+        gx0: int = 0,
+    ) -> None:
+        validate_footprint(out.shape[1:], yr, xr, self.radius)
+        y0, y1 = yr
+        x0, x1 = xr
+        dtype = out.dtype.type
+        acc = np.zeros((y1 - y0, x1 - x0), dtype=out.dtype)
+        for dz, dy, dx in self._order:
+            w = dtype(self.taps[(dz, dy, dx)])
+            plane = src[dz + self.radius][0]
+            acc += w * plane[y0 + dy : y1 + dy, x0 + dx : x1 + dx]
+        out[0, y0:y1, x0:x1] = acc
+
+
+def star_stencil(radius: int, center: float = 0.4, arm: float = 0.05) -> GenericStencil:
+    """A star (axis-aligned) stencil of the given radius."""
+    taps: dict[tuple[int, int, int], float] = {(0, 0, 0): center}
+    for r in range(1, radius + 1):
+        for axis in range(3):
+            for sign in (-1, 1):
+                off = [0, 0, 0]
+                off[axis] = sign * r
+                taps[tuple(off)] = arm
+    return GenericStencil(taps)
+
+
+def box_stencil(radius: int, center: float = 0.4, other: float = 0.01) -> GenericStencil:
+    """A dense box stencil covering the full ``(2R+1)^3`` cube."""
+    taps = {
+        (dz, dy, dx): (center if (dz, dy, dx) == (0, 0, 0) else other)
+        for dz in range(-radius, radius + 1)
+        for dy in range(-radius, radius + 1)
+        for dx in range(-radius, radius + 1)
+    }
+    return GenericStencil(taps)

@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stencils import Field3D, SevenPointStencil
+
+
+@pytest.fixture
+def seven_point() -> SevenPointStencil:
+    return SevenPointStencil(alpha=0.4, beta=0.1)
+
+
+@pytest.fixture
+def small_field() -> Field3D:
+    return Field3D.random((12, 13, 14), dtype=np.float32, seed=7)
+
+
+@pytest.fixture
+def medium_field() -> Field3D:
+    return Field3D.random((24, 26, 28), dtype=np.float64, seed=11)
+
+
+def assert_fields_equal(a: Field3D, b: Field3D) -> None:
+    """Exact (bitwise) equality — blocking must not change arithmetic."""
+    assert a.data.shape == b.data.shape
+    assert a.data.dtype == b.data.dtype
+    if not np.array_equal(a.data, b.data):
+        diff = np.argwhere(a.data != b.data)
+        raise AssertionError(
+            f"fields differ at {len(diff)} points; first at index {tuple(diff[0])}: "
+            f"{a.data[tuple(diff[0])]} vs {b.data[tuple(diff[0])]}"
+        )

@@ -1,0 +1,96 @@
+"""Tests for the empirical (measurement-driven) auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import autotune_empirical, tune
+from repro.machine import CORE_I7, scaled_machine
+from repro.stencils import SevenPointStencil, TwentySevenPointStencil
+
+
+class TestEmpiricalAutotune:
+    def test_returns_ranked_candidates(self):
+        results = autotune_empirical(
+            SevenPointStencil(),
+            CORE_I7,
+            np.float32,
+            probe_shape=(8, 64, 64),
+            dim_t_candidates=(1, 2, 3),
+            tile_candidates=(32, 64),
+        )
+        assert len(results) >= 4
+        times = [c.predicted_time_per_update for c in results if c.fits_capacity]
+        assert times == sorted(times)
+
+    def test_bandwidth_bound_kernel_prefers_temporal_blocking(self):
+        """7pt SP on the Core i7 (γ > Γ): the winner has dim_T >= 2."""
+        results = autotune_empirical(
+            SevenPointStencil(),
+            CORE_I7,
+            np.float32,
+            probe_shape=(8, 64, 64),
+            dim_t_candidates=(1, 2, 3),
+            tile_candidates=(32, 64),
+        )
+        assert results[0].dim_t >= 2
+
+    def test_compute_bound_kernel_prefers_dim_t_1(self):
+        """27pt (γ < Γ): extra temporal blocking only adds ghost compute."""
+        results = autotune_empirical(
+            TwentySevenPointStencil(),
+            CORE_I7,
+            np.float32,
+            probe_shape=(8, 64, 64),
+            dim_t_candidates=(1, 2, 3),
+            tile_candidates=(32, 64),
+        )
+        assert results[0].dim_t == 1
+
+    def test_agrees_with_analytic_tuner_on_dim_t(self):
+        """Measured search lands on Equation 3's knee for the 7pt kernel."""
+        analytic = tune(SevenPointStencil(), CORE_I7, np.float32, derated=False)
+        empirical = autotune_empirical(
+            SevenPointStencil(),
+            CORE_I7,
+            np.float32,
+            probe_shape=(8, 64, 64),
+            dim_t_candidates=(1, 2, 3, 4),
+            tile_candidates=(64,),
+        )
+        # Eq.3 minimum is dim_T=2; measured winner within one step of it
+        assert abs(empirical[0].dim_t - analytic.params.dim_t) <= 1
+
+    def test_capacity_flag(self):
+        tiny = scaled_machine(CORE_I7, capacity_scale=1e-4)  # ~400 B
+        results = autotune_empirical(
+            SevenPointStencil(),
+            tiny,
+            np.float32,
+            probe_shape=(8, 32, 32),
+            dim_t_candidates=(1, 2),
+            tile_candidates=(16, 32),
+        )
+        assert not any(c.fits_capacity for c in results)
+
+    def test_larger_tile_lowers_bytes_per_update(self):
+        results = autotune_empirical(
+            SevenPointStencil(),
+            CORE_I7,
+            np.float32,
+            probe_shape=(8, 96, 96),
+            dim_t_candidates=(2,),
+            tile_candidates=(16, 96),
+        )
+        by_tile = {c.tile: c.bytes_per_update for c in results}
+        assert by_tile[96] < by_tile[16]
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            autotune_empirical(
+                SevenPointStencil(),
+                CORE_I7,
+                np.float32,
+                probe_shape=(8, 16, 16),
+                dim_t_candidates=(8,),
+                tile_candidates=(8,),  # tile <= 2*R*dim_t: all skipped
+            )

@@ -1,0 +1,80 @@
+"""Unit tests for the XY-plane ring buffers (Section V-C buffer management)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlaneRing, RingSet, ring_slots
+
+
+class TestRingSlots:
+    def test_paper_slot_counts(self):
+        # Section V-C: 2R+1 planes suffice sequentially; 2R+2 enable
+        # concurrent execution of all time instances.
+        assert ring_slots(1, concurrent=False) == 3
+        assert ring_slots(1, concurrent=True) == 4
+        assert ring_slots(2, concurrent=True) == 6
+
+
+class TestPlaneRing:
+    def test_modular_slot_mapping(self):
+        ring = PlaneRing(4, 1, 2, 2, np.float64)
+        a = ring.slot_for(5)
+        b = ring.get(5)
+        assert np.shares_memory(a, b)
+        # plane 9 maps to the same physical slot (9 % 4 == 5 % 4)
+        c = ring.slot_for(9)
+        assert np.shares_memory(a, c)
+
+    def test_liveness_enforced(self):
+        ring = PlaneRing(3, 1, 2, 2, np.float64)
+        ring.slot_for(0)[...] = 1.0
+        ring.slot_for(3)  # recycles plane 0's slot
+        with pytest.raises(LookupError):
+            ring.get(0)
+
+    def test_holds(self):
+        ring = PlaneRing(3, 1, 2, 2, np.float64)
+        assert not ring.holds(2)
+        ring.slot_for(2)
+        assert ring.holds(2)
+
+    def test_reset(self):
+        ring = PlaneRing(3, 1, 2, 2, np.float64)
+        ring.slot_for(1)
+        ring.reset()
+        assert not ring.holds(1)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            PlaneRing(0, 1, 2, 2, np.float64)
+
+
+class TestRingSet:
+    def test_capacity_matches_equation_1(self):
+        # E * (2R+2) * dim_T * dim_X * dim_Y
+        rs = RingSet(dim_t=3, radius=1, ncomp=1, ny=16, nx=16, dtype=np.float32)
+        assert rs.nbytes == 4 * 4 * 3 * 16 * 16
+
+    def test_lbm_element_size(self):
+        # LBM SP: E = 80 bytes/cell with the flag; here 19 components of the
+        # distributions themselves.
+        rs = RingSet(dim_t=3, radius=1, ncomp=19, ny=8, nx=8, dtype=np.float32)
+        assert rs.nbytes == 19 * 4 * 4 * 3 * 64
+
+    def test_rings_are_independent(self):
+        rs = RingSet(dim_t=2, radius=1, ncomp=1, ny=4, nx=4, dtype=np.float64)
+        rs.ring(0).slot_for(7)[...] = 1.0
+        with pytest.raises(LookupError):
+            rs.ring(1).get(7)
+
+    def test_reset_clears_all(self):
+        rs = RingSet(dim_t=2, radius=1, ncomp=1, ny=4, nx=4, dtype=np.float64)
+        rs.ring(0).slot_for(3)
+        rs.ring(1).slot_for(3)
+        rs.reset()
+        assert not rs.ring(0).holds(3)
+        assert not rs.ring(1).holds(3)
+
+    def test_invalid_dim_t(self):
+        with pytest.raises(ValueError):
+            RingSet(dim_t=0, radius=1, ncomp=1, ny=4, nx=4, dtype=np.float64)

@@ -1,0 +1,107 @@
+"""Tests for the cache-oblivious trapezoid traversal (Frigo & Strumpen)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_cache_oblivious, run_naive, trapezoid_trace
+from repro.machine import Cache
+from repro.stencils import Field3D, SevenPointStencil, star_stencil
+
+
+@pytest.fixture(scope="module")
+def seven():
+    return SevenPointStencil()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("shape,steps", [((12, 13, 14), 7), ((30, 8, 8), 16), ((8, 8, 8), 1)])
+    def test_matches_naive(self, seven, shape, steps):
+        f = Field3D.random(shape, seed=sum(shape))
+        out = run_cache_oblivious(seven, f, steps)
+        ref = run_naive(seven, f, steps)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_radius2(self):
+        k = star_stencil(2, center=0.35, arm=0.03)
+        f = Field3D.random((16, 10, 10), seed=1)
+        out = run_cache_oblivious(k, f, 6)
+        assert np.array_equal(out.data, run_naive(k, f, 6).data)
+
+    def test_zero_steps(self, seven):
+        f = Field3D.random((6, 6, 6), seed=2)
+        out = run_cache_oblivious(seven, f, 0)
+        assert np.array_equal(out.data, f.data)
+
+    def test_odd_even_parity(self, seven):
+        """Both result parities (steps even/odd) select the right buffer."""
+        f = Field3D.random((8, 8, 8), seed=3)
+        for steps in (1, 2, 3, 4):
+            out = run_cache_oblivious(seven, f, steps)
+            assert np.array_equal(out.data, run_naive(seven, f, steps).data)
+
+    def test_lbm_kernel(self):
+        from repro.lbm import Lattice, make_kernel, run_lbm
+
+        rng = np.random.default_rng(4)
+        shape = (8, 10, 10)
+        lat = Lattice.from_moments(
+            1.0 + 0.05 * rng.random(shape), 0.02 * (rng.random((3,) + shape) - 0.5)
+        )
+        kernel = make_kernel(lat, omega=1.1)
+        out = run_cache_oblivious(kernel, lat.f, 4)
+        ref = run_lbm(lat, 4, omega=1.1)
+        assert np.array_equal(out.data, ref.f.data)
+
+
+class TestTraversalProperties:
+    def test_each_step_once(self):
+        trace = trapezoid_trace(nz=20, steps=8)
+        assert len(trace) == len(set(trace)) == 8 * 18
+
+    def test_dependencies_respected(self):
+        trace = trapezoid_trace(nz=16, steps=6)
+        pos = {tz: i for i, tz in enumerate(trace)}
+        for (t, z), i in pos.items():
+            if t == 0:
+                continue
+            for dz in (-1, 0, 1):
+                dep = (t - 1, z + dz)
+                if dep in pos:
+                    assert pos[dep] < i, f"{(t, z)} ran before its dep {dep}"
+
+    def test_radius2_dependencies(self):
+        trace = trapezoid_trace(nz=20, steps=4, radius=2)
+        pos = {tz: i for i, tz in enumerate(trace)}
+        for (t, z), i in pos.items():
+            if t == 0:
+                continue
+            for dz in range(-2, 3):
+                dep = (t - 1, z + dz)
+                if dep in pos:
+                    assert pos[dep] < i
+
+    def test_temporal_locality_beats_sweep_order(self):
+        """The point of the traversal: plane re-use distance shrinks.
+
+        Feed the plane-granularity access stream into a small cache (one
+        'line' per plane) and compare hit rates with the naive sweep order,
+        which cycles through all planes before reuse.
+        """
+        nz, steps = 128, 32
+
+        def hit_rate(order):
+            cache = Cache(32 * 64, line=64, assoc=32)  # holds 32 planes
+            for t, z in order:
+                for dz in (-1, 0, 1):
+                    cache.access_line((t % 2) * nz + z + dz)
+                cache.access_line(((t + 1) % 2) * nz + z, write=True)
+            return cache.stats.hit_rate
+
+        co = hit_rate(trapezoid_trace(nz, steps))
+        sweep = hit_rate((t, z) for t in range(steps) for z in range(1, nz - 1))
+        assert co > sweep + 0.2
+
+    def test_invalid_steps(self):
+        k = SevenPointStencil()
+        with pytest.raises(ValueError):
+            run_cache_oblivious(k, Field3D.random((6, 6, 6), seed=5), -1)

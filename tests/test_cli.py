@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.kernel == "7pt"
+        assert args.scheme == "3.5d"
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "bogus"])
+
+
+class TestRunCommand:
+    @pytest.mark.parametrize(
+        "scheme", ["naive", "3d", "2.5d", "4d", "3.5d", "cache-oblivious"]
+    )
+    def test_all_schemes_verify(self, scheme, capsys):
+        rc = main(
+            ["run", "--kernel", "7pt", "--grid", "16", "--steps", "2",
+             "--scheme", scheme, "--tile", "12", "--dim-t", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        if scheme != "naive":
+            assert "bit-identical" in out
+
+    def test_threaded_run(self, capsys):
+        rc = main(
+            ["run", "--grid", "16", "--steps", "2", "--tile", "12",
+             "--threads", "2"]
+        )
+        assert rc == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_lbm_run(self, capsys):
+        rc = main(
+            ["run", "--kernel", "lbm", "--grid", "12", "--steps", "2",
+             "--tile", "10", "--scheme", "3.5d"]
+        )
+        assert rc == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_no_check_skips_verification(self, capsys):
+        rc = main(
+            ["run", "--grid", "12", "--steps", "1", "--tile", "10", "--no-check"]
+        )
+        assert rc == 0
+        assert "bit-identical" not in capsys.readouterr().out
+
+    def test_traffic_reported(self, capsys):
+        main(["run", "--grid", "16", "--steps", "2", "--tile", "12"])
+        out = capsys.readouterr().out
+        assert "bytes/update" in out
+        assert "MB" in out
+
+
+class TestTuneCommand:
+    def test_paper_config_7pt(self, capsys):
+        rc = main(["tune", "--kernel", "7pt", "--machine", "corei7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dim_T    : 2" in out
+        assert "dim_X=Y  : 360" in out
+
+    def test_lbm_gpu_infeasible(self, capsys):
+        rc = main(
+            ["tune", "--kernel", "lbm", "--machine", "gtx285",
+             "--capacity", str(16 << 10)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "infeasible" in out
+
+    def test_27pt_spatial_only(self, capsys):
+        main(["tune", "--kernel", "27pt", "--machine", "corei7"])
+        assert "2.5d" in capsys.readouterr().out
+
+
+class TestReproduceCommand:
+    @pytest.mark.parametrize(
+        "artifact", ["table1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "comparisons"]
+    )
+    def test_each_artifact(self, artifact, capsys):
+        rc = main(["reproduce", artifact])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert len(out.splitlines()) > 3
+
+    def test_all(self, capsys):
+        rc = main(["reproduce"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for marker in ("Table I", "Figure 4(a)", "Figure 5(b)", "Section VII-D"):
+            assert marker in out
+
+
+class TestInfoCommand:
+    def test_info(self, capsys):
+        rc = main(["info"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Core i7" in out
+        assert "GTX 285" in out
+
+
+class TestScheduleCommand:
+    def test_renders_schedule(self, capsys):
+        rc = main(["schedule", "--nz", "10", "--dim-t", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "t'=0 load" in out
+        assert "t'=2 store" in out
+        assert "validated" in out
+
+    def test_sequential_variant(self, capsys):
+        rc = main(["schedule", "--nz", "10", "--dim-t", "2", "--sequential"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sequential" in out
+        assert "lag=1" in out
+
+    def test_radius2(self, capsys):
+        rc = main(["schedule", "--nz", "12", "--radius", "2", "--dim-t", "2"])
+        assert rc == 0
+        assert "lag=3" in capsys.readouterr().out

@@ -1,0 +1,184 @@
+"""Tests for the distributed (simulated-MPI) layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_naive
+from repro.distributed import (
+    DistributedJacobi,
+    SimComm,
+    decompose_z,
+    transfer_time,
+)
+from repro.stencils import (
+    Field3D,
+    SevenPointStencil,
+    VariableCoefficientStencil,
+    star_stencil,
+)
+
+
+class TestSimComm:
+    def test_send_recv_roundtrip(self):
+        comm = SimComm(2)
+        payload = np.arange(6.0).reshape(2, 3)
+        comm.send(0, 1, tag=7, array=payload)
+        out = comm.recv(0, 1, tag=7)
+        assert np.array_equal(out, payload)
+        assert comm.stats[0].bytes_sent == payload.nbytes
+        assert comm.stats[1].bytes_received == payload.nbytes
+
+    def test_send_copies_payload(self):
+        comm = SimComm(2)
+        payload = np.zeros(4)
+        comm.send(0, 1, 0, payload)
+        payload[:] = 99  # mutation after send must not leak (MPI semantics)
+        assert not comm.recv(0, 1, 0).any()
+
+    def test_fifo_per_channel(self):
+        comm = SimComm(2)
+        comm.send(0, 1, 0, np.array([1.0]))
+        comm.send(0, 1, 0, np.array([2.0]))
+        assert comm.recv(0, 1, 0)[0] == 1.0
+        assert comm.recv(0, 1, 0)[0] == 2.0
+
+    def test_missing_message_raises(self):
+        comm = SimComm(2)
+        with pytest.raises(LookupError):
+            comm.recv(0, 1, 0)
+
+    def test_rank_validation(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.send(0, 5, 0, np.zeros(1))
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+    def test_sendrecv(self):
+        comm = SimComm(3)
+        # ring shift: every rank sends right, receives from left
+        for r in range(3):
+            comm.send(r, (r + 1) % 3, 0, np.array([float(r)]))
+        for r in range(3):
+            got = comm.recv((r - 1) % 3, r, 0)
+            assert got[0] == (r - 1) % 3
+        assert comm.pending() == 0
+
+    def test_transfer_time_model(self):
+        few_big = transfer_time(messages=2, nbytes=1 << 20)
+        many_small = transfer_time(messages=20, nbytes=1 << 20)
+        assert few_big < many_small  # same volume, fewer messages wins
+
+
+class TestDecompose:
+    def test_partition_covers_axis(self):
+        slabs = decompose_z(30, 4, halo=2)
+        assert slabs[0].z0 == 0 and slabs[-1].z1 == 30
+        for a, b in zip(slabs, slabs[1:]):
+            assert a.z1 == b.z0
+
+    def test_neighbors(self):
+        slabs = decompose_z(30, 3, halo=2)
+        assert slabs[0].lo_neighbor is None
+        assert slabs[0].hi_neighbor == 1
+        assert slabs[1].lo_neighbor == 0 and slabs[1].hi_neighbor == 2
+        assert slabs[2].hi_neighbor is None
+
+    def test_too_thin_slabs_rejected(self):
+        with pytest.raises(ValueError, match="fewer ranks"):
+            decompose_z(10, 5, halo=3)
+
+    def test_single_rank(self):
+        (slab,) = decompose_z(10, 1, halo=3)
+        assert (slab.z0, slab.z1) == (0, 10)
+        assert slab.lo_neighbor is None and slab.hi_neighbor is None
+
+
+class TestDistributedCorrectness:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5])
+    @pytest.mark.parametrize("scheme,dim_t", [("naive", 1), ("35d", 2), ("35d", 3)])
+    def test_matches_serial_naive(self, n_ranks, scheme, dim_t):
+        k = SevenPointStencil()
+        f = Field3D.random((24, 12, 14), seed=n_ranks * 10 + dim_t)
+        ref = run_naive(k, f, 6)
+        out, comm = DistributedJacobi(k, n_ranks, dim_t=dim_t, scheme=scheme).run(f, 6)
+        assert np.array_equal(out.data, ref.data)
+        assert comm.pending() == 0
+
+    def test_remainder_steps(self):
+        k = SevenPointStencil()
+        f = Field3D.random((20, 10, 10), seed=3)
+        ref = run_naive(k, f, 7)
+        out, _ = DistributedJacobi(k, 3, dim_t=3).run(f, 7)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_radius2(self):
+        k = star_stencil(2, center=0.3, arm=0.02)
+        f = Field3D.random((24, 12, 12), seed=4)
+        ref = run_naive(k, f, 4)
+        out, _ = DistributedJacobi(k, 2, dim_t=2).run(f, 4)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_lbm_with_obstacles(self):
+        from repro.lbm import Lattice, channel_with_sphere, make_kernel, run_lbm
+
+        flags = channel_with_sphere((16, 12, 14), 2.0)
+        rng = np.random.default_rng(5)
+        lat = Lattice.from_moments(
+            1.0 + 0.05 * rng.random((16, 12, 14)),
+            0.02 * (rng.random((3, 16, 12, 14)) - 0.5),
+            flags,
+        )
+        kernel = make_kernel(lat, omega=1.3)
+        ref = run_lbm(lat, 4, omega=1.3)
+        out, _ = DistributedJacobi(kernel, 3, dim_t=2).run(lat.f, 4)
+        assert np.array_equal(out.data, ref.f.data)
+
+    def test_variable_coefficients(self):
+        k = VariableCoefficientStencil.layered((18, 10, 10), [0.2, 1.0, 0.6])
+        f = Field3D.random((18, 10, 10), seed=6)
+        ref = run_naive(k, f, 4)
+        out, _ = DistributedJacobi(k, 3, dim_t=2).run(f, 4)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_too_many_ranks_rejected(self):
+        k = SevenPointStencil()
+        f = Field3D.random((8, 8, 8), seed=7)
+        with pytest.raises(ValueError):
+            DistributedJacobi(k, 6, dim_t=3).run(f, 3)
+
+
+class TestCommunicationAccounting:
+    def test_message_count_reduced_by_dim_t(self):
+        """Temporal blocking sends 1/dim_T as many messages."""
+        k = SevenPointStencil()
+        f = Field3D.random((24, 10, 10), seed=8)
+        _, comm1 = DistributedJacobi(k, 4, dim_t=1).run(f, 6)
+        _, comm3 = DistributedJacobi(k, 4, dim_t=3).run(f, 6)
+        m1 = comm1.total_stats().messages_sent
+        m3 = comm3.total_stats().messages_sent
+        assert m1 == 3 * m3
+
+    def test_volume_independent_of_dim_t(self):
+        k = SevenPointStencil()
+        f = Field3D.random((24, 10, 10), seed=9)
+        _, comm1 = DistributedJacobi(k, 4, dim_t=1).run(f, 6)
+        _, comm3 = DistributedJacobi(k, 4, dim_t=3).run(f, 6)
+        assert comm1.total_stats().bytes_sent == comm3.total_stats().bytes_sent
+
+    def test_expected_counters_match(self):
+        k = SevenPointStencil()
+        f = Field3D.random((24, 10, 10), seed=10)
+        dj = DistributedJacobi(k, 3, dim_t=2)
+        _, comm = dj.run(f, 6)
+        total = comm.total_stats()
+        assert total.messages_sent == dj.expected_messages(f.nz, 6)
+        assert total.bytes_sent == dj.expected_bytes(f, 6)
+
+    def test_edge_ranks_send_less(self):
+        k = SevenPointStencil()
+        f = Field3D.random((24, 10, 10), seed=11)
+        _, comm = DistributedJacobi(k, 4, dim_t=2).run(f, 4)
+        sent = [s.messages_sent for s in comm.stats]
+        assert sent[0] == sent[-1]
+        assert sent[1] == sent[2] == 2 * sent[0]  # interior ranks: two neighbors

@@ -1,0 +1,25 @@
+"""Smoke tests: every example script runs to completion (their internal
+assertions double as integration checks)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, tmp_path, monkeypatch):
+    if path.stem == "export_results":
+        monkeypatch.setattr(sys, "argv", [str(path), str(tmp_path / "results")])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_every_example_is_covered():
+    assert len(EXAMPLES) >= 8

@@ -1,0 +1,185 @@
+"""Edge-case and error-path tests across all executors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Blocking3D,
+    Blocking4D,
+    Blocking25D,
+    Blocking35D,
+    TrafficStats,
+    build_schedule,
+    run_3_5d,
+    run_naive,
+)
+from repro.core.schedule import schedule_to_text
+from repro.stencils import Field3D, SevenPointStencil, star_stencil
+
+
+@pytest.fixture
+def seven():
+    return SevenPointStencil()
+
+
+class TestMinimalGrids:
+    def test_smallest_possible_grid(self, seven):
+        """3^3 is the smallest radius-1 grid: a single interior point."""
+        f = Field3D.random((3, 3, 3), seed=0)
+        ref = run_naive(seven, f, 3)
+        out = run_3_5d(seven, f, 3, 2, 3, 3, validate=True)
+        assert np.array_equal(out.data, ref.data)
+        # only the center moves
+        changed = np.argwhere(out.data != f.data)
+        assert all((idx[1:] == [1, 1, 1]).all() for idx in changed)
+
+    def test_radius2_minimal(self):
+        k = star_stencil(2, center=0.3, arm=0.02)
+        f = Field3D.random((5, 5, 5), seed=1)
+        ref = run_naive(k, f, 2)
+        out = run_3_5d(k, f, 2, 1, 5, 5)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_grid_too_small_rejected(self, seven):
+        with pytest.raises(ValueError):
+            run_naive(seven, Field3D.random((2, 3, 3), seed=2), 1)
+
+    def test_extreme_aspect_ratios(self, seven):
+        for shape in [(3, 3, 40), (40, 3, 3), (3, 40, 3)]:
+            f = Field3D.random(shape, seed=sum(shape))
+            ref = run_naive(seven, f, 3)
+            out = run_3_5d(seven, f, 3, 2, 16, 16)
+            assert np.array_equal(out.data, ref.data), shape
+
+
+class TestTileEdgeCases:
+    def test_minimum_legal_tile(self, seven):
+        """tile = 2*R*dim_T + 1: single-cell cores."""
+        f = Field3D.random((8, 12, 12), seed=3)
+        ref = run_naive(seven, f, 4)
+        out = run_3_5d(seven, f, 4, 2, 5, 5, validate=True)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_tile_below_minimum_rejected(self, seven):
+        f = Field3D.random((8, 12, 12), seed=4)
+        with pytest.raises(ValueError, match="ghost"):
+            run_3_5d(seven, f, 2, 2, 4, 4)
+
+    def test_tile_larger_than_grid(self, seven):
+        f = Field3D.random((8, 10, 10), seed=5)
+        ref = run_naive(seven, f, 2)
+        out = run_3_5d(seven, f, 2, 2, 1000, 1000)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_asymmetric_tiles(self, seven):
+        f = Field3D.random((10, 30, 20), seed=6)
+        ref = run_naive(seven, f, 4)
+        out = run_3_5d(seven, f, 4, 2, 25, 7)
+        assert np.array_equal(out.data, ref.data)
+
+
+class TestDimTEdgeCases:
+    def test_dim_t_exceeds_steps(self, seven):
+        """dim_T = 5 but only 2 steps: a single short round."""
+        f = Field3D.random((14, 16, 16), seed=7)
+        ref = run_naive(seven, f, 2)
+        out = run_3_5d(seven, f, 2, 5, 16, 16)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_dim_t_one_equals_25d(self, seven):
+        f = Field3D.random((10, 14, 14), seed=8)
+        a = run_3_5d(seven, f, 3, 1, 10, 10, concurrent=False)
+        b = Blocking25D(seven, 10, 10).run(f, 3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_invalid_dim_t(self, seven):
+        with pytest.raises(ValueError):
+            Blocking35D(seven, 0, 10, 10)
+        with pytest.raises(ValueError):
+            Blocking4D(seven, 0, 10, 10, 10)
+
+
+class TestDtypePreservation:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_dtype_flows_through(self, seven, dtype):
+        f = Field3D.random((8, 10, 10), dtype=dtype, seed=9)
+        out = run_3_5d(seven, f, 2, 2, 8, 8)
+        assert out.dtype == dtype
+        assert np.array_equal(out.data, run_naive(seven, f, 2).data)
+
+    def test_sp_dp_genuinely_differ(self, seven):
+        base = Field3D.random((8, 8, 8), dtype=np.float64, seed=10)
+        f32 = Field3D(base.data.astype(np.float32))
+        out64 = run_naive(seven, base, 4)
+        out32 = run_naive(seven, f32, 4)
+        assert not np.array_equal(out64.data.astype(np.float32), out32.data)
+        np.testing.assert_allclose(out64.data, out32.data, rtol=1e-5)
+
+
+class TestErrorPaths:
+    def test_negative_steps_everywhere(self, seven):
+        f = Field3D.random((6, 6, 6), seed=11)
+        for runner in (
+            lambda: run_naive(seven, f, -1),
+            lambda: Blocking25D(seven, 6, 6).run(f, -1),
+            lambda: Blocking3D(seven, 6, 6, 6).run(f, -1),
+            lambda: Blocking4D(seven, 1, 6, 6, 6).run(f, -1),
+            lambda: Blocking35D(seven, 1, 6, 6).run(f, -1),
+        ):
+            with pytest.raises(ValueError):
+                runner()
+
+    def test_zero_steps_everywhere(self, seven):
+        f = Field3D.random((6, 6, 6), seed=12)
+        for ex in (
+            Blocking25D(seven, 6, 6),
+            Blocking3D(seven, 6, 6, 6),
+            Blocking4D(seven, 2, 6, 6, 6),
+            Blocking35D(seven, 2, 6, 6),
+        ):
+            out = ex.run(f, 0)
+            assert np.array_equal(out.data, f.data)
+            assert not np.shares_memory(out.data, f.data)
+
+
+class TestTrafficNotes:
+    def test_notes_populated(self, seven):
+        f = Field3D.random((8, 20, 20), seed=13)
+        t = TrafficStats()
+        run_3_5d(seven, f, 2, 2, 12, 12, traffic=t)
+        assert t.notes["dim_t"] == 2
+        # axis 20: cores of 8 + 8 + 2 -> 3 tiles per axis, 9 total
+        assert t.notes["tiles_per_round"] == 9
+
+    def test_plane_counters(self, seven):
+        f = Field3D.random((8, 10, 10), seed=14)
+        t = TrafficStats()
+        run_3_5d(seven, f, 2, 2, 10, 10, traffic=t)
+        assert t.plane_loads == 8  # every plane loaded once (single tile)
+        assert t.plane_stores == 6  # interior planes stored once
+
+
+class TestScheduleVisualizer:
+    def test_renders_all_instances(self):
+        s = build_schedule(nz=8, radius=1, dim_t=2)
+        text = schedule_to_text(s)
+        assert "t'=0 load" in text
+        assert "t'=1 comp" in text
+        assert "t'=2 store" in text
+
+    def test_lag_visible(self):
+        """In iteration k, instance t handles plane k - lag*t."""
+        s = build_schedule(nz=10, radius=1, dim_t=2)
+        text = schedule_to_text(s, max_iterations=8)
+        lines = text.splitlines()
+        load_row = next(l for l in lines if "load" in l)
+        store_row = next(l for l in lines if "store" in l)
+        # at iteration 5 the loader is at plane 5, the storer at 5 - 2*2 = 1
+        assert "    5" in load_row
+        assert "    1" in store_row
+
+    def test_truncation(self):
+        s = build_schedule(nz=30, radius=1, dim_t=2)
+        short = schedule_to_text(s, max_iterations=3)
+        full = schedule_to_text(s)
+        assert len(short) < len(full)

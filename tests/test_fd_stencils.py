@@ -1,0 +1,132 @@
+"""Tests for the finite-difference stencil builders: convergence orders."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_3_5d, run_naive, run_naive_periodic
+from repro.stencils import (
+    Field3D,
+    heat_stencil,
+    laplacian_coefficients,
+    laplacian_stencil,
+    stable_dt_factor,
+)
+
+
+class TestCoefficients:
+    def test_order2(self):
+        center, side = laplacian_coefficients(2)
+        assert center == -2.0
+        assert side == [1.0]
+
+    def test_order4(self):
+        center, side = laplacian_coefficients(4)
+        assert center == pytest.approx(-5 / 2)
+        assert side == pytest.approx([4 / 3, -1 / 12])
+
+    def test_coefficients_sum_to_zero(self):
+        """A Laplacian annihilates constants: taps sum to 0."""
+        for order in (2, 4, 6, 8):
+            center, side = laplacian_coefficients(order)
+            assert center + 2 * sum(side) == pytest.approx(0.0, abs=1e-14)
+
+    def test_second_moment_normalized(self):
+        """The m2/2! = 1 normalization that makes the stencil a d2/dx2."""
+        for order in (2, 4, 6, 8):
+            _, side = laplacian_coefficients(order)
+            m2 = 2 * sum(c * k * k for k, c in enumerate(side, 1))
+            assert m2 == pytest.approx(2.0, abs=1e-12)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            laplacian_coefficients(3)
+
+    def test_radius_matches_order(self):
+        for order in (2, 4, 6, 8):
+            assert laplacian_stencil(order).radius == order // 2
+
+
+class TestConvergenceOrder:
+    """The headline numerics check: observed order matches the design order."""
+
+    def laplacian_error(self, order: int, n: int) -> float:
+        dx = 2 * np.pi / n
+        lap = laplacian_stencil(order, dx=dx)
+        x = 2 * np.pi * np.arange(n) / n
+        f = np.broadcast_to(np.sin(x), (n, n, n)).copy()
+        out = run_naive_periodic(lap, Field3D.from_array(f), 1)
+        exact = -np.sin(x)
+        return float(np.abs(out.data[0, n // 2, n // 2] - exact).max())
+
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_observed_order(self, order):
+        e_coarse = self.laplacian_error(order, 16)
+        e_fine = self.laplacian_error(order, 32)
+        observed = np.log2(e_coarse / e_fine)
+        assert observed == pytest.approx(order, abs=0.3)
+
+    def test_higher_order_is_more_accurate(self):
+        errs = [self.laplacian_error(order, 16) for order in (2, 4, 6)]
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestHeatStencil:
+    def test_conserves_mass_on_torus(self):
+        k = heat_stencil(order=4, diffusivity=1.0, dt=0.05)
+        f = Field3D.random((10, 10, 10), seed=0)
+        out = run_naive_periodic(k, f, 8)
+        assert out.data.sum(dtype=np.float64) == pytest.approx(
+            f.data.sum(dtype=np.float64), rel=1e-12
+        )
+
+    def test_stable_below_bound(self):
+        for order in (2, 4, 6):
+            bound = stable_dt_factor(order)
+            k = heat_stencil(order, diffusivity=1.0, dt=0.95 * bound)
+            f = Field3D.random((8, 8, 8), seed=1)
+            out = run_naive_periodic(k, f, 40)
+            assert np.abs(out.data).max() <= np.abs(f.data).max() + 1e-9
+
+    def test_unstable_above_bound(self):
+        bound = stable_dt_factor(2)
+        k = heat_stencil(2, diffusivity=1.0, dt=1.3 * bound)
+        # seed the most unstable (checkerboard) mode
+        n = 8
+        z, y, x = np.meshgrid(*(np.arange(n),) * 3, indexing="ij")
+        f = Field3D.from_array(((-1.0) ** (z + y + x)) * 0.01)
+        out = run_naive_periodic(k, f, 30)
+        assert np.abs(out.data).max() > 1.0
+
+    def test_order2_equals_seven_point(self):
+        from repro.stencils import SevenPointStencil
+
+        beta = 0.1
+        k_fd = heat_stencil(order=2, diffusivity=1.0, dt=beta)
+        k_7p = SevenPointStencil(alpha=1 - 6 * beta, beta=beta)
+        f = Field3D.random((8, 8, 8), seed=2)
+        a = run_naive(k_fd, f, 3)
+        b = run_naive(k_7p, f, 3)
+        np.testing.assert_allclose(a.data, b.data, rtol=1e-12)
+
+
+class TestHighOrderBlocking:
+    """Radius-2 and radius-3 FD kernels through the full 3.5D machinery."""
+
+    @pytest.mark.parametrize("order", [4, 6])
+    def test_35d_bit_exact(self, order):
+        k = heat_stencil(order, diffusivity=1.0, dt=0.5 * stable_dt_factor(order))
+        r = k.radius
+        n = 8 * r + 6
+        f = Field3D.random((n, n, n), seed=order)
+        ref = run_naive(k, f, 4)
+        out = run_3_5d(k, f, 4, 2, n - 2, n - 4, validate=True)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_order4_distributed(self):
+        from repro.distributed import DistributedJacobi
+
+        k = heat_stencil(4, diffusivity=1.0, dt=0.5 * stable_dt_factor(4))
+        f = Field3D.random((28, 14, 14), seed=9)
+        ref = run_naive(k, f, 4)
+        out, _ = DistributedJacobi(k, 2, dim_t=2).run(f, 4)
+        assert np.array_equal(out.data, ref.data)

@@ -1,0 +1,91 @@
+"""Tests for the ASCII figure renderer and the report tables."""
+
+from repro.perf import breakdown_lbm_cpu, format_table
+from repro.perf.figures import bar_chart, breakdown_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_scaling_to_max(self):
+        out = bar_chart({"a": 100.0, "b": 50.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_unit(self):
+        out = bar_chart({"x": 1.0}, title="T", unit=" MU/s")
+        assert out.startswith("T\n")
+        assert "MU/s" in out
+
+    def test_empty(self):
+        assert bar_chart({}, title="nothing") == "nothing"
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in out
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        out = grouped_bar_chart(
+            {"SP": {"none": 10.0, "35d": 20.0}, "DP": {"none": 5.0, "35d": 10.0}},
+            width=8,
+        )
+        assert "SP:" in out and "DP:" in out
+        # global scaling: the largest bar is the SP 35d one
+        sp35 = next(l for l in out.splitlines() if "35d" in l and l.strip().startswith("35d"))
+        assert sp35.count("#") == 8
+
+    def test_labels_aligned(self):
+        out = grouped_bar_chart({"G": {"short": 1.0, "longer-label": 2.0}})
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert len({l.index("|") for l in lines}) == 1
+
+
+class TestBreakdownChart:
+    def test_model_and_paper_bars(self):
+        out = breakdown_chart(breakdown_lbm_cpu(), width=20)
+        assert "(model)" in out
+        assert "(paper)" in out
+        assert out.count("(model)") == out.count("(paper)") == 6
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["col", "x"], [("a", 1), ("long-value", 22)])
+        lines = out.splitlines()
+        assert len({l.index("|") for l in lines if "|" in l}) == 1
+
+    def test_title(self):
+        out = format_table(["a"], [(1,)], title="My Table")
+        assert out.startswith("My Table")
+
+
+class TestRooflineChart:
+    def test_points_and_ceilings_rendered(self):
+        from repro.machine import CORE_I7
+        from repro.perf import predict_7pt_cpu, predict_lbm_cpu
+        from repro.perf.figures import roofline_chart
+
+        pts = {}
+        for label, est, ops in [
+            ("7pt naive", predict_7pt_cpu("none", "sp", 256), 16),
+            ("LBM naive", predict_lbm_cpu("none", "sp", 256), 259),
+        ]:
+            pts[label] = (est.bytes_per_update / ops, est.mupdates_per_s * 1e6 * ops)
+        chart = roofline_chart(CORE_I7, pts)
+        assert "A = 7pt naive" in chart
+        assert "B = LBM naive" in chart
+        assert "/" in chart and "-" in chart  # both ceilings drawn
+
+    def test_bandwidth_bound_point_sits_on_slope(self):
+        """A bandwidth-bound kernel's achieved ops lie on the BW ceiling."""
+        from repro.machine import CORE_I7
+        from repro.perf import predict_7pt_cpu
+        from repro.perf.figures import roofline_chart
+
+        est = predict_7pt_cpu("none", "sp", 256)
+        ops_rate = est.mupdates_per_s * 1e6 * 16
+        chart = roofline_chart(CORE_I7, {"pt": (est.bytes_per_update / 16, ops_rate)})
+        # the marker replaced a slope character, i.e. it lies on the ceiling
+        row = next(l for l in chart.splitlines() if "A" in l and l.startswith("|"))
+        assert "/" in row or row.index("A") > 0

@@ -1,0 +1,133 @@
+"""Tests for body-force LBM (Guo forcing) including Poiseuille validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_3_5d, run_naive, run_naive_periodic
+from repro.distributed import DistributedJacobi
+from repro.lbm import (
+    ForcedLBMKernel,
+    Lattice,
+    collide_bgk,
+    collide_bgk_forced,
+    density,
+    momentum,
+    velocity,
+)
+
+
+class TestForcedCollision:
+    def test_zero_force_equals_plain_bgk(self):
+        rng = np.random.default_rng(0)
+        f = 0.02 + rng.random((19, 4, 4)) * 0.05
+        forced = collide_bgk_forced(f, 1.3, (0.0, 0.0, 0.0))
+        plain = collide_bgk(f, 1.3)
+        np.testing.assert_allclose(forced, plain, rtol=1e-14)
+
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(1)
+        f = 0.02 + rng.random((19, 4, 4)) * 0.05
+        out = collide_bgk_forced(f, 1.2, (1e-4, -2e-4, 3e-4))
+        np.testing.assert_allclose(out.sum(axis=0), f.sum(axis=0), rtol=1e-11)
+
+    def test_momentum_gains_force(self):
+        """Guo forcing adds exactly F per unit time to the momentum."""
+        rng = np.random.default_rng(2)
+        f = 0.02 + rng.random((19, 4, 4)) * 0.05
+        force = (2e-4, -1e-4, 3e-4)
+        out = collide_bgk_forced(f, 1.2, force)
+        dm = momentum(out) - momentum(f)
+        for a in range(3):
+            np.testing.assert_allclose(dm[a], force[a], rtol=1e-6, atol=1e-12)
+
+    def test_shape_independent(self):
+        """Same bitwise contract as the unforced collision."""
+        rng = np.random.default_rng(3)
+        f = 0.02 + rng.random((19, 5, 5)) * 0.05
+        full = collide_bgk_forced(f, 1.1, (0, 0, 1e-4))
+        cell = collide_bgk_forced(f[:, 2:3, 2:3], 1.1, (0, 0, 1e-4))
+        assert np.array_equal(full[:, 2, 2], cell[:, 0, 0])
+
+
+class TestForcedKernel:
+    def test_blocked_matches_naive(self):
+        flags = np.zeros((12, 10, 10), dtype=np.uint8)
+        flags[0] = 1
+        flags[-1] = 1
+        lat = Lattice.uniform((12, 10, 10))
+        k = ForcedLBMKernel(flags, omega=1.3, force=(0, 0, 5e-6))
+        ref = run_naive(k, lat.f, 5)
+        out = run_3_5d(k, lat.f, 5, 2, 8, 8, validate=True)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_distributed_matches(self):
+        flags = np.zeros((18, 8, 8), dtype=np.uint8)
+        flags[0] = 1
+        flags[-1] = 1
+        lat = Lattice.uniform((18, 8, 8))
+        k = ForcedLBMKernel(flags, omega=1.2, force=(0, 0, 5e-6))
+        ref = run_naive(k, lat.f, 4)
+        out, _ = DistributedJacobi(k, 3, dim_t=2).run(lat.f, 4)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_periodic_padding_preserves_force(self):
+        k = ForcedLBMKernel(np.zeros((6, 6, 6), dtype=np.uint8), force=(0, 0, 1e-5))
+        pk = k.padded_for(2, (6, 6, 6))
+        assert isinstance(pk, ForcedLBMKernel)
+        assert pk.force == k.force
+
+    def test_force_validation(self):
+        with pytest.raises(ValueError):
+            ForcedLBMKernel(np.zeros((4, 4, 4), dtype=np.uint8), force=(1.0, 2.0))
+
+    def test_ops_accounting(self):
+        k = ForcedLBMKernel(np.zeros((4, 4, 4), dtype=np.uint8), force=(0, 0, 0))
+        assert k.ops_per_update > 259
+
+
+class TestPoiseuille:
+    """The classic forced-channel validation: parabolic velocity profile."""
+
+    @pytest.fixture(scope="class")
+    def steady_channel(self):
+        nz, ny, nx = 14, 5, 5
+        flags = np.zeros((nz, ny, nx), dtype=np.uint8)
+        flags[0] = 1
+        flags[-1] = 1
+        lat = Lattice.uniform((nz, ny, nx))
+        force = 1e-6
+        k = ForcedLBMKernel(flags, omega=1.4, force=(0, 0, force))
+        state = run_naive_periodic(k, lat.f, 3000)
+        return state, force, 1.4
+
+    def test_parabolic_profile(self, steady_channel):
+        state, force, omega = steady_channel
+        ux = velocity(state)[2].mean(axis=(1, 2))
+        nu = (1 / omega - 0.5) / 3
+        z = np.arange(14)
+        zc, h = 6.5, 12.0  # half-way bounce-back walls at z = 0.5, 12.5
+        analytic = force / (2 * nu) * ((h / 2) ** 2 - (z - zc) ** 2)
+        fluid = slice(1, 13)
+        err = np.abs(ux[fluid] - analytic[fluid]).max() / analytic[fluid].max()
+        assert err < 0.01
+
+    def test_profile_symmetric(self, steady_channel):
+        state, _, _ = steady_channel
+        ux = velocity(state)[2].mean(axis=(1, 2))
+        np.testing.assert_allclose(ux[1:13], ux[1:13][::-1], rtol=1e-6)
+
+    def test_peak_at_center(self, steady_channel):
+        state, _, _ = steady_channel
+        ux = velocity(state)[2].mean(axis=(1, 2))
+        assert ux.argmax() in (6, 7)
+
+    def test_transverse_velocities_vanish(self, steady_channel):
+        state, _, _ = steady_channel
+        u = velocity(state)
+        assert np.abs(u[0, 1:13]).max() < 1e-9
+        assert np.abs(u[1, 1:13]).max() < 1e-9
+
+    def test_density_uniform(self, steady_channel):
+        state, _, _ = steady_channel
+        rho = density(state)[1:13]
+        np.testing.assert_allclose(rho, 1.0, atol=1e-6)

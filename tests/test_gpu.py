@@ -1,0 +1,180 @@
+"""Tests for the GPU execution model: SIMT, coalescing, plans, executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_naive
+from repro.gpu import (
+    GTX285_SM,
+    GpuExecutor35D,
+    bank_conflict_degree,
+    coalescing_efficiency,
+    occupancy,
+    plan_7pt_gpu,
+    plan_lbm_gpu,
+    row_exchange_conflicts,
+    shared_fits,
+    simt_stencil_plane,
+    transactions_for_warp,
+    warp_row_transactions,
+)
+from repro.stencils import Field3D, SevenPointStencil
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        occ = occupancy(threads_per_block=512, regs_per_thread=4, shared_bytes_per_block=256)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "threads"
+        assert occ.occupancy == 1.0
+
+    def test_shared_memory_limited(self):
+        occ = occupancy(64, 4, shared_bytes_per_block=8 << 10)
+        assert occ.limited_by == "shared_memory"
+        assert occ.blocks_per_sm == 2
+
+    def test_register_limited(self):
+        # 16K registers per SM (64 KB / 4): 64 regs x 256 threads = 16K -> 1 block
+        occ = occupancy(256, 64, 0)
+        assert occ.limited_by == "registers"
+        assert occ.blocks_per_sm == 1
+
+    def test_warp_count(self):
+        occ = occupancy(128, 8, 1024)
+        assert occ.warps_per_sm == occ.threads_per_sm // 32
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            occupancy(0, 1, 1)
+
+
+class TestCoalescing:
+    def test_fully_coalesced_row(self):
+        # 32 SP lanes, unit stride, aligned: exactly one 128B transaction
+        assert warp_row_transactions(0, 32, 4, 1) == 1
+        assert coalescing_efficiency(0, 32, 4, 1) == pytest.approx(1.0)
+
+    def test_misaligned_row_splits(self):
+        assert warp_row_transactions(4, 32, 4, 1) == 2
+        assert coalescing_efficiency(4, 32, 4, 1) == pytest.approx(0.5)
+
+    def test_strided_access_fans_out(self):
+        # stride 32 elements: every lane its own segment
+        assert warp_row_transactions(0, 32, 4, 32) == 32
+
+    def test_dp_needs_two_segments(self):
+        assert warp_row_transactions(0, 32, 8, 1) == 2
+
+    def test_transactions_for_explicit_addresses(self):
+        assert transactions_for_warp([0, 4, 8, 127]) == 1
+        assert transactions_for_warp([0, 128]) == 2
+        assert transactions_for_warp([]) == 0
+
+    def test_negative_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            transactions_for_warp([-4])
+
+
+class TestSharedMemory:
+    def test_conflict_free_row(self):
+        assert row_exchange_conflicts(row_pitch_words=17) == 1
+
+    def test_same_bank_column(self):
+        # lane i accesses word i*16: all hit bank 0 -> 16-way conflict
+        assert bank_conflict_degree([i * 16 for i in range(16)]) == 16
+
+    def test_unit_stride_no_conflict(self):
+        assert bank_conflict_degree(range(16)) == 1
+
+    def test_shared_fits_lbm_case(self):
+        # Section VI-B: LBM SP tiles cannot fit 16 KB shared memory
+        assert not shared_fits(8, 8, 160, planes=4 * 2)
+        assert shared_fits(4, 4, 4, planes=8)
+
+
+class TestPlans:
+    def test_7pt_sp_plan_matches_paper(self):
+        p = plan_7pt_gpu("sp")
+        assert p.feasible
+        assert p.dim_t == 2  # Section VI-A
+        assert p.dim_x == 32  # warp-aligned, <= 45.2 bound
+        assert p.kappa == pytest.approx(1.31, abs=0.01)
+        assert p.uses_temporal_blocking
+
+    def test_7pt_dp_plan_compute_bound(self):
+        p = plan_7pt_gpu("dp")
+        assert p.dim_t == 1
+        assert not p.uses_temporal_blocking
+        assert "compute bound" in p.reason
+
+    def test_lbm_sp_infeasible(self):
+        p = plan_lbm_gpu("sp")
+        assert not p.feasible
+        assert p.dim_t >= 6  # "dim_T >= 6.1"
+        assert p.dim_x <= 3  # "dim_X <= 2" (paper); <= 4 at dim_T = 2
+        assert "shared memory" in p.reason
+
+    def test_lbm_dp_compute_bound(self):
+        p = plan_lbm_gpu("dp")
+        assert not p.feasible
+        assert "compute bound" in p.reason
+
+    def test_lbm_sp_feasible_on_fermi_class_cache(self):
+        """Section VIII: an order-of-magnitude larger cache enables LBM SP."""
+        from dataclasses import replace
+
+        big_sm = replace(GTX285_SM, shared_mem_bytes=256 << 10)
+        p = plan_lbm_gpu("sp", sm=big_sm)
+        assert p.feasible
+        assert p.dim_x > 2 * p.dim_t
+
+    def test_occupancy_attached(self):
+        p = plan_7pt_gpu("sp")
+        assert p.occupancy is not None
+        assert 0 < p.occupancy.occupancy <= 1
+
+
+class TestSimtPlane:
+    def test_matches_plane_kernel_bitwise(self):
+        rng = np.random.default_rng(0)
+        below, mid, above = (
+            rng.random((12, 16), dtype=np.float32) for _ in range(3)
+        )
+        out, traffic = simt_stencil_plane(0.4, 0.1, below, mid, above)
+        k = SevenPointStencil(alpha=0.4, beta=0.1)
+        ref = np.zeros((1, 12, 16), dtype=np.float32)
+        k.compute_plane(ref, [below[None], mid[None], above[None]], (1, 11), (1, 15))
+        assert np.array_equal(out[1:11, 1:15], ref[0, 1:11, 1:15])
+
+    def test_shared_traffic_accounting(self):
+        below, mid, above = (np.ones((8, 8), dtype=np.float32) for _ in range(3))
+        _, t = simt_stencil_plane(0.5, 0.1, below, mid, above)
+        assert t.shared_stores == 64  # one store per thread
+        assert t.shared_loads == 5 * 36  # 4 neighbors + center per interior pt
+        assert t.syncthreads == 1
+        assert t.register_reads == 2 * 36
+
+
+class TestGpuExecutor:
+    def test_bit_exact_vs_naive(self):
+        k = SevenPointStencil()
+        f = Field3D.random((10, 36, 36), dtype=np.float32, seed=2)
+        plan = plan_7pt_gpu("sp")
+        rep = GpuExecutor35D(k, plan).run(f, 4)
+        ref = run_naive(k, f, 4)
+        assert np.array_equal(rep.result.data, ref.data)
+
+    def test_report_counters_positive(self):
+        k = SevenPointStencil()
+        f = Field3D.random((8, 34, 34), dtype=np.float32, seed=3)
+        rep = GpuExecutor35D(k, plan_7pt_gpu("sp")).run(f, 2)
+        assert rep.global_transactions > 0
+        assert rep.shared_stores == rep.traffic.updates
+        assert rep.shared_loads == 5 * rep.traffic.updates
+        assert rep.syncthreads > 0
+        assert rep.coalescing_efficiency == pytest.approx(1.0)
+
+    def test_infeasible_plan_rejected(self):
+        k = SevenPointStencil()
+        with pytest.raises(ValueError):
+            GpuExecutor35D(k, plan_lbm_gpu("sp"))

@@ -1,0 +1,108 @@
+"""Unit tests for the Field3D grid container and boundary-shell helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stencils import Field3D, copy_shell, interior_points, interior_slices
+
+
+class TestField3D:
+    def test_zeros_shape_and_dtype(self):
+        f = Field3D.zeros((4, 5, 6), ncomp=3, dtype=np.float32)
+        assert f.shape == (4, 5, 6)
+        assert f.ncomp == 3
+        assert f.dtype == np.float32
+        assert f.data.shape == (3, 4, 5, 6)
+        assert not f.data.any()
+
+    def test_from_array_wraps_3d(self):
+        arr = np.arange(24.0).reshape(2, 3, 4)
+        f = Field3D.from_array(arr)
+        assert f.ncomp == 1
+        assert f.shape == (2, 3, 4)
+        assert np.shares_memory(f.data, arr)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            Field3D(np.zeros((3, 4)))
+
+    def test_random_reproducible(self):
+        a = Field3D.random((3, 4, 5), seed=42)
+        b = Field3D.random((3, 4, 5), seed=42)
+        assert np.array_equal(a.data, b.data)
+
+    def test_element_size(self):
+        f = Field3D.zeros((2, 3, 4), ncomp=19, dtype=np.float32)
+        assert f.element_size() == 76  # 19 SP values per point
+        g = Field3D.zeros((2, 3, 4), ncomp=1, dtype=np.float64)
+        assert g.element_size() == 8
+
+    def test_plane_is_view(self):
+        f = Field3D.zeros((4, 5, 6))
+        f.plane(2)[...] = 7.0
+        assert (f.data[:, 2] == 7.0).all()
+        assert (f.data[:, 1] == 0.0).all()
+
+    def test_copy_and_like(self):
+        f = Field3D.random((3, 4, 5), seed=1)
+        c = f.copy()
+        assert np.array_equal(c.data, f.data)
+        assert not np.shares_memory(c.data, f.data)
+        empty = f.like()
+        assert empty.data.shape == f.data.shape
+        assert empty.dtype == f.dtype
+
+    def test_equality(self):
+        f = Field3D.random((3, 4, 5), seed=1)
+        assert f == f.copy()
+        g = f.copy()
+        g.data[0, 1, 2, 3] += 1
+        assert not (f == g)
+
+
+class TestInteriorHelpers:
+    def test_interior_slices_radius1(self):
+        f = np.arange(27).reshape(3, 3, 3)
+        sz, sy, sx = interior_slices(1)
+        assert f[sz, sy, sx].shape == (1, 1, 1)
+        assert f[sz, sy, sx][0, 0, 0] == 13  # the exact center
+
+    def test_interior_points(self):
+        assert interior_points((10, 10, 10), 1) == 8**3
+        assert interior_points((10, 10, 10), 2) == 6**3
+        assert interior_points((4, 4, 4), 2) == 0
+
+    def test_nbytes_interior(self):
+        f = Field3D.zeros((6, 6, 6), dtype=np.float32)
+        assert f.nbytes_interior(1) == 4**3 * 4
+
+
+class TestCopyShell:
+    def test_copies_only_shell(self):
+        src = Field3D.random((6, 7, 8), seed=2)
+        dst = Field3D.zeros((6, 7, 8))
+        copy_shell(src, dst, 1)
+        # shell matches
+        assert np.array_equal(dst.data[:, 0], src.data[:, 0])
+        assert np.array_equal(dst.data[:, -1], src.data[:, -1])
+        assert np.array_equal(dst.data[:, :, 0], src.data[:, :, 0])
+        assert np.array_equal(dst.data[:, :, :, -1], src.data[:, :, :, -1])
+        # interior untouched
+        assert not dst.data[:, 1:-1, 1:-1, 1:-1].any()
+
+    def test_radius2_shell(self):
+        src = Field3D.random((8, 8, 8), seed=3)
+        dst = Field3D.zeros((8, 8, 8))
+        copy_shell(src, dst, 2)
+        assert np.array_equal(dst.data[:, :2], src.data[:, :2])
+        assert not dst.data[:, 2:-2, 2:-2, 2:-2].any()
+
+    def test_zero_radius_noop(self):
+        src = Field3D.random((4, 4, 4), seed=4)
+        dst = Field3D.zeros((4, 4, 4))
+        copy_shell(src, dst, 0)
+        assert not dst.data.any()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            copy_shell(Field3D.zeros((4, 4, 4)), Field3D.zeros((4, 4, 5)), 1)

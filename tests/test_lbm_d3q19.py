@@ -1,0 +1,146 @@
+"""Unit tests for the D3Q19 velocity set, weights, and collision operator."""
+
+import numpy as np
+import pytest
+
+from repro.lbm import (
+    CS2,
+    N_DIRECTIONS,
+    OPPOSITE,
+    VELOCITIES,
+    WEIGHTS,
+    collide_bgk,
+    direction_index,
+    equilibrium,
+)
+
+
+class TestVelocitySet:
+    def test_19_directions(self):
+        assert VELOCITIES.shape == (19, 3)
+        assert len(set(map(tuple, VELOCITIES))) == 19
+
+    def test_speeds(self):
+        speeds = np.abs(VELOCITIES).sum(axis=1)
+        assert (np.sort(speeds) == [0] + [1] * 6 + [2] * 12).all()
+
+    def test_linf_radius_is_one(self):
+        # the paper's R for LBM: L-infinity norm = 1
+        assert np.abs(VELOCITIES).max() == 1
+
+    def test_velocity_sum_zero(self):
+        assert (VELOCITIES.sum(axis=0) == 0).all()
+
+    def test_opposites(self):
+        for i in range(N_DIRECTIONS):
+            assert (VELOCITIES[OPPOSITE[i]] == -VELOCITIES[i]).all()
+        assert (OPPOSITE[OPPOSITE] == np.arange(19)).all()
+
+    def test_direction_index(self):
+        assert direction_index(0, 0, 0) == 0
+        i = direction_index(0, 1, -1)
+        assert (VELOCITIES[i] == (0, 1, -1)).all()
+        with pytest.raises(ValueError):
+            direction_index(1, 1, 1)  # corners are not in D3Q19
+
+
+class TestWeights:
+    def test_sum_to_one(self):
+        assert WEIGHTS.sum() == pytest.approx(1.0)
+
+    def test_values(self):
+        assert WEIGHTS[0] == pytest.approx(1 / 3)
+        np.testing.assert_allclose(WEIGHTS[1:7], 1 / 18)
+        np.testing.assert_allclose(WEIGHTS[7:], 1 / 36)
+
+    def test_second_moment_isotropy(self):
+        # sum_i w_i c_ia c_ib = cs^2 delta_ab — required for correct NS limit
+        c = VELOCITIES.astype(float)
+        m2 = np.einsum("i,ia,ib->ab", WEIGHTS, c, c)
+        np.testing.assert_allclose(m2, CS2 * np.eye(3), atol=1e-14)
+
+
+class TestEquilibrium:
+    def test_moments_recovered(self):
+        rng = np.random.default_rng(0)
+        rho = 1.0 + 0.1 * rng.random((4, 5))
+        u = 0.05 * (rng.random((3, 4, 5)) - 0.5)
+        feq = equilibrium(rho, u)
+        np.testing.assert_allclose(feq.sum(axis=0), rho, rtol=1e-12)
+        mom = np.einsum("ia,i...->a...", VELOCITIES.astype(float), feq)
+        np.testing.assert_allclose(mom, rho * u, rtol=1e-10, atol=1e-14)
+
+    def test_rest_state_is_weights(self):
+        feq = equilibrium(np.array(1.0), np.zeros(3))
+        np.testing.assert_allclose(feq, WEIGHTS, rtol=1e-14)
+
+    def test_dtype_respected(self):
+        feq = equilibrium(
+            np.ones((2, 2), dtype=np.float32), np.zeros((3, 2, 2), dtype=np.float32)
+        )
+        assert feq.dtype == np.float32
+
+
+class TestCollision:
+    def test_conserves_mass_and_momentum(self):
+        rng = np.random.default_rng(1)
+        f = 0.02 + rng.random((19, 6, 6)) * 0.05
+        out = collide_bgk(f, omega=1.4)
+        np.testing.assert_allclose(out.sum(axis=0), f.sum(axis=0), rtol=1e-12)
+        c = VELOCITIES.astype(float)
+        np.testing.assert_allclose(
+            np.einsum("ia,i...->a...", c, out),
+            np.einsum("ia,i...->a...", c, f),
+            rtol=1e-10,
+            atol=1e-14,
+        )
+
+    def test_equilibrium_is_fixed_point(self):
+        rho = np.full((3, 3), 1.2)
+        u = np.full((3, 3, 3), 0.03)
+        feq = equilibrium(rho, u)
+        out = collide_bgk(feq, omega=1.7)
+        np.testing.assert_allclose(out, feq, rtol=1e-12)
+
+    def test_omega_one_jumps_to_equilibrium(self):
+        rng = np.random.default_rng(2)
+        f = 0.02 + rng.random((19, 4)) * 0.05
+        out = collide_bgk(f, omega=1.0)
+        rho = f.sum(axis=0)
+        u = np.einsum("ia,i...->a...", VELOCITIES.astype(float), f) / rho
+        np.testing.assert_allclose(out, equilibrium(rho, u), rtol=1e-12)
+
+    def test_relaxation_direction(self):
+        """omega < 1 moves f toward (but not past) equilibrium."""
+        rng = np.random.default_rng(3)
+        f = 0.02 + rng.random((19, 1)) * 0.05
+        rho = f.sum(axis=0)
+        u = np.einsum("ia,i...->a...", VELOCITIES.astype(float), f) / rho
+        feq = equilibrium(rho, u)
+        out = collide_bgk(f, omega=0.5)
+        assert (np.abs(out - feq) <= np.abs(f - feq) + 1e-15).all()
+
+
+class TestShapeIndependence:
+    """Regression: collide_bgk must be bitwise independent of batch shape.
+
+    np.sum(axis=0) picks pairwise vs sequential reduction by trailing
+    shape; that broke bit-exactness between blocking schedules computing
+    different-sized regions of the same cells (found by hypothesis).
+    """
+
+    def test_single_cell_equals_batch(self):
+        rng = np.random.default_rng(0)
+        f = 0.02 + rng.random((19, 6, 6)) * 0.05
+        full = collide_bgk(f, omega=1.0)
+        for (y, x) in [(0, 0), (2, 3), (5, 5)]:
+            cell = collide_bgk(f[:, y : y + 1, x : x + 1], omega=1.0)
+            assert np.array_equal(full[:, y, x], cell[:, 0, 0])
+
+    def test_column_split_equals_batch(self):
+        rng = np.random.default_rng(1)
+        f = 0.02 + rng.random((19, 4, 8)) * 0.05
+        full = collide_bgk(f, omega=1.3)
+        left = collide_bgk(f[:, :, :3], omega=1.3)
+        right = collide_bgk(f[:, :, 3:], omega=1.3)
+        assert np.array_equal(full, np.concatenate([left, right], axis=2))

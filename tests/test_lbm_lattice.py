@@ -1,0 +1,141 @@
+"""Unit tests for the Lattice container, geometry builders, and macros."""
+
+import numpy as np
+import pytest
+
+from repro.lbm import (
+    CellType,
+    Lattice,
+    channel_with_sphere,
+    density,
+    element_size_with_flag,
+    empty_box,
+    kinetic_energy,
+    momentum,
+    porous_medium,
+    solid_walls,
+    sphere_obstacle,
+    total_mass,
+    velocity,
+)
+
+
+class TestLattice:
+    def test_uniform_construction(self):
+        lat = Lattice.uniform((4, 5, 6), rho=1.5)
+        assert lat.shape == (4, 5, 6)
+        np.testing.assert_allclose(density(lat.f), 1.5, rtol=1e-12)
+        np.testing.assert_allclose(momentum(lat.f), 0.0, atol=1e-15)
+
+    def test_uniform_with_velocity(self):
+        lat = Lattice.uniform((4, 4, 4), rho=1.0, velocity=(0.0, 0.0, 0.05))
+        u = velocity(lat.f)
+        np.testing.assert_allclose(u[2], 0.05, rtol=1e-10)
+        np.testing.assert_allclose(u[0], 0.0, atol=1e-15)
+
+    def test_from_moments(self):
+        rng = np.random.default_rng(0)
+        rho = 1.0 + 0.1 * rng.random((3, 4, 5))
+        u = 0.02 * (rng.random((3, 3, 4, 5)) - 0.5)
+        lat = Lattice.from_moments(rho, u)
+        np.testing.assert_allclose(density(lat.f), rho, rtol=1e-12)
+        np.testing.assert_allclose(velocity(lat.f), u, rtol=1e-8, atol=1e-12)
+
+    def test_element_size_matches_paper(self):
+        # Section IV-B / VI-B: E = 80 bytes SP, 160 bytes DP (incl. flag)
+        assert element_size_with_flag(np.float32) == 80
+        assert element_size_with_flag(np.float64) == 160
+        lat = Lattice.uniform((2, 2, 2), dtype=np.float32)
+        assert lat.element_size() == 80
+
+    def test_component_count_enforced(self):
+        from repro.stencils import Field3D
+
+        with pytest.raises(ValueError):
+            Lattice(f=Field3D.zeros((2, 2, 2), ncomp=9), flags=np.zeros((2, 2, 2), np.uint8))
+
+    def test_flags_shape_enforced(self):
+        from repro.stencils import Field3D
+
+        with pytest.raises(ValueError):
+            Lattice(f=Field3D.zeros((2, 2, 2), ncomp=19), flags=np.zeros((2, 2, 3), np.uint8))
+
+    def test_set_solid_and_masks(self):
+        lat = Lattice.uniform((4, 4, 4))
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        mask[1, 1, 1] = True
+        lat.set_solid(mask)
+        assert lat.flags[1, 1, 1] == CellType.SOLID
+        assert lat.solid_fraction() == pytest.approx(1 / 64)
+        assert lat.fluid_mask().sum() == 63
+
+    def test_equilibrium_shell_lid(self):
+        lat = Lattice.uniform((6, 6, 6))
+        lat.set_equilibrium_shell(velocity_top=(0.0, 0.0, 0.1))
+        u = velocity(lat.f)
+        np.testing.assert_allclose(u[2, -1], 0.1, rtol=1e-10)  # lid moves in +x
+        np.testing.assert_allclose(u[2, 0], 0.0, atol=1e-14)  # floor at rest
+
+    def test_copy_independent(self):
+        lat = Lattice.uniform((3, 3, 3))
+        c = lat.copy()
+        c.f.data[0, 1, 1, 1] = 99.0
+        c.flags[0, 0, 0] = 1
+        assert lat.f.data[0, 1, 1, 1] != 99.0
+        assert lat.flags[0, 0, 0] == 0
+
+
+class TestGeometry:
+    def test_empty_box(self):
+        assert not empty_box((4, 5, 6)).any()
+
+    def test_solid_walls(self):
+        flags = solid_walls((5, 5, 5))
+        assert flags[0].all() and flags[-1].all()
+        assert flags[:, 0].all() and flags[:, :, -1].all()
+        assert not flags[1:-1, 1:-1, 1:-1].any()
+
+    def test_solid_walls_width2(self):
+        flags = solid_walls((8, 8, 8), width=2)
+        assert flags[:2].all()
+        assert not flags[2:-2, 2:-2, 2:-2].any()
+
+    def test_sphere(self):
+        flags = sphere_obstacle((11, 11, 11), (5, 5, 5), 2.0)
+        assert flags[5, 5, 5] == 1
+        assert flags[5, 5, 7] == 1
+        assert flags[5, 5, 8] == 0
+        assert flags[0, 0, 0] == 0
+
+    def test_channel_with_sphere(self):
+        flags = channel_with_sphere((12, 12, 24), 3.0)
+        assert flags[0].all()  # walls
+        assert flags[6, 6, 8] == 1  # sphere at 1/3 length
+        assert flags[6, 6, 20] == 0  # downstream is open
+
+    def test_porous_medium_porosity(self):
+        flags = porous_medium((16, 16, 16), porosity=0.8, seed=1)
+        interior = flags[1:-1, 1:-1, 1:-1]
+        # generator stops at/after crossing the target solid fraction
+        assert 0.1 < interior.mean() < 0.45
+
+    def test_porous_medium_invalid(self):
+        with pytest.raises(ValueError):
+            porous_medium((8, 8, 8), porosity=0.0)
+
+
+class TestMacros:
+    def test_total_mass_masked(self):
+        lat = Lattice.uniform((4, 4, 4), rho=2.0)
+        assert total_mass(lat.f) == pytest.approx(2.0 * 64)
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        mask[0] = True
+        assert total_mass(lat.f, mask) == pytest.approx(2.0 * 16)
+
+    def test_kinetic_energy_zero_at_rest(self):
+        lat = Lattice.uniform((4, 4, 4))
+        assert kinetic_energy(lat.f) == pytest.approx(0.0, abs=1e-20)
+
+    def test_kinetic_energy_positive_with_flow(self):
+        lat = Lattice.uniform((4, 4, 4), velocity=(0.02, 0.0, 0.0))
+        assert kinetic_energy(lat.f) > 0

@@ -1,0 +1,200 @@
+"""Integration tests: LBM solvers, physics invariants, blocking equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrafficStats
+from repro.lbm import (
+    LBMKernel,
+    Lattice,
+    channel_with_sphere,
+    density,
+    kinetic_energy,
+    run_lbm,
+    run_lbm_35d,
+    run_lbm_temporal_only,
+    solid_walls,
+    stream_pull,
+    stream_push,
+    total_mass,
+    velocity,
+)
+
+
+def perturbed_lattice(shape, flags=None, seed=0, amp=0.05, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    rho = (1.0 + amp * rng.random(shape)).astype(dtype)
+    u = (0.4 * amp * (rng.random((3,) + shape) - 0.5)).astype(dtype)
+    lat = Lattice.from_moments(rho, u, flags)
+    return lat
+
+
+class TestSolverEquivalence:
+    """All schedules drive the same kernel -> bit-identical lattices."""
+
+    def test_35d_matches_naive(self):
+        lat = perturbed_lattice((10, 12, 14))
+        ref = run_lbm(lat, 5, omega=1.2)
+        out = run_lbm_35d(lat, 5, dim_t=2, tile=(10, 11), omega=1.2, validate=True)
+        assert np.array_equal(out.f.data, ref.f.data)
+
+    def test_35d_with_obstacles_matches_naive(self):
+        flags = channel_with_sphere((10, 12, 14), 2.0)
+        lat = perturbed_lattice((10, 12, 14), flags, seed=1)
+        ref = run_lbm(lat, 4, omega=1.5)
+        out = run_lbm_35d(lat, 4, dim_t=2, tile=(9, 10), omega=1.5, validate=True)
+        assert np.array_equal(out.f.data, ref.f.data)
+
+    def test_temporal_only_matches_naive(self):
+        lat = perturbed_lattice((8, 10, 10), seed=2)
+        ref = run_lbm(lat, 6, omega=0.9)
+        out = run_lbm_temporal_only(lat, 6, dim_t=3, omega=0.9)
+        assert np.array_equal(out.f.data, ref.f.data)
+
+    def test_paper_dim_t_3_sp(self):
+        lat = perturbed_lattice((8, 70, 70), seed=3, dtype=np.float32)
+        ref = run_lbm(lat, 3, omega=1.1)
+        # the paper's SP config: dim_T=3, dim_X=dim_Y=64
+        out = run_lbm_35d(lat, 3, dim_t=3, tile=64, omega=1.1)
+        assert np.array_equal(out.f.data, ref.f.data)
+
+    def test_capacity_derived_tile(self):
+        lat = perturbed_lattice((8, 70, 70), seed=4, dtype=np.float32)
+        ref = run_lbm(lat, 3, omega=1.1)
+        out = run_lbm_35d(lat, 3, dim_t=3, capacity=4 << 20, omega=1.1)
+        assert np.array_equal(out.f.data, ref.f.data)
+
+    def test_capacity_too_small_raises(self):
+        lat = perturbed_lattice((8, 10, 10))
+        # the GTX 285's 16 KB shared memory: infeasible (Section VI-B)
+        with pytest.raises(ValueError, match="too small"):
+            run_lbm_35d(lat, 3, dim_t=6, capacity=16 << 10)
+
+    def test_flags_preserved(self):
+        flags = solid_walls((8, 8, 8))
+        lat = perturbed_lattice((8, 8, 8), flags, seed=5)
+        out = run_lbm(lat, 2)
+        assert np.array_equal(out.flags, flags)
+
+
+class TestPhysicsInvariants:
+    def test_equilibrium_is_global_fixed_point(self):
+        lat = Lattice.uniform((8, 8, 8), rho=1.3)
+        out = run_lbm(lat, 5, omega=1.6)
+        np.testing.assert_allclose(out.f.data, lat.f.data, atol=1e-13)
+
+    def test_uniform_flow_is_invariant_in_open_box(self):
+        """Uniform rho and u is an exact solution when the shell matches."""
+        lat = Lattice.uniform((8, 8, 8), rho=1.0, velocity=(0.0, 0.0, 0.04))
+        out = run_lbm(lat, 4, omega=1.0)
+        np.testing.assert_allclose(out.f.data, lat.f.data, rtol=1e-12)
+
+    def test_mass_conserved_in_closed_box(self):
+        flags = solid_walls((10, 10, 10))
+        lat = perturbed_lattice((10, 10, 10), flags, seed=6)
+        mask = lat.fluid_mask()
+        m0 = total_mass(lat.f, mask)
+        out = run_lbm(lat, 12, omega=1.0)
+        assert total_mass(out.f, mask) == pytest.approx(m0, rel=1e-12)
+
+    def test_mass_conserved_with_interior_obstacle(self):
+        flags = solid_walls((12, 12, 12))
+        from repro.lbm import sphere_obstacle
+
+        flags |= sphere_obstacle((12, 12, 12), (6, 6, 6), 2.5)
+        lat = perturbed_lattice((12, 12, 12), flags, seed=7)
+        mask = lat.fluid_mask()
+        m0 = total_mass(lat.f, mask)
+        out = run_lbm(lat, 8, omega=1.4)
+        assert total_mass(out.f, mask) == pytest.approx(m0, rel=1e-12)
+
+    def test_perturbation_decays(self):
+        """Viscous dissipation: kinetic energy of a perturbation decreases."""
+        flags = solid_walls((10, 10, 10))
+        lat = perturbed_lattice((10, 10, 10), flags, seed=8)
+        mask = lat.fluid_mask()
+        e0 = kinetic_energy(lat.f, mask)
+        out = run_lbm(lat, 20, omega=1.0)
+        assert kinetic_energy(out.f, mask) < e0
+
+    def test_density_stays_positive(self):
+        flags = channel_with_sphere((10, 10, 16), 2.0)
+        lat = perturbed_lattice((10, 10, 16), flags, seed=9)
+        out = run_lbm(lat, 10, omega=1.2)
+        assert (density(out.f) > 0).all()
+
+    def test_solid_cells_frozen(self):
+        flags = solid_walls((8, 8, 8))
+        lat = perturbed_lattice((8, 8, 8), flags, seed=10)
+        out = run_lbm(lat, 5, omega=1.1)
+        solid = ~lat.fluid_mask()
+        assert np.array_equal(out.f.data[:, solid], lat.f.data[:, solid])
+
+    def test_lid_driven_cavity_develops_flow(self):
+        lat = Lattice.uniform((10, 10, 10))
+        lat.set_equilibrium_shell(velocity_top=(0.0, 0.0, 0.08))
+        out = run_lbm(lat, 30, omega=1.2)
+        u = velocity(out.f)
+        # fluid near the lid is dragged along +x
+        assert u[2, -2, 5, 5] > 1e-4
+        # and some return flow develops lower down (not uniformly positive)
+        assert u[2, 1:-1, 1:-1, 1:-1].min() < 0
+
+
+class TestKernelVsUnfusedReference:
+    def test_fused_equals_stream_then_collide(self):
+        """The fused pull kernel == stream_pull followed by collide."""
+        from repro.lbm import collide_bgk
+        from repro.stencils import Field3D
+
+        flags = channel_with_sphere((8, 9, 10), 2.0)
+        lat = perturbed_lattice((8, 9, 10), flags, seed=11)
+        omega = 1.3
+        fused = run_lbm(lat, 1, omega=omega)
+
+        streamed = stream_pull(lat.f, flags)
+        collided = Field3D(np.ascontiguousarray(collide_bgk(streamed.data, omega)))
+        # interior fluid cells must agree; shell + solid cells are frozen
+        interior = np.zeros(lat.shape, dtype=bool)
+        interior[1:-1, 1:-1, 1:-1] = True
+        fluid_interior = interior & lat.fluid_mask()
+        np.testing.assert_allclose(
+            fused.f.data[:, fluid_interior],
+            collided.data[:, fluid_interior],
+            rtol=1e-12,
+        )
+
+    def test_pull_equals_push_all_fluid(self):
+        lat = perturbed_lattice((8, 8, 8), seed=12)
+        flags = np.zeros((8, 8, 8), dtype=np.uint8)
+        a = stream_pull(lat.f, flags)
+        b = stream_push(lat.f, flags)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestKernelValidation:
+    def test_bad_omega(self):
+        flags = np.zeros((4, 4, 4), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            LBMKernel(flags, omega=2.5)
+        with pytest.raises(ValueError):
+            LBMKernel(flags, omega=0.0)
+
+    def test_bad_flags(self):
+        with pytest.raises(ValueError):
+            LBMKernel(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_element_size(self):
+        k = LBMKernel(np.zeros((4, 4, 4), dtype=np.uint8))
+        assert k.element_size(np.float32) == 80
+        assert k.element_size(np.float64) == 160
+        assert k.ops_per_update == 259
+
+
+class TestLBMTraffic:
+    def test_35d_reduces_traffic_by_dim_t(self):
+        lat = perturbed_lattice((12, 34, 34), seed=13, dtype=np.float32)
+        t_naive, t_35 = TrafficStats(), TrafficStats()
+        run_lbm(lat, 3, traffic=t_naive)
+        run_lbm_35d(lat, 3, dim_t=3, tile=34, traffic=t_35)
+        assert t_naive.total_bytes / t_35.total_bytes > 2.5

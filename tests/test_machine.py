@@ -1,0 +1,235 @@
+"""Tests for machine specs (Table I), cache/TLB simulators, roofline."""
+
+import pytest
+
+from repro.machine import (
+    CORE_I7,
+    GTX_285,
+    PAGE_2M,
+    PAGE_4K,
+    Cache,
+    MemoryHierarchy,
+    Tlb,
+    attainable_updates,
+    is_bandwidth_bound,
+    scaled_machine,
+    simulate_jacobi_sweep,
+    simulate_streaming_pass,
+)
+
+
+class TestTableI:
+    """Table I values must reproduce exactly."""
+
+    def test_core_i7_bytes_per_op(self):
+        assert CORE_I7.bytes_per_op("sp") == pytest.approx(0.29, abs=0.005)
+        assert CORE_I7.bytes_per_op("dp") == pytest.approx(0.59, abs=0.005)
+
+    def test_gtx285_bytes_per_op(self):
+        assert GTX_285.bytes_per_op("sp") == pytest.approx(0.14, abs=0.005)
+        assert GTX_285.bytes_per_op("dp") == pytest.approx(1.7, abs=0.02)
+
+    def test_gtx285_derated(self):
+        # "the actual bytes/op about 0.43 for SP and 3.44 for DP"
+        assert GTX_285.bytes_per_op("sp", derated=True) == pytest.approx(0.43, abs=0.01)
+        assert GTX_285.bytes_per_op("dp", derated=True) == pytest.approx(3.44, rel=0.02)
+
+    def test_achievable_bandwidths(self):
+        # "we have measured 22 GB/s on Core i7 and 131 GB/s on GTX 285"
+        assert CORE_I7.achievable_bandwidth == pytest.approx(22e9)
+        assert GTX_285.achievable_bandwidth == pytest.approx(131e9)
+        # "achievable bandwidths are usually about 20-25% off from peak"
+        for m in (CORE_I7, GTX_285):
+            off = 1 - m.achievable_bandwidth / m.peak_bandwidth
+            assert 0.15 < off < 0.3
+
+    def test_capacities(self):
+        assert CORE_I7.llc_bytes == 8 << 20
+        assert CORE_I7.blocking_capacity == 4 << 20  # half LLC (Section VI-A)
+        assert GTX_285.llc_bytes == 16 << 10  # shared memory
+        assert GTX_285.blocking_capacity == 64 << 10  # register file
+
+    def test_simd_widths(self):
+        assert CORE_I7.simd_width("sp") == 4
+        assert CORE_I7.simd_width("dp") == 2
+        assert GTX_285.simd_width("sp") == 32
+
+    def test_scaled_machine(self):
+        future = scaled_machine(CORE_I7, compute_scale=2.0)
+        assert future.peak_ops_sp == 2 * CORE_I7.peak_ops_sp
+        assert future.bytes_per_op("sp") == pytest.approx(
+            CORE_I7.bytes_per_op("sp") / 2
+        )
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = Cache(1024, line=64, assoc=2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+
+    def test_lru_eviction(self):
+        c = Cache(128, line=64, assoc=2)  # 1 set, 2 ways
+        c.access(0)
+        c.access(64)
+        c.access(0)  # refresh line 0
+        c.access(128)  # evicts line 64 (LRU)
+        assert c.access(0)
+        assert not c.access(64)
+
+    def test_writeback_on_dirty_eviction(self):
+        c = Cache(128, line=64, assoc=2)
+        c.access(0, write=True)
+        c.access(64)
+        c.access(128)  # evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_flush_counts_dirty(self):
+        c = Cache(1024, line=64, assoc=2)
+        c.access(0, write=True)
+        c.access(64, write=False)
+        assert c.flush() == 1
+        assert c.resident_lines() == 0
+
+    def test_capacity_respected(self):
+        c = Cache(4096, line=64, assoc=4)
+        for i in range(200):
+            c.access(i * 64)
+        assert c.resident_lines() <= 4096 // 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cache(100, line=64, assoc=2)  # not a multiple
+        with pytest.raises(ValueError):
+            Cache(0)
+
+    def test_hit_rate(self):
+        c = Cache(1024, line=64, assoc=2)
+        c.access(0)
+        c.access(0)
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestTlb:
+    def test_page_hit_miss(self):
+        t = Tlb(entries=2, page_size=PAGE_4K)
+        assert not t.access(0)
+        assert t.access(100)  # same page
+        assert not t.access(PAGE_4K)
+        assert not t.access(2 * PAGE_4K)  # evicts page 0
+        assert not t.access(0)
+
+    def test_large_pages_reduce_misses(self):
+        """Section VI: 2 MB pages cut TLB misses for streaming sweeps."""
+        small, large = Tlb(32, PAGE_4K), Tlb(32, PAGE_2M)
+        stride = 4096
+        for i in range(4096):
+            small.access(i * stride)
+            large.access(i * stride)
+        assert large.stats.misses < small.stats.misses / 50
+
+    def test_reach(self):
+        assert Tlb(512, PAGE_4K).reach() == 512 * PAGE_4K
+
+
+class TestHierarchySweeps:
+    def test_fitting_slabs_give_compulsory_traffic(self):
+        """3 slabs fit: each element fetched once per sweep (Section VII-A)."""
+        shape, esize = (16, 32, 32), 8
+        h = MemoryHierarchy([Cache(256 << 10, 64, 8)])
+        r = simulate_jacobi_sweep(h, shape, esize, steps=2)
+        grid = shape[0] * shape[1] * shape[2] * esize
+        # compulsory: read grid + write grid per sweep (plus cold dst fills)
+        assert r.external_bytes / (2 * 2 * grid) < 1.1
+
+    def test_small_cache_thrashes(self):
+        shape, esize = (16, 32, 32), 8
+        h = MemoryHierarchy([Cache(16 << 10, 64, 8)])
+        r = simulate_jacobi_sweep(h, shape, esize, steps=2)
+        grid = shape[0] * shape[1] * shape[2] * esize
+        # every touch misses: ~(2R+1) reads + writes per element
+        assert r.external_bytes / (2 * 2 * grid) > 1.8
+
+    def test_streaming_pass_has_no_reuse(self):
+        h = MemoryHierarchy([Cache(512 << 10, 64, 8)])
+        r = simulate_streaming_pass(h, (8, 16, 16), 80, steps=1)
+        assert r.level_stats[0].hit_rate == 0.0
+
+    def test_multilevel_cascade(self):
+        h = MemoryHierarchy([Cache(4 << 10, 64, 4), Cache(64 << 10, 64, 8)])
+        r = simulate_jacobi_sweep(h, (8, 16, 16), 8, steps=1)
+        l1, l2 = r.level_stats
+        assert l1.accesses > 0
+        assert l2.accesses == l1.misses  # only L1 misses reach L2
+        assert r.external_bytes > 0
+
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([])
+
+
+class TestRoofline:
+    def test_bandwidth_bound_detection(self):
+        # Section IV-C: 7pt SP (γ=0.5) is BW bound on CPU; 27pt (0.14) is not
+        assert is_bandwidth_bound(CORE_I7, "sp", 0.5, derated=False)
+        assert not is_bandwidth_bound(CORE_I7, "sp", 0.138, derated=False)
+        # LBM DP on GPU: compute bound at the derated ratio
+        assert not is_bandwidth_bound(GTX_285, "dp", 1.75, derated=True)
+
+    def test_attainable_min_of_limits(self):
+        p = attainable_updates(CORE_I7, "sp", ops_per_update=16, bytes_per_update=8)
+        assert p.bandwidth_bound
+        assert p.updates_per_s == pytest.approx(22e9 / 8)
+        p2 = attainable_updates(CORE_I7, "sp", ops_per_update=16, bytes_per_update=1)
+        assert not p2.bandwidth_bound
+
+    def test_zero_bytes_is_compute_bound(self):
+        p = attainable_updates(CORE_I7, "sp", 16, 0)
+        assert not p.bandwidth_bound
+
+    def test_efficiency_scales_compute(self):
+        a = attainable_updates(CORE_I7, "sp", 16, 0, compute_efficiency=1.0)
+        b = attainable_updates(CORE_I7, "sp", 16, 0, compute_efficiency=0.5)
+        assert b.updates_per_s == pytest.approx(a.updates_per_s / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            attainable_updates(CORE_I7, "sp", 0, 8)
+        with pytest.raises(ValueError):
+            attainable_updates(CORE_I7, "sp", 16, 8, compute_efficiency=1.5)
+
+
+class TestSimdModel:
+    """Section VII-A's SSE scalings from one microarchitectural constant."""
+
+    def test_sp_scaling_matches_paper(self):
+        from repro.machine import sse_scaling_7pt
+
+        assert sse_scaling_7pt("sp") == pytest.approx(3.2, abs=0.1)
+
+    def test_dp_scaling_matches_paper(self):
+        from repro.machine import sse_scaling_7pt
+
+        assert sse_scaling_7pt("dp") == pytest.approx(1.65, abs=0.1)
+
+    def test_free_unaligned_loads_recover_ideal(self):
+        from repro.machine import sse_scaling_7pt
+
+        assert sse_scaling_7pt("sp", unaligned_cost=1.0) == pytest.approx(4.0)
+        assert sse_scaling_7pt("dp", unaligned_cost=1.0) == pytest.approx(2.0)
+
+    def test_speedup_monotone_in_unaligned_cost(self):
+        from repro.machine import sse_scaling_7pt
+
+        costs = [sse_scaling_7pt("sp", unaligned_cost=c) for c in (1, 2, 3, 5)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_simd_cost_accounting(self):
+        from repro.machine import SimdCost, simd_speedup
+
+        cost = SimdCost(width=4, arithmetic=8, aligned_loads=7,
+                        unaligned_loads=0, stores=1)
+        assert cost.instruction_equivalents == 16
+        assert simd_speedup(16, cost) == pytest.approx(4.0)

@@ -1,0 +1,226 @@
+"""Tests: the performance model reproduces the paper's reported numbers.
+
+Each test quotes the paper number it checks.  Tolerances are ~10-15% — the
+model is built from independently sourced constants (Table I rates, stated
+scaling factors, κ formulas), so landing on the headline numbers is the
+consistency check the reproduction rests on.
+"""
+
+import pytest
+
+from repro.perf import (
+    LBM_D3Q19,
+    SEVEN_POINT,
+    TWENTY_SEVEN_POINT,
+    breakdown_7pt_gpu,
+    breakdown_lbm_cpu,
+    predict_7pt_cpu,
+    predict_7pt_gpu,
+    predict_lbm_cpu,
+    predict_lbm_gpu,
+    section_viid_comparisons,
+)
+
+
+class TestKernelGammas:
+    """Section IV's bytes/op table."""
+
+    def test_7pt(self):
+        assert SEVEN_POINT.gamma_blocked("sp") == pytest.approx(0.5)
+        assert SEVEN_POINT.gamma_blocked("dp") == pytest.approx(1.0)
+
+    def test_27pt(self):
+        assert TWENTY_SEVEN_POINT.gamma_blocked("sp") == pytest.approx(0.14, abs=0.005)
+        assert TWENTY_SEVEN_POINT.gamma_blocked("dp") == pytest.approx(0.28, abs=0.01)
+
+    def test_lbm(self):
+        assert LBM_D3Q19.gamma("sp") == pytest.approx(0.88, abs=0.01)
+        assert LBM_D3Q19.gamma("dp") == pytest.approx(1.75, abs=0.02)
+
+    def test_lbm_bytes(self):
+        # "about 228 bytes in SP (and 456 bytes in DP)"
+        assert LBM_D3Q19.bytes_unblocked("sp", False) == pytest.approx(228)
+        assert LBM_D3Q19.bytes_unblocked("dp", False) == pytest.approx(456)
+
+    def test_op_counts(self):
+        assert SEVEN_POINT.ops_per_update == 16
+        assert TWENTY_SEVEN_POINT.ops_per_update == 58
+        assert LBM_D3Q19.ops_per_update == 259
+
+
+class TestFig4b7ptCpu:
+    def test_sp_35d_3900(self):
+        e = predict_7pt_cpu("35d", "sp", 256)
+        assert e.mupdates_per_s == pytest.approx(3900, rel=0.1)
+        assert not e.bandwidth_bound
+
+    def test_dp_35d_1995(self):
+        e = predict_7pt_cpu("35d", "dp", 256)
+        assert e.mupdates_per_s == pytest.approx(1995, rel=0.1)
+
+    def test_dp_half_of_sp(self):
+        sp = predict_7pt_cpu("35d", "sp", 256).mupdates_per_s
+        dp = predict_7pt_cpu("35d", "dp", 256).mupdates_per_s
+        assert dp == pytest.approx(sp / 2, rel=0.1)
+
+    def test_naive_bandwidth_bound_21gbs(self):
+        # "achieving about 21 GB/s, close to maximum achievable bandwidth"
+        e = predict_7pt_cpu("none", "sp", 256)
+        assert e.bandwidth_bound
+        gbps = e.mupdates_per_s * 1e6 * e.bytes_per_update / 1e9
+        assert gbps == pytest.approx(22, rel=0.1)
+
+    def test_small_grid_blocking_not_helpful(self):
+        # "On the small example ... blocking does not improve performance.
+        # In fact, there are ... slight slowdowns."
+        naive = predict_7pt_cpu("none", "sp", 64).mupdates_per_s
+        blocked = predict_7pt_cpu("35d", "sp", 64).mupdates_per_s
+        assert blocked < naive
+
+    def test_spatial_vs_naive_same_on_large(self):
+        # "spatial blocking in itself did not obtain much benefit"
+        naive = predict_7pt_cpu("none", "sp", 512).mupdates_per_s
+        spatial = predict_7pt_cpu("spatial", "sp", 512).mupdates_per_s
+        assert spatial == pytest.approx(naive, rel=0.05)
+
+    def test_speedup_1_5x(self):
+        ratio = (
+            predict_7pt_cpu("35d", "sp", 256).mupdates_per_s
+            / predict_7pt_cpu("none", "sp", 256).mupdates_per_s
+        )
+        assert ratio == pytest.approx(1.5, abs=0.15)
+
+
+class TestFig4aLbmCpu:
+    def test_sp_naive_87(self):
+        e = predict_lbm_cpu("none", "sp", 256)
+        assert e.bandwidth_bound
+        assert e.mupdates_per_s == pytest.approx(87, rel=0.12)
+
+    def test_sp_35d_171_180(self):
+        e = predict_lbm_cpu("35d", "sp", 256)
+        assert not e.bandwidth_bound
+        assert 160 <= e.mupdates_per_s <= 195
+
+    def test_dp_35d_80(self):
+        e = predict_lbm_cpu("35d", "dp", 256)
+        assert e.mupdates_per_s == pytest.approx(80, rel=0.1)
+
+    def test_temporal_only_helps_small_grids_only(self):
+        helped = predict_lbm_cpu("temporal", "sp", 64).mupdates_per_s
+        naive64 = predict_lbm_cpu("none", "sp", 64).mupdates_per_s
+        assert helped > 1.5 * naive64
+        big = predict_lbm_cpu("temporal", "sp", 256)
+        assert big.mupdates_per_s == pytest.approx(
+            predict_lbm_cpu("none", "sp", 256).mupdates_per_s
+        )
+        assert "no benefit" in big.note
+
+    def test_speedup_2_1x(self):
+        ratio = (
+            predict_lbm_cpu("35d", "sp", 256).mupdates_per_s
+            / predict_lbm_cpu("none", "sp", 256).mupdates_per_s
+        )
+        assert ratio == pytest.approx(2.1, abs=0.3)
+
+    def test_4d_only_marginal(self):
+        # "the performance only improves by 8%"
+        ratio = (
+            predict_lbm_cpu("4d", "sp", 256, ilp=False).mupdates_per_s
+            / predict_lbm_cpu("none", "sp", 256, ilp=False).mupdates_per_s
+        )
+        assert 0.95 < ratio < 1.25
+
+    def test_dp_half_of_sp(self):
+        sp = predict_lbm_cpu("35d", "sp", 256).mupdates_per_s
+        dp = predict_lbm_cpu("35d", "dp", 256).mupdates_per_s
+        assert dp == pytest.approx(sp / 2, rel=0.15)
+
+
+class TestFig4c7ptGpu:
+    def test_sp_series(self):
+        assert predict_7pt_gpu("none", "sp").mupdates_per_s == pytest.approx(3300, rel=0.1)
+        assert predict_7pt_gpu("spatial", "sp").mupdates_per_s == pytest.approx(9234, rel=0.1)
+        assert predict_7pt_gpu("35d", "sp").mupdates_per_s == pytest.approx(17100, rel=0.1)
+
+    def test_spatial_gain_2_8x(self):
+        ratio = (
+            predict_7pt_gpu("spatial", "sp").mupdates_per_s
+            / predict_7pt_gpu("none", "sp").mupdates_per_s
+        )
+        assert ratio == pytest.approx(2.8, abs=0.3)
+
+    def test_35d_gain_1_8x_over_spatial(self):
+        ratio = (
+            predict_7pt_gpu("35d", "sp").mupdates_per_s
+            / predict_7pt_gpu("spatial", "sp").mupdates_per_s
+        )
+        assert ratio == pytest.approx(1.9, abs=0.2)
+
+    def test_dp_4600_compute_bound(self):
+        e = predict_7pt_gpu("spatial", "dp")
+        assert not e.bandwidth_bound
+        assert e.mupdates_per_s == pytest.approx(4600, rel=0.05)
+
+    def test_dp_temporal_blocking_changes_nothing(self):
+        assert predict_7pt_gpu("35d", "dp").mupdates_per_s == pytest.approx(
+            predict_7pt_gpu("spatial", "dp").mupdates_per_s
+        )
+
+
+class TestLbmGpu:
+    def test_sp_485(self):
+        e = predict_lbm_gpu("none", "sp")
+        assert e.bandwidth_bound
+        assert e.mupdates_per_s == pytest.approx(485, rel=0.05)
+
+    def test_sp_blocking_infeasible(self):
+        e = predict_lbm_gpu("35d", "sp")
+        assert "infeasible" in e.note
+        assert e.mupdates_per_s == pytest.approx(
+            predict_lbm_gpu("none", "sp").mupdates_per_s
+        )
+
+    def test_dp_39_gops(self):
+        e = predict_lbm_gpu("none", "dp")
+        gops = e.mupdates_per_s * 1e6 * 259 / 1e9
+        assert gops == pytest.approx(39, rel=0.05)
+        assert not e.bandwidth_bound
+
+
+class TestBreakdowns:
+    def test_fig5a_all_stages_within_tolerance(self):
+        for stage in breakdown_lbm_cpu():
+            assert stage.ratio == pytest.approx(1.0, abs=0.15), stage.name
+
+    def test_fig5a_monotone_story(self):
+        vals = [s.modeled_mups for s in breakdown_lbm_cpu()]
+        # SSE > scalar; spatial flat; 3.5D big jump; ILP on top
+        assert vals[1] > vals[0]
+        assert vals[2] == pytest.approx(vals[1])
+        assert vals[4] > 1.5 * vals[2]
+        assert vals[5] > vals[4]
+
+    def test_fig5b_all_stages_within_tolerance(self):
+        for stage in breakdown_7pt_gpu():
+            assert stage.ratio == pytest.approx(1.0, abs=0.15), stage.name
+
+    def test_fig5b_4d_barely_beats_spatial(self):
+        vals = {s.name: s.modeled_mups for s in breakdown_7pt_gpu()}
+        assert vals["4D blocking"] < 1.15 * vals["spatial blocking"]
+        assert vals["3.5D blocking"] > 1.3 * vals["4D blocking"]
+
+
+class TestComparisons:
+    def test_all_speedups_near_paper(self):
+        for row in section_viid_comparisons():
+            assert row.modeled_speedup == pytest.approx(
+                row.paper_speedup, rel=0.15
+            ), row.label
+
+    def test_headline_claims(self):
+        rows = {r.label: r for r in section_viid_comparisons()}
+        assert rows["LBM DP CPU vs Habich [13]"].modeled_speedup > 2.0
+        assert rows["7pt SP GPU vs spatially blocked prior"].modeled_speedup > 1.7
+        # the one place the paper loses: DP GPU vs Datta
+        assert rows["7pt DP GPU vs Datta [11]"].modeled_speedup < 1.0

@@ -1,0 +1,185 @@
+"""Tests for periodic boundary conditions over blocked executors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    run_3_5d_periodic,
+    run_naive_periodic,
+    wrap_pad,
+)
+from repro.stencils import (
+    Field3D,
+    SevenPointStencil,
+    VariableCoefficientStencil,
+    star_stencil,
+)
+
+
+@pytest.fixture(scope="module")
+def seven():
+    return SevenPointStencil(alpha=0.4, beta=0.1)
+
+
+class TestWrapPad:
+    def test_halo_values_wrap(self):
+        f = Field3D.from_array(np.arange(27.0).reshape(3, 3, 3).copy())
+        p = wrap_pad(f, 1)
+        assert p.shape == (5, 5, 5)
+        # the low-z halo plane is the high-z original plane
+        assert np.array_equal(p.data[0, 0, 1:-1, 1:-1], f.data[0, -1])
+        assert np.array_equal(p.data[0, -1, 1:-1, 1:-1], f.data[0, 0])
+        # corners wrap in all axes
+        assert p.data[0, 0, 0, 0] == f.data[0, -1, -1, -1]
+
+    def test_zero_halo_is_copy(self):
+        f = Field3D.random((3, 3, 3), seed=0)
+        p = wrap_pad(f, 0)
+        assert np.array_equal(p.data, f.data)
+        assert not np.shares_memory(p.data, f.data)
+
+    def test_halo_too_large(self):
+        with pytest.raises(ValueError):
+            wrap_pad(Field3D.zeros((4, 8, 8)), 4)
+        with pytest.raises(ValueError):
+            wrap_pad(Field3D.zeros((4, 8, 8)), -1)
+
+
+class TestPeriodicCorrectness:
+    @pytest.mark.parametrize("dim_t", [1, 2, 3])
+    def test_35d_matches_naive_periodic(self, seven, dim_t):
+        f = Field3D.random((10, 12, 14), seed=1)
+        ref = run_naive_periodic(seven, f, 6)
+        out = run_3_5d_periodic(seven, f, 6, dim_t, 10, 10, validate=True)
+        assert np.array_equal(out.data, ref.data)
+
+    @pytest.mark.parametrize("steps", [1, 4, 5])
+    def test_remainder_steps(self, seven, steps):
+        f = Field3D.random((8, 10, 10), seed=2)
+        ref = run_naive_periodic(seven, f, steps)
+        out = run_3_5d_periodic(seven, f, steps, 3, 8, 8)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_radius2(self):
+        k = star_stencil(2, center=0.3, arm=0.02)
+        f = Field3D.random((12, 13, 14), seed=3)
+        ref = run_naive_periodic(k, f, 4)
+        out = run_3_5d_periodic(k, f, 4, 2, 10, 10, validate=True)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_differs_from_fixed_boundary(self, seven):
+        """Periodic and Dirichlet runs must genuinely differ at the edges."""
+        from repro.core import run_naive
+
+        f = Field3D.random((8, 8, 8), seed=4)
+        periodic = run_naive_periodic(seven, f, 3)
+        fixed = run_naive(seven, f, 3)
+        assert not np.array_equal(periodic.data, fixed.data)
+        # but the deep interior agrees for short times (information travels
+        # one cell per step)
+        assert np.array_equal(periodic.data[:, 4, 4, 4], fixed.data[:, 4, 4, 4])
+
+    def test_translation_equivariance(self, seven):
+        """Periodic dynamics commute with cyclic shifts — a strong check."""
+        f = Field3D.random((8, 9, 10), seed=5)
+        shifted = Field3D(np.roll(f.data, (2, 3, 1), axis=(1, 2, 3)))
+        a = run_naive_periodic(seven, shifted, 4)
+        b = run_naive_periodic(seven, f, 4)
+        np.testing.assert_allclose(
+            a.data, np.roll(b.data, (2, 3, 1), axis=(1, 2, 3)), rtol=1e-12
+        )
+
+    def test_conservation_with_unit_weight_sum(self):
+        """alpha + 6*beta = 1 conserves the total on a torus exactly-ish."""
+        k = SevenPointStencil(alpha=1 - 6 * 0.1, beta=0.1)
+        f = Field3D.random((8, 8, 8), seed=6)
+        out = run_3_5d_periodic(k, f, 10, 2, 8, 8)
+        assert out.data.sum(dtype=np.float64) == pytest.approx(
+            f.data.sum(dtype=np.float64), rel=1e-12
+        )
+
+
+class TestPeriodicAuxState:
+    def test_lbm_periodic(self):
+        from repro.lbm import Lattice, make_kernel, total_mass
+
+        rng = np.random.default_rng(7)
+        shape = (8, 10, 12)
+        lat = Lattice.from_moments(
+            1.0 + 0.05 * rng.random(shape),
+            0.02 * (rng.random((3,) + shape) - 0.5),
+        )
+        kernel = make_kernel(lat, omega=1.2)
+        ref = run_naive_periodic(kernel, lat.f, 4)
+        out = run_3_5d_periodic(kernel, lat.f, 4, 2, 8, 8)
+        assert np.array_equal(out.data, ref.data)
+        # fully periodic fluid: mass is conserved exactly
+        assert total_mass(out) == pytest.approx(total_mass(lat.f), rel=1e-12)
+
+    def test_lbm_flags_shape_checked(self):
+        from repro.lbm import LBMKernel
+
+        kernel = LBMKernel(np.zeros((4, 4, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            kernel.padded_for(1, (5, 5, 5))
+
+    def test_variable_coefficients_periodic(self):
+        k = VariableCoefficientStencil.layered((8, 10, 10), [0.2, 1.0, 0.5])
+        f = Field3D.random((8, 10, 10), seed=8)
+        ref = run_naive_periodic(k, f, 4)
+        out = run_3_5d_periodic(k, f, 4, 2, 8, 8, validate=True)
+        assert np.array_equal(out.data, ref.data)
+
+
+class TestNeumannBoundaries:
+    """symmetric (zero-gradient) padding mode for reflection-symmetric kernels."""
+
+    def test_blocked_matches_per_step_reference(self, seven):
+        from repro.core import run_3_5d_padded, run_naive_padded
+
+        f = Field3D.random((10, 12, 14), seed=20)
+        ref = run_naive_padded(seven, f, 5, mode="symmetric")
+        out = run_3_5d_padded(seven, f, 5, 2, 10, 10, mode="symmetric", validate=True)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_mirror_symmetry_preserved(self, seven):
+        """A mirror-symmetric initial field stays bitwise mirror-symmetric."""
+        from repro.core import run_naive_padded
+
+        half = np.random.default_rng(21).random((1, 8, 8, 5))
+        data = np.concatenate([half, half[:, :, :, ::-1]], axis=3)
+        out = run_naive_padded(seven, Field3D(data.copy()), 4, mode="symmetric")
+        assert np.array_equal(out.data, out.data[:, :, :, ::-1])
+
+    def test_zero_gradient_keeps_uniform_field(self, seven):
+        """With alpha + 6 beta = 1, a uniform field is a Neumann fixed point."""
+        from repro.core import run_naive_padded
+
+        k = SevenPointStencil(alpha=1 - 6 * 0.1, beta=0.1)
+        f = Field3D(np.full((1, 6, 6, 6), 3.7))
+        out = run_naive_padded(k, f, 5, mode="symmetric")
+        np.testing.assert_allclose(out.data, 3.7, rtol=1e-14)
+
+    def test_neumann_differs_from_periodic(self, seven):
+        from repro.core import run_naive_padded
+
+        f = Field3D.random((8, 8, 8), seed=22)
+        a = run_naive_padded(seven, f, 3, mode="wrap")
+        b = run_naive_padded(seven, f, 3, mode="symmetric")
+        assert not np.array_equal(a.data, b.data)
+
+    def test_aux_state_kernels_rejected(self):
+        from repro.core import run_naive_padded
+        from repro.lbm import Lattice, make_kernel
+
+        lat = Lattice.uniform((6, 6, 6))
+        kernel = make_kernel(lat)
+        with pytest.raises(ValueError, match="auxiliary state"):
+            run_naive_padded(kernel, lat.f, 2, mode="symmetric")
+
+    def test_invalid_mode(self, seven):
+        from repro.core import pad_field
+
+        f = Field3D.random((6, 6, 6), seed=23)
+        with pytest.raises(ValueError, match="mode"):
+            pad_field(f, 1, mode="edge")

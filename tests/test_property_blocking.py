@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis): blocking invariants over random configs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    axis_tiles,
+    build_schedule,
+    kappa_35d,
+    run_3_5d,
+    run_4d,
+    run_naive,
+)
+from repro.stencils import Field3D, SevenPointStencil, star_stencil
+
+SEVEN = SevenPointStencil(alpha=0.45, beta=0.09)
+
+
+@st.composite
+def blocking_configs(draw):
+    """Random grid/tile/dim_t configurations that are structurally valid."""
+    radius = draw(st.integers(1, 2))
+    dim_t = draw(st.integers(1, 3))
+    halo = radius * dim_t
+    nz = draw(st.integers(2 * radius + 1, 14))
+    ny = draw(st.integers(2 * radius + 1, 20))
+    nx = draw(st.integers(2 * radius + 1, 20))
+    # tile either covers the axis or leaves room for ghosts
+    def tile_for(n):
+        if draw(st.booleans()):
+            return n + draw(st.integers(0, 3))
+        lo = 2 * halo + 1
+        if lo >= n:
+            return n
+        return draw(st.integers(lo, n))
+
+    ty, tx = tile_for(ny), tile_for(nx)
+    steps = draw(st.integers(1, 5))
+    concurrent = draw(st.booleans())
+    return radius, dim_t, (nz, ny, nx), (ty, tx), steps, concurrent
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=blocking_configs(), seed=st.integers(0, 2**16))
+def test_35d_always_matches_naive(cfg, seed):
+    radius, dim_t, shape, (ty, tx), steps, concurrent = cfg
+    kernel = SEVEN if radius == 1 else star_stencil(radius, center=0.3, arm=0.02)
+    field = Field3D.random(shape, dtype=np.float64, seed=seed)
+    ref = run_naive(kernel, field, steps)
+    out = run_3_5d(
+        kernel, field, steps, dim_t, ty, tx, concurrent=concurrent, validate=True
+    )
+    assert np.array_equal(out.data, ref.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cfg=blocking_configs(), seed=st.integers(0, 2**16))
+def test_4d_always_matches_naive(cfg, seed):
+    radius, dim_t, shape, (ty, tx), steps, _ = cfg
+    kernel = SEVEN if radius == 1 else star_stencil(radius, center=0.3, arm=0.02)
+    field = Field3D.random(shape, dtype=np.float64, seed=seed)
+    ref = run_naive(kernel, field, steps)
+    out = run_4d(kernel, field, steps, dim_t, shape[0] + 1, ty, tx)
+    assert np.array_equal(out.data, ref.data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nz=st.integers(3, 60),
+    radius=st.integers(1, 3),
+    dim_t=st.integers(1, 4),
+    concurrent=st.booleans(),
+)
+def test_schedule_always_valid(nz, radius, dim_t, concurrent):
+    if nz < 2 * radius + 1:
+        nz = 2 * radius + 1
+    s = build_schedule(nz, radius, dim_t, concurrent)
+    s.validate()
+    # every interior plane is stored exactly once
+    from repro.core import StepKind
+
+    stores = sorted(st_.z for st_ in s.steps if st_.kind is StepKind.STORE)
+    assert stores == list(range(radius, nz - radius))
+    loads = sorted(st_.z for st_ in s.steps if st_.kind is StepKind.LOAD)
+    assert loads == list(range(nz))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(8, 300),
+    radius=st.integers(1, 2),
+    dim_t=st.integers(1, 3),
+    tile=st.integers(3, 310),
+)
+def test_axis_tiles_partition_property(n, radius, dim_t, tile):
+    if n <= 2 * radius:
+        return
+    try:
+        tiles = axis_tiles(n, radius, dim_t, tile)
+    except ValueError:
+        assert tile < n and tile - 2 * radius * dim_t < 1
+        return
+    # cores tile the interior contiguously
+    assert tiles[0].core[0] == radius
+    assert tiles[-1].core[1] == n - radius
+    for a, b in zip(tiles, tiles[1:]):
+        assert a.core[1] == b.core[0]
+    for t in tiles:
+        assert 0 <= t.extent[0] <= t.core[0] < t.core[1] <= t.extent[1] <= n
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    radius=st.integers(1, 3),
+    dim_t=st.integers(1, 5),
+    scale=st.integers(3, 40),
+)
+def test_kappa_bounds_property(radius, dim_t, scale):
+    d = 2 * radius * dim_t + scale
+    k = kappa_35d(radius, dim_t, d)
+    assert k >= 1.0
+    # κ shrinks toward 1 as the block grows
+    assert kappa_35d(radius, dim_t, 4 * d) < k

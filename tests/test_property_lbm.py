@@ -1,0 +1,117 @@
+"""Property-based tests for the LBM substrate and the extension layers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_3_5d_periodic, run_naive_periodic
+from repro.distributed import DistributedJacobi
+from repro.lbm import (
+    Lattice,
+    collide_bgk,
+    density,
+    make_kernel,
+    run_lbm,
+    run_lbm_35d,
+    solid_walls,
+    sphere_obstacle,
+    total_mass,
+)
+from repro.stencils import Field3D, SevenPointStencil
+
+
+@st.composite
+def lattices(draw, min_side=7, max_side=12, with_obstacles=True):
+    nz = draw(st.integers(min_side, max_side))
+    ny = draw(st.integers(min_side, max_side))
+    nx = draw(st.integers(min_side, max_side))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    shape = (nz, ny, nx)
+    flags = None
+    if with_obstacles and draw(st.booleans()):
+        flags = solid_walls(shape)
+        if draw(st.booleans()):
+            flags |= sphere_obstacle(
+                shape,
+                (nz / 2, ny / 2, nx / 2),
+                draw(st.floats(1.0, min_side / 4)),
+            )
+    rho = 1.0 + 0.05 * rng.random(shape)
+    u = 0.02 * (rng.random((3,) + shape) - 0.5)
+    return Lattice.from_moments(rho, u, flags)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    lat=lattices(),
+    omega=st.floats(0.6, 1.8),
+    dim_t=st.integers(1, 3),
+    steps=st.integers(1, 4),
+)
+def test_lbm_blocked_always_matches_naive(lat, omega, dim_t, steps):
+    ref = run_lbm(lat, steps, omega=omega)
+    tile = max(2 * dim_t + 1, lat.shape[1] - 2)
+    out = run_lbm_35d(lat, steps, dim_t=dim_t, tile=tile, omega=omega)
+    assert np.array_equal(out.f.data, ref.f.data)
+
+
+@settings(max_examples=15, deadline=None)
+@given(lat=lattices(), omega=st.floats(0.6, 1.8), steps=st.integers(1, 6))
+def test_lbm_closed_box_conserves_mass(lat, omega, steps):
+    closed = Lattice(f=lat.f, flags=lat.flags | solid_walls(lat.shape))
+    mask = closed.fluid_mask()
+    if not mask.any():
+        return
+    m0 = total_mass(closed.f, mask)
+    out = run_lbm(closed, steps, omega=omega)
+    assert abs(total_mass(out.f, mask) - m0) <= 1e-9 * abs(m0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(lat=lattices(with_obstacles=False), omega=st.floats(0.6, 1.8))
+def test_collision_invariants(lat, omega):
+    f = lat.f.data[:, 1, 1, :]  # a row of cells
+    out = collide_bgk(f, omega)
+    np.testing.assert_allclose(out.sum(axis=0), f.sum(axis=0), rtol=1e-10)
+    assert (out.sum(axis=0) > 0).all()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    lat=lattices(min_side=8, with_obstacles=False),
+    dim_t=st.integers(1, 2),
+    steps=st.integers(1, 4),
+)
+def test_lbm_periodic_conserves_mass_exactly(lat, dim_t, steps):
+    kernel = make_kernel(lat, omega=1.2)
+    out = run_3_5d_periodic(kernel, lat.f, steps, dim_t, lat.shape[1], lat.shape[2])
+    ref = run_naive_periodic(kernel, lat.f, steps)
+    assert np.array_equal(out.data, ref.data)
+    assert abs(total_mass(out) - total_mass(lat.f)) <= 1e-9 * total_mass(lat.f)
+    assert (density(out) > 0).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    shape=st.tuples(
+        st.integers(10, 24), st.integers(7, 12), st.integers(7, 12)
+    ),
+    seed=st.integers(0, 2**16),
+    n_ranks=st.integers(1, 4),
+    dim_t=st.integers(1, 3),
+    steps=st.integers(1, 5),
+)
+def test_distributed_always_matches_serial(shape, seed, n_ranks, dim_t, steps):
+    from repro.core import run_naive
+
+    kernel = SevenPointStencil(alpha=0.42, beta=0.09)
+    field = Field3D.random(shape, seed=seed)
+    halo = dim_t  # radius 1
+    min_slab = shape[0] // n_ranks
+    if n_ranks > 1 and min_slab < halo:
+        return  # decomposition legitimately rejects this configuration
+    ref = run_naive(kernel, field, steps)
+    out, comm = DistributedJacobi(kernel, n_ranks, dim_t=dim_t).run(field, steps)
+    assert np.array_equal(out.data, ref.data)
+    assert comm.pending() == 0

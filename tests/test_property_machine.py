@@ -1,0 +1,113 @@
+"""Property-based tests for the machine simulators against reference models."""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import transactions_for_warp
+from repro.machine import Cache, Tlb
+
+
+class ReferenceLru:
+    """A trivially-correct fully-associative LRU for cross-checking."""
+
+    def __init__(self, capacity_lines: int) -> None:
+        self.capacity = capacity_lines
+        self.lines: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, lineno: int) -> bool:
+        if lineno in self.lines:
+            self.hits += 1
+            self.lines.move_to_end(lineno)
+            return True
+        self.misses += 1
+        if len(self.lines) >= self.capacity:
+            self.lines.popitem(last=False)
+        self.lines[lineno] = None
+        return False
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_lines=st.integers(2, 16),
+    trace=st.lists(st.integers(0, 31), min_size=1, max_size=300),
+)
+def test_fully_associative_cache_matches_reference(n_lines, trace):
+    """With one set (assoc = capacity), Cache must equal the reference LRU."""
+    cache = Cache(n_lines * 64, line=64, assoc=n_lines)
+    ref = ReferenceLru(n_lines)
+    for lineno in trace:
+        assert cache.access_line(lineno) == ref.access(lineno)
+    assert cache.stats.hits == ref.hits
+    assert cache.stats.misses == ref.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sets=st.integers(1, 8),
+    assoc=st.integers(1, 8),
+    trace=st.lists(st.integers(0, 63), min_size=1, max_size=200),
+)
+def test_set_associative_cache_decomposes_into_per_set_lrus(sets, assoc, trace):
+    """A set-associative cache is exactly `sets` independent LRUs."""
+    cache = Cache(sets * assoc * 64, line=64, assoc=assoc)
+    refs = [ReferenceLru(assoc) for _ in range(sets)]
+    for lineno in trace:
+        expected = refs[lineno % sets].access(lineno // sets)
+        assert cache.access_line(lineno) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=st.lists(st.integers(0, 200), min_size=1, max_size=200))
+def test_bigger_cache_never_misses_more(trace):
+    """LRU inclusion: doubling capacity cannot increase misses."""
+    small = Cache(8 * 64, 64, assoc=8)
+    big = Cache(16 * 64, 64, assoc=16)
+    for lineno in trace:
+        small.access_line(lineno)
+        big.access_line(lineno)
+    assert big.stats.misses <= small.stats.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    entries=st.integers(1, 32),
+    trace=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200),
+)
+def test_tlb_matches_reference_lru(entries, trace):
+    tlb = Tlb(entries=entries, page_size=4096)
+    ref = ReferenceLru(entries)
+    for addr in trace:
+        assert tlb.access(addr) == ref.access(addr // 4096)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=32),
+    segment=st.sampled_from([32, 64, 128]),
+)
+def test_coalescing_transaction_bounds(addrs, segment):
+    """1 <= transactions <= lanes; union of touched segments is exact."""
+    n = transactions_for_warp(addrs, segment)
+    assert 1 <= n <= len(addrs)
+    assert n == len({a // segment for a in addrs})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    base=st.integers(0, 1 << 12),
+    lanes=st.integers(1, 32),
+    elem=st.sampled_from([4, 8]),
+)
+def test_unit_stride_transactions_are_minimal(base, lanes, elem):
+    """Contiguous access touches ceil(span/segment)+alignment segments."""
+    from repro.gpu import warp_row_transactions
+
+    n = warp_row_transactions(base, lanes, elem, stride=1, segment=128)
+    span = lanes * elem
+    lower = -(-span // 128)
+    assert lower <= n <= lower + 1  # +1 for misalignment straddle

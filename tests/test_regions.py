@@ -1,0 +1,100 @@
+"""Unit tests for the trapezoid region arithmetic."""
+
+import pytest
+
+from repro.core import axis_tiles, compute_range, loaded_extent, plan_tiles_2d
+
+
+class TestLoadedExtent:
+    def test_interior_tile(self):
+        assert loaded_extent((10, 20), 100, 4) == (6, 24)
+
+    def test_clips_at_edges(self):
+        assert loaded_extent((1, 10), 100, 4) == (0, 14)
+        assert loaded_extent((90, 99), 100, 4) == (86, 100)
+
+
+class TestComputeRange:
+    def test_final_instance_is_core(self):
+        assert compute_range((10, 20), 100, 1, 3, 3) == (10, 20)
+
+    def test_growth_per_instance(self):
+        # at t the region grows by R*(dim_t - t) per side
+        assert compute_range((10, 20), 100, 1, 3, 2) == (9, 21)
+        assert compute_range((10, 20), 100, 1, 3, 1) == (8, 22)
+
+    def test_clamped_at_physical_boundary(self):
+        # a core starting at the interior edge never reaches below R
+        assert compute_range((1, 10), 100, 1, 3, 1) == (1, 12)
+        assert compute_range((90, 99), 100, 1, 3, 1) == (88, 99)
+
+    def test_radius2(self):
+        assert compute_range((20, 30), 100, 2, 2, 1) == (18, 32)
+
+    def test_invalid_instance(self):
+        with pytest.raises(ValueError):
+            compute_range((10, 20), 100, 1, 3, 0)
+        with pytest.raises(ValueError):
+            compute_range((10, 20), 100, 1, 3, 4)
+
+
+class TestAxisTiles:
+    def test_cores_partition_interior(self):
+        tiles = axis_tiles(100, 1, 2, 20)
+        cores = [t.core for t in tiles]
+        # cores are contiguous and cover exactly [R, n-R)
+        assert cores[0][0] == 1
+        assert cores[-1][1] == 99
+        for a, b in zip(cores, cores[1:]):
+            assert a[1] == b[0]
+
+    def test_core_size_is_tile_minus_ghosts(self):
+        tiles = axis_tiles(100, 1, 3, 20)
+        assert tiles[0].core_size == 20 - 2 * 3
+
+    def test_extents_include_halo(self):
+        tiles = axis_tiles(100, 1, 2, 20)
+        inner = tiles[1]
+        assert inner.extent == (inner.core[0] - 2, inner.core[1] + 2)
+
+    def test_single_tile_covers_whole_axis(self):
+        tiles = axis_tiles(30, 1, 5, 30)
+        assert len(tiles) == 1
+        assert tiles[0].extent == (0, 30)
+        assert tiles[0].core == (1, 29)
+
+    def test_whole_axis_even_when_core_formula_fails(self):
+        # tile >= n: no cut edges at all, so no ghosts are needed
+        tiles = axis_tiles(10, 1, 10, 10)
+        assert len(tiles) == 1
+
+    def test_too_small_tile_rejected(self):
+        with pytest.raises(ValueError):
+            axis_tiles(100, 1, 5, 10)  # 2*R*dim_t = 10 >= tile
+
+    def test_no_interior_rejected(self):
+        with pytest.raises(ValueError):
+            axis_tiles(4, 2, 1, 4)
+
+
+class TestPlanTiles2D:
+    def test_cross_product(self):
+        tiles = plan_tiles_2d(50, 60, 1, 2, 20, 25)
+        ny_tiles = len(axis_tiles(50, 1, 2, 20))
+        nx_tiles = len(axis_tiles(60, 1, 2, 25))
+        assert len(tiles) == ny_tiles * nx_tiles
+
+    def test_cores_cover_interior_exactly_once(self):
+        tiles = plan_tiles_2d(40, 40, 1, 2, 18, 14)
+        covered = set()
+        for t in tiles:
+            for y in range(*t.y.core):
+                for x in range(*t.x.core):
+                    assert (y, x) not in covered
+                    covered.add((y, x))
+        assert covered == {(y, x) for y in range(1, 39) for x in range(1, 39)}
+
+    def test_extent_points_exceed_core_points(self):
+        tiles = plan_tiles_2d(60, 60, 1, 3, 30, 30)
+        for t in tiles:
+            assert t.extent_points >= t.core_points

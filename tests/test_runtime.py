@@ -1,0 +1,205 @@
+"""Tests for the parallel runtime: barriers, pool, partitioning, threaded 3.5D."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import TrafficStats, run_naive
+from repro.runtime import (
+    ParallelBlocking35D,
+    PthreadsBarrier,
+    SenseReversingBarrier,
+    WorkerPool,
+    partition_balance,
+    partition_rows,
+    partition_span,
+    run_parallel_3_5d,
+)
+from repro.stencils import Field3D, SevenPointStencil
+
+
+class TestBarriers:
+    @pytest.mark.parametrize("barrier_cls", [SenseReversingBarrier, PthreadsBarrier])
+    def test_phases_stay_in_lockstep(self, barrier_cls):
+        """No thread may enter phase p+1 before all have finished phase p."""
+        n, phases = 4, 25
+        barrier = barrier_cls(n)
+        counts = [0] * phases
+        lock = threading.Lock()
+        errors = []
+
+        def worker():
+            for p in range(phases):
+                with lock:
+                    counts[p] += 1
+                barrier.wait()
+                with lock:
+                    if counts[p] != n:
+                        errors.append((p, counts[p]))
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert counts == [n] * phases
+
+    def test_single_thread_barrier_trivial(self):
+        b = SenseReversingBarrier(1)
+        for _ in range(5):
+            b.wait()
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            SenseReversingBarrier(0)
+
+
+class TestWorkerPool:
+    def test_spmd_runs_all_threads(self):
+        seen = set()
+        lock = threading.Lock()
+        with WorkerPool(4) as pool:
+            def fn(tid):
+                with lock:
+                    seen.add(tid)
+            pool.run_spmd(fn)
+        assert seen == {0, 1, 2, 3}
+
+    def test_spmd_blocks_until_done(self):
+        results = []
+        with WorkerPool(3) as pool:
+            pool.run_spmd(lambda tid: results.append(tid))
+            assert len(results) == 3
+
+    def test_exception_propagates(self):
+        with WorkerPool(2) as pool:
+            def fail(tid):
+                if tid == 1:
+                    raise RuntimeError("boom")
+            with pytest.raises(RuntimeError, match="boom"):
+                pool.run_spmd(fail)
+            # pool still usable afterwards
+            pool.run_spmd(lambda tid: None)
+
+    def test_shutdown_idempotent(self):
+        pool = WorkerPool(2)
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.run_spmd(lambda tid: None)
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_rows(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_spread(self):
+        parts = partition_rows(10, 4)
+        sizes = [hi - lo for lo, hi in parts]
+        assert sorted(sizes) == [2, 2, 3, 3]
+        assert partition_balance(parts) == 1
+
+    def test_paper_examples(self):
+        # Section VI-A: 360/4 = 90 rows; Section VI-B: 64/4 = 16, 44/4 = 11
+        assert all(hi - lo == 90 for lo, hi in partition_rows(360, 4))
+        assert all(hi - lo == 16 for lo, hi in partition_rows(64, 4))
+        assert all(hi - lo == 11 for lo, hi in partition_rows(44, 4))
+
+    def test_more_threads_than_rows(self):
+        parts = partition_rows(2, 4)
+        assert sum(hi - lo for lo, hi in parts) == 2
+        assert len(parts) == 4
+
+    def test_span_offset(self):
+        assert partition_span(5, 11, 3) == [(5, 7), (7, 9), (9, 11)]
+
+    def test_contiguous_coverage(self):
+        parts = partition_span(3, 100, 7)
+        assert parts[0][0] == 3 and parts[-1][1] == 100
+        for a, b in zip(parts, parts[1:]):
+            assert a[1] == b[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_span(0, 10, 0)
+        with pytest.raises(ValueError):
+            partition_span(10, 5, 2)
+
+
+class TestParallel35D:
+    @pytest.mark.parametrize("n_threads", [1, 2, 3, 5])
+    def test_bit_exact_vs_naive(self, n_threads):
+        k = SevenPointStencil()
+        f = Field3D.random((12, 22, 20), dtype=np.float32, seed=31)
+        ref = run_naive(k, f, 5)
+        out = run_parallel_3_5d(k, f, 5, 2, 16, 14, n_threads=n_threads, validate=True)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_remainder_round(self):
+        k = SevenPointStencil()
+        f = Field3D.random((10, 18, 18), seed=32)
+        ref = run_naive(k, f, 5)
+        out = run_parallel_3_5d(k, f, 5, 3, 14, 14, n_threads=4)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_load_balance(self):
+        """Section V-D: every thread does ~the same traffic and compute."""
+        k = SevenPointStencil()
+        f = Field3D.random((16, 48, 48), seed=33)
+        per = []
+        ex = ParallelBlocking35D(k, 2, 48, 48, 4)
+        ex.run(f, 4, per_thread_traffic=per)
+        updates = [p.updates for p in per]
+        assert max(updates) <= 1.2 * min(updates)
+        tbytes = [p.total_bytes for p in per]
+        assert max(tbytes) <= 1.2 * min(tbytes)
+
+    def test_merged_traffic_matches_serial(self):
+        from repro.core import Blocking35D
+
+        k = SevenPointStencil()
+        f = Field3D.random((12, 30, 30), seed=34)
+        t_par, t_ser = TrafficStats(), TrafficStats()
+        ParallelBlocking35D(k, 2, 20, 20, 3).run(f, 4, traffic=t_par)
+        Blocking35D(k, 2, 20, 20).run(f, 4, t_ser)
+        assert t_par.updates == t_ser.updates
+        assert t_par.bytes_written == t_ser.bytes_written
+        assert t_par.bytes_read == t_ser.bytes_read
+
+    def test_shared_pool_reuse(self):
+        k = SevenPointStencil()
+        with WorkerPool(2) as pool:
+            ex = ParallelBlocking35D(k, 2, 16, 16, 2, pool=pool)
+            for seed in (1, 2):
+                f = Field3D.random((10, 16, 16), seed=seed)
+                out = ex.run(f, 2)
+                assert np.array_equal(out.data, run_naive(k, f, 2).data)
+            # pool not shut down by the executor
+            pool.run_spmd(lambda tid: None)
+
+    def test_lbm_parallel(self):
+        from repro.lbm import Lattice, channel_with_sphere, make_kernel, run_lbm
+
+        flags = channel_with_sphere((10, 14, 14), 2.0)
+        rng = np.random.default_rng(35)
+        lat = Lattice.from_moments(
+            1.0 + 0.05 * rng.random((10, 14, 14)),
+            0.02 * (rng.random((3, 10, 14, 14)) - 0.5),
+            flags,
+        )
+        ref = run_lbm(lat, 4, omega=1.2)
+        kernel = make_kernel(lat, omega=1.2)
+        out = ParallelBlocking35D(kernel, 2, 12, 12, 3).run(lat.f, 4)
+        assert np.array_equal(out.data, ref.f.data)
+
+    def test_zero_steps(self):
+        k = SevenPointStencil()
+        f = Field3D.random((8, 10, 10), seed=36)
+        out = run_parallel_3_5d(k, f, 0, 2, 10, 10, n_threads=2)
+        assert np.array_equal(out.data, f.data)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ParallelBlocking35D(SevenPointStencil(), 2, 10, 10, 0)

@@ -1,0 +1,94 @@
+"""Unit tests for the 3.5D step schedule (Section V-C / Figure 3a)."""
+
+import pytest
+
+from repro.core import StepKind, build_schedule, lag_for
+
+
+class TestLag:
+    def test_paper_lag_at_radius1(self):
+        # concurrent lag R+1 = 2 matches the paper's z_s = z + 2R(dim_T - t'')
+        assert lag_for(1, concurrent=True) == 2
+        assert lag_for(1, concurrent=False) == 1
+        assert lag_for(3, concurrent=True) == 4
+
+
+class TestBuildSchedule:
+    def test_load_coverage(self):
+        s = build_schedule(nz=10, radius=1, dim_t=2)
+        loads = [st.z for st in s.steps if st.kind is StepKind.LOAD]
+        assert loads == list(range(10))
+
+    def test_store_coverage_is_interior(self):
+        s = build_schedule(nz=10, radius=1, dim_t=2)
+        stores = sorted(st.z for st in s.steps if st.kind is StepKind.STORE)
+        assert stores == list(range(1, 9))
+
+    def test_compute_per_intermediate_instance(self):
+        s = build_schedule(nz=12, radius=1, dim_t=3)
+        for t in (1, 2):
+            zs = sorted(st.z for st in s.steps if st.t == t)
+            assert zs == list(range(1, 11))
+
+    def test_instances_trail_by_lag(self):
+        s = build_schedule(nz=20, radius=1, dim_t=3, concurrent=True)
+        for st in s.steps:
+            assert st.z == st.iteration - s.lag * st.t
+
+    def test_dependencies_validate_concurrent(self):
+        build_schedule(nz=16, radius=1, dim_t=3, concurrent=True).validate()
+
+    def test_dependencies_validate_sequential(self):
+        build_schedule(nz=16, radius=1, dim_t=3, concurrent=False).validate()
+
+    def test_dependencies_validate_radius2(self):
+        build_schedule(nz=20, radius=2, dim_t=2, concurrent=True).validate()
+        build_schedule(nz=20, radius=2, dim_t=2, concurrent=False).validate()
+
+    def test_steps_reads_window(self):
+        s = build_schedule(nz=10, radius=2, dim_t=1)
+        store = next(st for st in s.steps if st.kind is StepKind.STORE)
+        reads = store.reads(2)
+        assert reads == [(0, store.z + dz) for dz in range(-2, 3)]
+        load = next(st for st in s.steps if st.kind is StepKind.LOAD)
+        assert load.reads(2) == []
+
+    def test_phases(self):
+        s = build_schedule(nz=30, radius=1, dim_t=2)
+        phases = {s.phase_of(st) for st in s.steps}
+        assert phases == {"prolog", "steady", "epilog"}
+        # prolog comes first: the earliest store iteration bounds it
+        first_store_iter = min(
+            st.iteration for st in s.steps if st.kind is StepKind.STORE
+        )
+        for st in s.steps:
+            if st.iteration < first_store_iter:
+                assert s.phase_of(st) == "prolog"
+
+    def test_concurrent_iterations_are_independent(self):
+        """No step in an iteration reads a plane produced in that iteration."""
+        s = build_schedule(nz=24, radius=1, dim_t=4, concurrent=True)
+        produced_by_iter: dict[tuple[int, int], int] = {}
+        for st in s.steps:
+            if st.kind is not StepKind.STORE:
+                produced_by_iter[(st.t, st.z)] = st.iteration
+        shell = {0, 23}
+        for st in s.steps:
+            for dep in st.reads(1):
+                if dep[1] in shell:
+                    continue
+                assert produced_by_iter[dep] < st.iteration
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            build_schedule(nz=2, radius=1, dim_t=1)
+
+    def test_iterations_grouping(self):
+        s = build_schedule(nz=10, radius=1, dim_t=2)
+        groups = s.iterations()
+        assert sum(len(v) for v in groups.values()) == len(s.steps)
+        for k, steps in groups.items():
+            assert all(st.iteration == k for st in steps)
+            # at most one step per time instance per iteration
+            instances = [st.t for st in steps]
+            assert len(instances) == len(set(instances))

@@ -1,0 +1,145 @@
+"""Unit tests for the stencil kernels (Section IV accounting + arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.stencils import (
+    Field3D,
+    GenericStencil,
+    SevenPointStencil,
+    TwentySevenPointStencil,
+    box_stencil,
+    star_stencil,
+    validate_footprint,
+)
+
+
+def apply_single(kernel, cube: np.ndarray) -> float:
+    """Apply a kernel at the exact center of a (2R+1)^3 cube."""
+    r = kernel.radius
+    planes = [cube[np.newaxis, z] for z in range(2 * r + 1)]
+    out = np.zeros_like(planes[0])
+    kernel.compute_plane(out, planes, (r, r + 1), (r, r + 1))
+    return out[0, r, r]
+
+
+class TestSevenPoint:
+    def test_paper_op_accounting(self):
+        k = SevenPointStencil()
+        # Section IV-A1: 2 mults + 6 adds + 7 loads + 1 store = 16 ops
+        assert k.ops_per_update == 16
+        assert k.radius == 1
+        assert k.ncomp == 1
+
+    def test_gamma_matches_paper(self):
+        k = SevenPointStencil()
+        assert k.gamma(np.float32) == pytest.approx(0.5)  # SP (Section IV-A1)
+        assert k.gamma(np.float64) == pytest.approx(1.0)  # DP
+
+    def test_pointwise_value(self):
+        k = SevenPointStencil(alpha=2.0, beta=0.5)
+        cube = np.zeros((3, 3, 3))
+        cube[1, 1, 1] = 3.0  # center
+        cube[0, 1, 1] = 1.0  # z-1
+        cube[1, 0, 1] = 2.0  # y-1
+        cube[1, 1, 2] = 4.0  # x+1
+        assert apply_single(k, cube) == pytest.approx(2.0 * 3.0 + 0.5 * (1 + 2 + 4))
+
+    def test_only_region_written(self):
+        k = SevenPointStencil()
+        planes = [np.ones((1, 6, 6)) for _ in range(3)]
+        out = np.full((1, 6, 6), -1.0)
+        k.compute_plane(out, planes, (2, 4), (1, 5))
+        assert (out[0, 2:4, 1:5] != -1.0).all()
+        mask = np.ones((6, 6), dtype=bool)
+        mask[2:4, 1:5] = False
+        assert (out[0][mask] == -1.0).all()
+
+    def test_footprint_violation_raises(self):
+        k = SevenPointStencil()
+        planes = [np.ones((1, 4, 4)) for _ in range(3)]
+        out = np.zeros((1, 4, 4))
+        with pytest.raises(ValueError):
+            k.compute_plane(out, planes, (0, 2), (1, 3))  # y0 - R < 0
+
+    def test_dtype_preserved(self):
+        k = SevenPointStencil()
+        planes = [np.ones((1, 4, 4), dtype=np.float32) for _ in range(3)]
+        out = np.zeros((1, 4, 4), dtype=np.float32)
+        k.compute_plane(out, planes, (1, 3), (1, 3))
+        assert out.dtype == np.float32
+
+
+class TestTwentySevenPoint:
+    def test_paper_op_accounting(self):
+        k = TwentySevenPointStencil()
+        # Section IV-A2: 4 mults + 26 adds + 27 loads + 1 store = 58 ops
+        assert k.ops_per_update == 58
+
+    def test_gamma_matches_paper(self):
+        k = TwentySevenPointStencil()
+        assert k.gamma(np.float32) == pytest.approx(8 / 58, abs=1e-3)  # ~0.14
+        assert k.gamma(np.float64) == pytest.approx(16 / 58, abs=1e-3)  # ~0.28
+
+    def test_uniform_input_weight_sum(self):
+        k = TwentySevenPointStencil(center=0.5, face=0.02, edge=0.01, corner=0.005)
+        cube = np.ones((3, 3, 3))
+        expected = 0.5 + 6 * 0.02 + 12 * 0.01 + 8 * 0.005
+        assert apply_single(k, cube) == pytest.approx(expected)
+
+    def test_neighbor_classes_weighted_separately(self):
+        k = TwentySevenPointStencil(center=0.0, face=1.0, edge=0.0, corner=0.0)
+        cube = np.zeros((3, 3, 3))
+        cube[1, 1, 0] = 5.0  # a face neighbor
+        cube[0, 0, 0] = 100.0  # a corner (weight 0)
+        assert apply_single(k, cube) == pytest.approx(5.0)
+
+
+class TestGenericStencil:
+    def test_radius_inferred(self):
+        assert star_stencil(3).radius == 3
+        assert box_stencil(2).radius == 2
+
+    def test_tap_counts(self):
+        assert len(star_stencil(2).taps) == 1 + 6 * 2
+        assert len(box_stencil(1).taps) == 27
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GenericStencil({})
+
+    def test_radius_zero_rejected(self):
+        with pytest.raises(ValueError):
+            GenericStencil({(0, 0, 0): 1.0})
+
+    def test_matches_seven_point_shape(self):
+        """A generic star of radius 1 computes the same linear combination."""
+        alpha, beta = 0.3, 0.15
+        generic = star_stencil(1, center=alpha, arm=beta)
+        rng = np.random.default_rng(0)
+        cube = rng.random((3, 3, 3))
+        seven = SevenPointStencil(alpha=alpha, beta=beta)
+        assert apply_single(generic, cube) == pytest.approx(
+            apply_single(seven, cube), rel=1e-12
+        )
+
+    def test_op_count_formula(self):
+        k = star_stencil(1)  # 7 taps
+        assert k.ops_per_update == 7 + 1 + 6 + 7
+
+
+class TestValidateFootprint:
+    def test_accepts_interior(self):
+        validate_footprint((10, 10), (2, 8), (2, 8), 2)
+
+    @pytest.mark.parametrize(
+        "yr,xr",
+        [((0, 5), (1, 5)), ((1, 10), (1, 5)), ((1, 5), (0, 5)), ((1, 5), (5, 10))],
+    )
+    def test_rejects_out_of_bounds(self, yr, xr):
+        with pytest.raises(ValueError):
+            validate_footprint((10, 10), yr, xr, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_footprint((10, 10), (5, 5), (1, 2), 1)

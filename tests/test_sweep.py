@@ -1,0 +1,91 @@
+"""Tests for the structured sweep/CSV export and the Fermi-spec predictions."""
+
+import csv
+import io
+
+import pytest
+
+from repro.machine import FERMI, GTX_285, is_bandwidth_bound
+from repro.perf.sweep import (
+    all_records,
+    comparison_records,
+    figure4_records,
+    figure5_records,
+    to_csv,
+)
+
+
+class TestRecords:
+    def test_figure4_coverage(self):
+        recs = figure4_records()
+        kernels = {(r["kernel"], r["platform"]) for r in recs}
+        assert kernels == {("lbm", "cpu"), ("7pt", "cpu"), ("7pt", "gpu"), ("lbm", "gpu")}
+        # every record has a throughput
+        assert all(r["mupdates_per_s"] > 0 for r in recs)
+
+    def test_paper_anchors_attached(self):
+        recs = figure4_records()
+        anchored = [r for r in recs if r["paper_mupdates_per_s"] != ""]
+        assert len(anchored) >= 10
+        for r in anchored:
+            assert r["mupdates_per_s"] == pytest.approx(
+                r["paper_mupdates_per_s"], rel=0.15
+            )
+
+    def test_figure5_records(self):
+        recs = figure5_records()
+        assert len(recs) == 12  # 6 stages per figure
+        assert {r["figure"] for r in recs} == {"5a_lbm_cpu", "5b_7pt_gpu"}
+        for r in recs:
+            assert r["ratio"] == pytest.approx(1.0, abs=0.15)
+
+    def test_comparison_records(self):
+        recs = comparison_records()
+        assert len(recs) == 6
+        for r in recs:
+            assert r["modeled_speedup"] == pytest.approx(r["paper_speedup"], rel=0.15)
+
+    def test_all_records_keys(self):
+        assert set(all_records()) == {"figure4", "figure5", "comparisons"}
+
+
+class TestCsv:
+    def test_round_trip(self):
+        text = to_csv(figure5_records())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 12
+        assert rows[0]["figure"] == "5a_lbm_cpu"
+        assert float(rows[0]["model_mups"]) > 0
+
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+
+class TestFermiPredictions:
+    """Section VIII's forward-looking claims, checked on the Fermi spec."""
+
+    def test_lbm_sp_blocking_becomes_feasible(self):
+        from dataclasses import replace
+
+        from repro.gpu import GTX285_SM, plan_lbm_gpu
+
+        sm = replace(
+            GTX285_SM,
+            shared_mem_bytes=FERMI.llc_bytes,
+            register_file_bytes=FERMI.blocking_capacity,
+        )
+        plan = plan_lbm_gpu("sp", machine=FERMI, sm=sm)
+        assert plan.feasible  # "kernels like LBM SP should benefit"
+        assert plan.dim_x > 2 * plan.dim_t
+
+    def test_dp_stencils_become_bandwidth_bound(self):
+        # GTX 285: DP compute bound; Fermi's 5.5X DP rate flips it
+        assert not is_bandwidth_bound(GTX_285, "dp", 1.0, derated=True)
+        assert is_bandwidth_bound(FERMI, "dp", 1.0, derated=True)
+
+    def test_fermi_needs_35d_for_dp(self):
+        """'we believe 3.5D blocking would be required for DP ... on GPU too'"""
+        from repro.core import min_dim_t
+
+        dim_t = min_dim_t(1.0, FERMI.bytes_per_op("dp", derated=True))
+        assert dim_t >= 2

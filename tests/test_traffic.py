@@ -1,0 +1,68 @@
+"""Unit tests for the external-traffic accounting."""
+
+import pytest
+
+from repro.core import TrafficStats
+
+
+class TestTrafficStats:
+    def test_initial_state_is_zero(self):
+        t = TrafficStats()
+        assert t.bytes_read == 0
+        assert t.bytes_written == 0
+        assert t.updates == 0
+        assert t.ops == 0
+        assert t.total_bytes == 0
+
+    def test_read_write_accumulate(self):
+        t = TrafficStats()
+        t.read(100, planes=2)
+        t.read(50)
+        t.write(30, planes=1)
+        assert t.bytes_read == 150
+        assert t.bytes_written == 30
+        assert t.total_bytes == 180
+        assert t.plane_loads == 2
+        assert t.plane_stores == 1
+
+    def test_update_counts_ops(self):
+        t = TrafficStats()
+        t.update(10, 16)
+        t.update(5, 16)
+        assert t.updates == 15
+        assert t.ops == 240
+
+    def test_bytes_per_update(self):
+        t = TrafficStats()
+        assert t.bytes_per_update() == 0.0
+        t.read(64)
+        t.write(64)
+        t.update(16, 1)
+        assert t.bytes_per_update() == 8.0
+
+    def test_kappa_measured(self):
+        t = TrafficStats()
+        t.read(120)
+        t.write(120)
+        assert t.kappa_measured(200) == pytest.approx(1.2)
+
+    def test_kappa_measured_rejects_bad_ideal(self):
+        t = TrafficStats()
+        with pytest.raises(ValueError):
+            t.kappa_measured(0)
+
+    def test_merge_and_add(self):
+        a = TrafficStats()
+        a.read(10)
+        a.update(2, 3)
+        b = TrafficStats()
+        b.write(20)
+        b.update(1, 3)
+        c = a + b
+        assert c.bytes_read == 10
+        assert c.bytes_written == 20
+        assert c.updates == 3
+        assert c.ops == 9
+        a.merge(b)
+        assert a.bytes_written == 20
+        assert a.updates == 3

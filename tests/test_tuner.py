@@ -1,0 +1,104 @@
+"""Tests: the auto-tuner reproduces every Section VI configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_naive, tune
+from repro.lbm import LBMKernel
+from repro.machine import CORE_I7, GTX_285, scaled_machine
+from repro.stencils import Field3D, SevenPointStencil, TwentySevenPointStencil
+
+
+@pytest.fixture
+def lbm_kernel():
+    return LBMKernel(np.zeros((4, 4, 4), dtype=np.uint8))
+
+
+class TestPaperConfigurations:
+    def test_7pt_cpu_sp(self):
+        t = tune(SevenPointStencil(), CORE_I7, np.float32, derated=False)
+        assert t.scheme == "3.5d"
+        assert t.params.dim_t == 2
+        assert t.params.dim_x == 360
+
+    def test_7pt_cpu_dp(self):
+        t = tune(SevenPointStencil(), CORE_I7, np.float64, derated=False)
+        assert t.scheme == "3.5d"
+        assert t.params.dim_t == 2
+        assert t.params.dim_x == 256
+
+    def test_lbm_cpu_sp(self, lbm_kernel):
+        t = tune(lbm_kernel, CORE_I7, np.float32, derated=False)
+        assert t.scheme == "3.5d"
+        assert t.params.dim_t == 3
+        assert t.params.dim_x == 64
+        assert t.params.kappa == pytest.approx(1.21, abs=0.01)
+
+    def test_lbm_cpu_dp(self, lbm_kernel):
+        t = tune(lbm_kernel, CORE_I7, np.float64, derated=False)
+        assert t.scheme == "3.5d"
+        assert t.params.dim_t == 3
+        assert t.params.dim_x == 44
+        assert t.params.kappa == pytest.approx(1.34, abs=0.01)
+
+    def test_27pt_spatial_only(self):
+        # Section IV-C: 27-point is compute bound with spatial blocking alone
+        t = tune(TwentySevenPointStencil(), CORE_I7, np.float32, derated=False)
+        assert t.scheme == "2.5d"
+
+    def test_lbm_gpu_sp_infeasible(self, lbm_kernel):
+        t = tune(lbm_kernel, GTX_285, np.float32, capacity=16 << 10, derated=False)
+        assert t.scheme == "none"
+        assert "infeasible" in t.rationale
+
+    def test_7pt_gpu_dp_compute_bound(self):
+        t = tune(SevenPointStencil(), GTX_285, np.float64, derated=True)
+        assert t.scheme == "2.5d"
+
+
+class TestTunedExecutors:
+    def test_tuned_35d_executor_correct(self):
+        k = SevenPointStencil()
+        # shrink capacity so tiles are small enough to test quickly
+        machine = scaled_machine(CORE_I7, capacity_scale=0.001)
+        t = tune(k, machine, np.float32, derated=False)
+        assert t.scheme == "3.5d"
+        ex = t.make_executor(k)
+        f = Field3D.random((10, 30, 30), dtype=np.float32, seed=1)
+        out = ex.run(f, 4)
+        assert np.array_equal(out.data, run_naive(k, f, 4).data)
+
+    def test_tuned_25d_executor_correct(self):
+        k = TwentySevenPointStencil()
+        machine = scaled_machine(CORE_I7, capacity_scale=0.0005)
+        t = tune(k, machine, np.float32, derated=False)
+        assert t.scheme == "2.5d"
+        ex = t.make_executor(k)
+        f = Field3D.random((8, 20, 20), dtype=np.float32, seed=2)
+        out = ex.run(f, 3)
+        assert np.array_equal(out.data, run_naive(k, f, 3).data)
+
+    def test_none_scheme_has_no_executor(self, lbm_kernel):
+        t = tune(lbm_kernel, GTX_285, np.float32, capacity=16 << 10, derated=False)
+        with pytest.raises(ValueError):
+            t.make_executor(lbm_kernel)
+
+
+class TestFutureTrends:
+    def test_falling_gamma_needs_bigger_dim_t(self):
+        """Section VIII: Westmere-class machines need larger dim_T."""
+        k = SevenPointStencil()
+        now = tune(k, CORE_I7, np.float32, derated=False)
+        future = tune(
+            k, scaled_machine(CORE_I7, compute_scale=2.0), np.float32, derated=False
+        )
+        assert future.params.dim_t > now.params.dim_t
+
+    def test_bigger_cache_restores_kappa(self):
+        """Larger dim_T with the same cache pays more κ; more cache fixes it."""
+        k = SevenPointStencil()
+        fast = scaled_machine(CORE_I7, compute_scale=2.0)
+        fast_big = scaled_machine(fast, capacity_scale=4.0)
+        t_small = tune(k, fast, np.float32, derated=False)
+        t_big = tune(k, fast_big, np.float32, derated=False)
+        assert t_big.params.kappa < t_small.params.kappa
