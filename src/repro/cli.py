@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--no-check", action="store_true", help="skip the naive cross-check"
     )
+    run.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend (default: $REPRO_BACKEND or 'numpy'); "
+        "see 'repro info' for the registry",
+    )
 
     tune = sub.add_parser("tune", help="Section VI parameter selection")
     tune.add_argument("--kernel", choices=["7pt", "27pt", "lbm"], default="7pt")
@@ -102,10 +108,21 @@ def _cmd_run(args) -> int:
         run_cache_oblivious,
         run_naive,
     )
+    from repro.perf.backends import (
+        BackendUnavailableError,
+        default_backend_name,
+        wrap_kernel,
+    )
     from repro.runtime import ParallelBlocking35D
     from repro.stencils import Field3D
 
-    kernel, lattice, dtype = _make_kernel(args.kernel, args.grid, args.precision)
+    ref_kernel, lattice, dtype = _make_kernel(args.kernel, args.grid, args.precision)
+    backend_name = args.backend if args.backend is not None else default_backend_name()
+    try:
+        kernel = wrap_kernel(ref_kernel, backend_name)
+    except (ValueError, BackendUnavailableError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if lattice is not None:
         field = lattice.f
     else:
@@ -136,6 +153,7 @@ def _cmd_run(args) -> int:
     n_updates = args.grid**3 * args.steps
     print(f"kernel       : {args.kernel} ({args.precision.upper()})")
     print(f"scheme       : {args.scheme}")
+    print(f"backend      : {backend_name}")
     print(f"grid         : {args.grid}^3 x {args.steps} steps")
     print(f"wall time    : {elapsed:.3f} s "
           f"({n_updates / elapsed / 1e6:.1f} MU/s on the NumPy substrate)")
@@ -143,7 +161,8 @@ def _cmd_run(args) -> int:
     print(f"ext. write   : {traffic.bytes_written / 1e6:.1f} MB")
     print(f"bytes/update : {traffic.bytes_per_update():.2f}")
     if not args.no_check:
-        ref = run_naive(kernel, field, args.steps)
+        # the cross-check always uses the reference (numpy) kernel
+        ref = run_naive(ref_kernel, field, args.steps)
         if np.array_equal(out.data, ref.data):
             print("check        : bit-identical to the naive reference")
         else:
@@ -264,6 +283,7 @@ def _cmd_reproduce(artifact: str) -> int:
 def _cmd_info() -> int:
     import repro
     from repro.machine import CORE_I7, GTX_285
+    from repro.perf.backends import backend_names, default_backend_name, get_backend
 
     print(f"repro {repro.__version__} — 3.5D blocking (Nguyen et al., SC 2010)")
     print("machines:")
@@ -273,6 +293,13 @@ def _cmd_info() -> int:
             f"{m.peak_ops_sp / 1e9:.0f}/{m.peak_ops_dp / 1e9:.0f} Gops SP/DP, "
             f"blocking capacity {m.blocking_capacity >> 10} KB"
         )
+    default = default_backend_name()
+    print("backends:")
+    for name in backend_names():
+        b = get_backend(name)
+        status = "" if b.available else f" [unavailable: {b.unavailable_reason}]"
+        marker = " (default)" if name == default else ""
+        print(f"  {name}{marker}: {b.description}{status}")
     print("packages: core stencils lbm machine gpu runtime distributed perf")
     return 0
 

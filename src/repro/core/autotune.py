@@ -51,6 +51,7 @@ def autotune_empirical(
     capacity: int | None = None,
     precision: str | None = None,
     seed: int = 0,
+    backend: str | None = None,
 ) -> list[Candidate]:
     """Measure candidate (dim_T, tile) configurations; best first.
 
@@ -59,9 +60,18 @@ def autotune_empirical(
     bytes and ops per update (so the probe grid's real edge effects and κ
     are included).  Configurations whose Equation-1 buffer exceeds the
     capacity are measured but marked and ranked after fitting ones.
+
+    ``backend`` names a kernel backend from :mod:`repro.perf.backends` to run
+    the probe sweeps with (the traffic model is backend-independent, but the
+    wall-clock of the search itself benefits from the hot-path backends).
     """
     if precision is None:
         precision = "sp" if np.dtype(dtype).itemsize == 4 else "dp"
+    if backend is not None:
+        # lazy import: repro.core must not depend on repro.perf at module level
+        from ..perf.backends import wrap_kernel
+
+        kernel = wrap_kernel(kernel, backend)
     cap = machine.blocking_capacity if capacity is None else capacity
     esize = kernel.element_size(dtype)
     field = Field3D.random(probe_shape, ncomp=kernel.ncomp, dtype=dtype, seed=seed)

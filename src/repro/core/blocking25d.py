@@ -21,6 +21,8 @@ This is also exactly the 3.5D algorithm at ``dim_T = 1`` with the sequential
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..stencils.base import PlaneKernel
 from ..stencils.grid import Field3D, copy_shell
 from .buffer import PlaneRing
@@ -37,6 +39,35 @@ class Blocking25D:
         self.kernel = kernel
         self.tile_y = tile_y
         self.tile_x = tile_x
+        self._rings: dict = {}
+        self._tile_plans: dict = {}
+
+    def clear_cache(self) -> None:
+        """Drop cached rings and tile plans (frees their buffers)."""
+        self._rings.clear()
+        self._tile_plans.clear()
+
+    def _plan_tiles(self, ny: int, nx: int):
+        key = (ny, nx)
+        plan = self._tile_plans.get(key)
+        if plan is None:
+            plan = plan_tiles_2d(
+                ny, nx, self.kernel.radius, 1, self.tile_y, self.tile_x
+            )
+            self._tile_plans[key] = plan
+        return plan
+
+    def _ring(self, tile, ncomp: int, dtype) -> PlaneRing:
+        r = self.kernel.radius
+        (ey0, ey1), (ex0, ex1) = tile.y.extent, tile.x.extent
+        key = (ey1 - ey0, ex1 - ex0, ncomp, np.dtype(dtype))
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = PlaneRing(2 * r + 1, ncomp, ey1 - ey0, ex1 - ex0, dtype)
+            self._rings[key] = ring
+        else:
+            ring.reset()
+        return ring
 
     def run(
         self,
@@ -69,14 +100,14 @@ class Blocking25D:
         nz, ny, nx = src.shape
         esize = src.element_size()
         # dim_t=1 tiling: halo R on cut edges only.
-        for tile in plan_tiles_2d(ny, nx, r, 1, self.tile_y, self.tile_x):
+        for tile in self._plan_tiles(ny, nx):
             (ey0, ey1), (ex0, ex1) = tile.y.extent, tile.x.extent
             (cy0, cy1), (cx0, cx1) = tile.y.core, tile.x.core
             extent_area = (ey1 - ey0) * (ex1 - ex0)
-            ring = PlaneRing(2 * r + 1, src.ncomp, ey1 - ey0, ex1 - ex0, src.dtype)
+            ring = self._ring(tile, src.ncomp, src.dtype)
 
-            def load(z: int) -> None:
-                ring.slot_for(z)[...] = src.data[:, z, ey0:ey1, ex0:ex1]
+            def load(z: int, ring: PlaneRing = ring) -> None:
+                np.copyto(ring.slot_for(z), src.data[:, z, ey0:ey1, ex0:ex1])
                 if traffic is not None:
                     traffic.read(extent_area * esize, planes=1)
 

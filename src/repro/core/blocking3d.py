@@ -10,7 +10,7 @@ to motivate 2.5D blocking.
 
 from __future__ import annotations
 
-from ..stencils.base import PlaneKernel
+from ..stencils.base import PlaneKernel, ScratchArena
 from ..stencils.grid import Field3D, copy_shell
 from .regions import axis_tiles
 from .temporal import advance_tile_trapezoid
@@ -29,6 +29,11 @@ class Blocking3D:
         self.tile_z = tile_z
         self.tile_y = tile_y
         self.tile_x = tile_x
+        self.scratch = ScratchArena()
+
+    def clear_cache(self) -> None:
+        """Drop the trapezoid scratch buffers."""
+        self.scratch.clear()
 
     def run(
         self,
@@ -62,7 +67,13 @@ class Blocking3D:
             for ty in axis_tiles(ny, r, 1, self.tile_y):
                 for tx in axis_tiles(nx, r, 1, self.tile_x):
                     advance_tile_trapezoid(
-                        self.kernel, src, dst, (tz.core, ty.core, tx.core), 1, traffic
+                        self.kernel,
+                        src,
+                        dst,
+                        (tz.core, ty.core, tx.core),
+                        1,
+                        traffic,
+                        scratch=self.scratch,
                     )
 
 

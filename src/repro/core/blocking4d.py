@@ -10,7 +10,7 @@ shows 4D blocking improves LBM by only ~8% where 3.5D gives ~2X (Figure 5a).
 
 from __future__ import annotations
 
-from ..stencils.base import PlaneKernel
+from ..stencils.base import PlaneKernel, ScratchArena
 from ..stencils.grid import Field3D, copy_shell
 from .regions import axis_tiles
 from .temporal import advance_tile_trapezoid
@@ -37,6 +37,11 @@ class Blocking4D:
         self.tile_z = tile_z
         self.tile_y = tile_y
         self.tile_x = tile_x
+        self.scratch = ScratchArena()
+
+    def clear_cache(self) -> None:
+        """Drop the trapezoid scratch buffers."""
+        self.scratch.clear()
 
     def run(
         self,
@@ -69,6 +74,9 @@ class Blocking4D:
         """One round of ``round_t`` time steps over all space-time tiles."""
         r = self.kernel.radius
         nz, ny, nx = src.shape
+        if traffic is not None:
+            traffic.notes.setdefault("dim_t", self.dim_t)
+            traffic.notes.setdefault("round_t", []).append(round_t)
         for tz in axis_tiles(nz, r, round_t, self.tile_z):
             for ty in axis_tiles(ny, r, round_t, self.tile_y):
                 for tx in axis_tiles(nx, r, round_t, self.tile_x):
@@ -79,6 +87,7 @@ class Blocking4D:
                         (tz.core, ty.core, tx.core),
                         round_t,
                         traffic,
+                        scratch=self.scratch,
                     )
 
 

@@ -39,7 +39,11 @@ class PlaneRing:
         if slots < 1:
             raise ValueError("ring needs at least one slot")
         self.slots = slots
-        self.data = np.empty((slots, ncomp, ny, nx), dtype=dtype)
+        # Zero-filled (not np.empty): the flat contiguous kernel paths compute
+        # over seam positions whose operands may be ring memory that was never
+        # written.  Starting from finite values keeps those throwaway lanes
+        # finite, so the kernels need no per-call FP-warning suppression.
+        self.data = np.zeros((slots, ncomp, ny, nx), dtype=dtype)
         self._held = [-1] * slots
 
     @property
@@ -66,7 +70,10 @@ class PlaneRing:
         return self._held[z % self.slots] == z
 
     def reset(self) -> None:
-        self._held = [-1] * self.slots
+        # In-place fill so steady-state executors can recycle rings without
+        # allocating a fresh slot list each sweep.
+        for i in range(self.slots):
+            self._held[i] = -1
 
 
 class RingSet:

@@ -35,11 +35,15 @@ def advance_tile_trapezoid(
     core: tuple[Range, Range, Range],
     dim_t: int,
     traffic: TrafficStats | None = None,
+    scratch=None,
 ) -> None:
     """Advance one tile core by ``dim_t`` steps via a scratch trapezoid.
 
     ``core`` is ``((z0, z1), (y0, y1), (x0, x1))`` — the half-open region of
-    final outputs this tile owns (must lie in the grid interior).
+    final outputs this tile owns (must lie in the grid interior).  When
+    ``scratch`` (a :class:`~repro.stencils.base.ScratchArena`) is given, the
+    two trapezoid buffers come from it instead of being freshly allocated, so
+    repeated calls on same-shaped tiles allocate nothing.
     """
     r = kernel.radius
     nz, ny, nx = src.shape
@@ -51,12 +55,18 @@ def advance_tile_trapezoid(
     esize = src.element_size()
 
     # Load the extent into scratch (the external-memory read of this tile).
-    a = src.data[:, ez[0] : ez[1], ey[0] : ey[1], ex[0] : ex[1]].copy()
+    extent = src.data[:, ez[0] : ez[1], ey[0] : ey[1], ex[0] : ex[1]]
+    if scratch is None:
+        a = extent.copy()
+        b = a.copy()
+    else:
+        a = scratch.get("trapezoid.a", extent.shape, extent.dtype)
+        b = scratch.get("trapezoid.b", extent.shape, extent.dtype)
+        np.copyto(a, extent)
+        np.copyto(b, a)
     if traffic is not None:
         npts = (ez[1] - ez[0]) * (ey[1] - ey[0]) * (ex[1] - ex[0])
         traffic.read(npts * esize, planes=ez[1] - ez[0])
-
-    b = a.copy()
     for t in range(1, dim_t + 1):
         rz = compute_range(cz, nz, r, dim_t, t)
         ry = compute_range(cy, ny, r, dim_t, t)

@@ -23,7 +23,13 @@ import numpy as np
 
 from .d3q19 import N_DIRECTIONS, VELOCITIES, WEIGHTS
 
-__all__ = ["equilibrium", "collide_bgk", "OPS_PER_UPDATE", "FLOPS_PER_UPDATE"]
+__all__ = [
+    "equilibrium",
+    "collide_bgk",
+    "collide_bgk_inplace",
+    "OPS_PER_UPDATE",
+    "FLOPS_PER_UPDATE",
+]
 
 #: Section IV-B: 220 flops + 20 reads + 19 writes
 OPS_PER_UPDATE = 259
@@ -91,3 +97,75 @@ def collide_bgk(f: np.ndarray, omega: float) -> np.ndarray:
     feq = equilibrium(rho, u)
     w = dtype.type(omega)
     return f + w * (feq - f)
+
+
+def collide_bgk_inplace(f: np.ndarray, omega: float, out: np.ndarray, arena) -> None:
+    """Allocation-free BGK collision, bit-identical to :func:`collide_bgk`.
+
+    Writes the post-collision distributions into ``out`` (same ``(19,) + S``
+    shape as ``f``; must not alias ``f``), drawing every temporary from the
+    scratch ``arena``.  Each expression reproduces the exact operand pairing
+    of :func:`collide_bgk` / :func:`equilibrium` so that all blocking
+    schedules remain bit-identical to the naive reference.
+    """
+    dtype = f.dtype
+    space = f.shape[1:]
+    rho = arena.get("bgk.rho", space, dtype)
+    u = arena.get("bgk.u", (3,) + space, dtype)
+    t = arena.get("bgk.t", space, dtype)
+    usq = arena.get("bgk.usq", space, dtype)
+    cu = arena.get("bgk.cu", space, dtype)
+    poly = arena.get("bgk.poly", space, dtype)
+    feq = arena.get("bgk.feq", f.shape, dtype)
+
+    # moments: sequential rho reduction, then velocity accumulation
+    np.copyto(rho, f[0])
+    for i in range(1, N_DIRECTIONS):
+        rho += f[i]
+    u[...] = 0
+    for i in range(N_DIRECTIONS):
+        cz, cy, cx = VELOCITIES[i]
+        if cz:
+            np.multiply(f[i], dtype.type(cz), out=t)
+            u[0] += t
+        if cy:
+            np.multiply(f[i], dtype.type(cy), out=t)
+            u[1] += t
+        if cx:
+            np.multiply(f[i], dtype.type(cx), out=t)
+            u[2] += t
+    np.divide(dtype.type(1.0), rho, out=t)
+    u *= t
+
+    # equilibrium, direction by direction (same polynomial grouping)
+    one = dtype.type(1.0)
+    one5 = dtype.type(1.5)
+    three = dtype.type(3.0)
+    four5 = dtype.type(4.5)
+    np.multiply(u[0], u[0], out=usq)
+    np.multiply(u[1], u[1], out=t)
+    usq += t
+    np.multiply(u[2], u[2], out=t)
+    usq += t
+    for i in range(N_DIRECTIONS):
+        cz, cy, cx = VELOCITIES[i]
+        np.multiply(u[0], dtype.type(cz), out=cu)
+        np.multiply(u[1], dtype.type(cy), out=t)
+        cu += t
+        np.multiply(u[2], dtype.type(cx), out=t)
+        cu += t
+        # 1 + 3 cu + 4.5 cu^2 - 1.5 usq, associated exactly as equilibrium()
+        np.multiply(cu, three, out=poly)
+        np.add(one, poly, out=poly)
+        np.multiply(cu, four5, out=t)
+        t *= cu
+        poly += t
+        np.multiply(usq, one5, out=t)
+        poly -= t
+        np.multiply(rho, dtype.type(WEIGHTS[i]), out=t)
+        np.multiply(t, poly, out=feq[i])
+
+    # f' = f + omega * (feq - f)
+    np.subtract(feq, f, out=feq)
+    feq *= dtype.type(omega)
+    np.add(f, feq, out=out)

@@ -23,8 +23,13 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..stencils.base import PlaneKernel, validate_footprint
-from .collision import FLOPS_PER_UPDATE, OPS_PER_UPDATE, collide_bgk
+from ..stencils.base import PlaneKernel, ScratchArena, validate_footprint
+from .collision import (
+    FLOPS_PER_UPDATE,
+    OPS_PER_UPDATE,
+    collide_bgk,
+    collide_bgk_inplace,
+)
 from .d3q19 import N_DIRECTIONS, OPPOSITE, VELOCITIES
 from .lattice import CellType, element_size_with_flag
 
@@ -77,6 +82,18 @@ class LBMKernel(PlaneKernel):
         """Collision stage; subclasses may add forcing or other physics."""
         return collide_bgk(f_in, self.omega)
 
+    def _collide_inplace(self, f_in: np.ndarray, out: np.ndarray, arena) -> None:
+        """Collision writing into ``out``, drawing temporaries from ``arena``.
+
+        Subclasses that override :meth:`_collide` (forcing, MRT) without
+        providing their own in-place variant automatically fall back to the
+        allocating collision so their physics stays correct.
+        """
+        if type(self)._collide is not LBMKernel._collide:
+            np.copyto(out, self._collide(f_in))
+            return
+        collide_bgk_inplace(f_in, self.omega, out, arena)
+
     def compute_plane(
         self,
         out: np.ndarray,
@@ -114,3 +131,46 @@ class LBMKernel(PlaneKernel):
                 f_out[:, own_solid] = own[:, y0:y1, x0:x1][:, own_solid]
 
         out[:, y0:y1, x0:x1] = f_out
+
+    def compute_plane_inplace(
+        self,
+        out: np.ndarray,
+        src: Sequence[np.ndarray],
+        yr: tuple[int, int],
+        xr: tuple[int, int],
+        gz: int = 0,
+        gy0: int = 0,
+        gx0: int = 0,
+        *,
+        arena: ScratchArena,
+        seam_writable: bool = False,
+    ) -> None:
+        # Gather into an arena buffer and collide straight into the out
+        # region.  Bounce-back and frozen-solid handling use boolean masks,
+        # which still allocate — only geometries with solid cells pay that.
+        # (seam_writable is accepted but unused: this path writes only the
+        # target region already.)
+        validate_footprint(out.shape[1:], yr, xr, self.radius)
+        y0, y1 = yr
+        x0, x1 = xr
+        own = src[1]
+        f_in = arena.get("lbm.f_in", (N_DIRECTIONS, y1 - y0, x1 - x0), out.dtype)
+        for i in range(N_DIRECTIONS):
+            cz, cy, cx = VELOCITIES[i]
+            np.copyto(f_in[i], src[1 - cz][i, y0 - cy : y1 - cy, x0 - cx : x1 - cx])
+            if self._any_solid:
+                nbr_solid = self._solid[
+                    gz - cz,
+                    gy0 + y0 - cy : gy0 + y1 - cy,
+                    gx0 + x0 - cx : gx0 + x1 - cx,
+                ]
+                if nbr_solid.any():
+                    f_in[i][nbr_solid] = own[OPPOSITE[i], y0:y1, x0:x1][nbr_solid]
+
+        region = out[:, y0:y1, x0:x1]
+        self._collide_inplace(f_in, region, arena)
+
+        if self._any_solid:
+            own_solid = self._solid[gz, gy0 + y0 : gy0 + y1, gx0 + x0 : gx0 + x1]
+            if own_solid.any():
+                region[:, own_solid] = own[:, y0:y1, x0:x1][:, own_solid]

@@ -1,5 +1,16 @@
 """Performance analysis reproducing the paper's tables and figures."""
 
+from .backends import (
+    Backend,
+    BackendUnavailableError,
+    InplaceKernel,
+    available_backends,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    wrap_kernel,
+)
 from .breakdown import Stage, breakdown_7pt_gpu, breakdown_lbm_cpu
 from .calibration import CPU_CAL, GPU_CAL, CpuCalibration, GpuCalibration
 from .comparisons import Comparison, section_viid_comparisons
@@ -38,4 +49,13 @@ __all__ = [
     "format_table",
     "format_stages",
     "format_comparisons",
+    "Backend",
+    "BackendUnavailableError",
+    "InplaceKernel",
+    "available_backends",
+    "backend_names",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "wrap_kernel",
 ]

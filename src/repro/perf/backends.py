@@ -1,0 +1,286 @@
+"""Pluggable plane-kernel execution backends (the hot-path layer).
+
+The blocking executors make stencils *bandwidth*-efficient, but on the NumPy
+substrate the inner kernel itself can be *allocation*-bound: every
+``compute_plane`` call of the reference kernels builds 4–6 plane-sized
+temporaries.  AN5D and the wavefront-diamond line of work (PAPERS.md) both
+show that temporal blocking only pays off once the inner kernel is fused or
+compiled; this module provides that layering for the reproduction.
+
+A *backend* is a strategy for executing a :class:`~repro.stencils.base.PlaneKernel`:
+
+``numpy``
+    The reference kernels exactly as written — allocating, and the bit-exact
+    ground truth every other backend is tested against.
+``numpy-inplace``
+    Wraps a kernel so every ``compute_plane`` call routes to the kernel's
+    ``compute_plane_inplace`` path: all temporaries come from a persistent
+    per-kernel :class:`~repro.stencils.base.ScratchArena` and all arithmetic
+    uses ``np.add/np.multiply(..., out=...)`` with the same operand pairing,
+    so results stay bit-identical while the steady state allocates nothing.
+``numba``
+    Optional ``@njit``-compiled plane loops, auto-detected at import time.
+    Kernels without a compiled specialization fall back to the in-place
+    path.  Unavailable (but still listed) when numba is not installed.
+
+Selection: explicitly by name, or via the ``REPRO_BACKEND`` environment
+variable (the default when no name is given), or through the CLI's
+``--backend`` flag and the empirical autotuner's ``backend=`` parameter.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..stencils.base import PlaneKernel, ScratchArena, validate_footprint
+
+__all__ = [
+    "REPRO_BACKEND_ENV",
+    "Backend",
+    "BackendUnavailableError",
+    "InplaceKernel",
+    "ScratchArena",
+    "available_backends",
+    "backend_names",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "wrap_kernel",
+]
+
+#: environment variable consulted when no backend name is given explicitly
+REPRO_BACKEND_ENV = "REPRO_BACKEND"
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a registered backend cannot run in this environment."""
+
+
+class InplaceKernel(PlaneKernel):
+    """Adapter routing ``compute_plane`` to the wrapped kernel's in-place path.
+
+    Owns a :class:`ScratchArena` so repeated calls on the same region shapes
+    reuse the same buffers.  Delegates every other part of the
+    :class:`PlaneKernel` contract (element size, padding, slab restriction)
+    to the wrapped kernel, re-wrapping derived kernels so the in-place path
+    survives periodic padding and distributed slab slicing.
+    """
+
+    #: executors that can promise dead seam positions on the target plane
+    #: (intermediate ring slots) pass ``seam_writable=True`` to
+    #: ``compute_plane`` when this attribute is set, letting the in-place
+    #: fast paths skip their copy-out (see PlaneKernel.compute_plane_inplace).
+    accepts_seam_hint = True
+
+    def __init__(self, inner: PlaneKernel) -> None:
+        if isinstance(inner, InplaceKernel):
+            inner = inner.inner
+        self.inner = inner
+        self.radius = inner.radius
+        self.ncomp = inner.ncomp
+        self.ops_per_update = inner.ops_per_update
+        self.flops_per_update = getattr(inner, "flops_per_update", 0)
+        self.arena = ScratchArena()
+
+    def __repr__(self) -> str:
+        return f"InplaceKernel({self.inner!r})"
+
+    def compute_plane(self, out, src, yr, xr, gz=0, gy0=0, gx0=0, seam_writable=False):
+        self.inner.compute_plane_inplace(
+            out, src, yr, xr, gz, gy0, gx0,
+            arena=self.arena, seam_writable=seam_writable,
+        )
+
+    def compute_plane_inplace(
+        self, out, src, yr, xr, gz=0, gy0=0, gx0=0, *, arena, seam_writable=False
+    ):
+        self.inner.compute_plane_inplace(
+            out, src, yr, xr, gz, gy0, gx0,
+            arena=arena, seam_writable=seam_writable,
+        )
+
+    def element_size(self, dtype) -> int:
+        return self.inner.element_size(dtype)
+
+    def padded_for(self, halo: int, shape: tuple[int, int, int]) -> PlaneKernel:
+        inner = self.inner.padded_for(halo, shape)
+        return self if inner is self.inner else InplaceKernel(inner)
+
+    def restricted_to(self, zlo: int, zhi: int) -> PlaneKernel:
+        inner = self.inner.restricted_to(zlo, zhi)
+        return self if inner is self.inner else InplaceKernel(inner)
+
+
+# ----------------------------------------------------------------------
+# optional numba backend
+# ----------------------------------------------------------------------
+
+def _detect_numba() -> tuple[bool, str | None]:
+    try:
+        import numba  # noqa: F401
+    except Exception as exc:  # pragma: no cover - depends on environment
+        return False, f"numba not importable: {exc}"
+    return True, None
+
+
+_NUMBA_AVAILABLE, _NUMBA_REASON = _detect_numba()
+_SEVEN_POINT_JIT = None
+
+
+def _seven_point_jit():  # pragma: no cover - requires numba
+    """Compile (once) the scalar-loop 7-point plane update.
+
+    The loop associates the neighbor sums exactly as the NumPy reference —
+    ``((below+above) + (y-pair)) + (x-pair)`` — and numba's default
+    ``fastmath=False`` forbids FMA contraction, so results are bit-identical.
+    """
+    global _SEVEN_POINT_JIT
+    if _SEVEN_POINT_JIT is None:
+        import numba
+
+        @numba.njit(cache=False)
+        def run(out, below, mid, above, y0, y1, x0, x1, alpha, beta):
+            for y in range(y0, y1):
+                for x in range(x0, x1):
+                    acc = (
+                        (below[y, x] + above[y, x])
+                        + (mid[y - 1, x] + mid[y + 1, x])
+                    ) + (mid[y, x - 1] + mid[y, x + 1])
+                    out[y, x] = alpha * mid[y, x] + beta * acc
+
+        _SEVEN_POINT_JIT = run
+    return _SEVEN_POINT_JIT
+
+
+class _NumbaSevenPoint(PlaneKernel):  # pragma: no cover - requires numba
+    """njit-compiled SevenPointStencil (same coefficients, same bits)."""
+
+    radius = 1
+    ncomp = 1
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.ops_per_update = inner.ops_per_update
+        self.flops_per_update = getattr(inner, "flops_per_update", 0)
+        self._fn = _seven_point_jit()
+
+    def __repr__(self) -> str:
+        return f"NumbaSevenPoint({self.inner!r})"
+
+    def compute_plane(self, out, src, yr, xr, gz=0, gy0=0, gx0=0):
+        validate_footprint(out.shape[1:], yr, xr, self.radius)
+        dtype = out.dtype.type
+        self._fn(
+            out[0],
+            src[0][0],
+            src[1][0],
+            src[2][0],
+            yr[0],
+            yr[1],
+            xr[0],
+            xr[1],
+            dtype(self.inner.alpha),
+            dtype(self.inner.beta),
+        )
+
+
+def _wrap_numba(kernel: PlaneKernel) -> PlaneKernel:  # pragma: no cover
+    from ..stencils.seven_point import SevenPointStencil
+
+    if not _NUMBA_AVAILABLE:
+        raise BackendUnavailableError(f"backend 'numba' unavailable: {_NUMBA_REASON}")
+    if type(kernel) is SevenPointStencil:
+        return _NumbaSevenPoint(kernel)
+    # no compiled specialization: the in-place path is the next-best hot path
+    return InplaceKernel(kernel)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Backend:
+    """A named kernel-execution strategy."""
+
+    name: str
+    description: str
+    wrap: Callable[[PlaneKernel], PlaneKernel]
+    available: bool = True
+    unavailable_reason: str | None = None
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> None:
+    """Add (or replace) a backend in the registry."""
+    _REGISTRY[backend.name] = backend
+
+
+def backend_names() -> list[str]:
+    """All registered backend names, available or not."""
+    return list(_REGISTRY)
+
+
+def available_backends() -> list[str]:
+    """Names of the backends that can run in this environment."""
+    return [name for name, b in _REGISTRY.items() if b.available]
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name; raises ``ValueError`` on unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def default_backend_name() -> str:
+    """The backend used when none is named: ``$REPRO_BACKEND`` or ``numpy``."""
+    return os.environ.get(REPRO_BACKEND_ENV, "numpy")
+
+
+def wrap_kernel(kernel: PlaneKernel, backend: str | None = None) -> PlaneKernel:
+    """Bind ``kernel`` to a backend (default: :func:`default_backend_name`).
+
+    Raises :class:`BackendUnavailableError` when the backend exists but
+    cannot run here (e.g. ``numba`` without numba installed).
+    """
+    b = get_backend(backend if backend is not None else default_backend_name())
+    if not b.available:
+        raise BackendUnavailableError(
+            f"backend {b.name!r} unavailable: {b.unavailable_reason}"
+        )
+    return b.wrap(kernel)
+
+
+register_backend(
+    Backend(
+        name="numpy",
+        description="reference NumPy kernels (allocating; bit-exact ground truth)",
+        wrap=lambda kernel: kernel,
+    )
+)
+register_backend(
+    Backend(
+        name="numpy-inplace",
+        description="preallocated scratch arena + out= ufuncs (bit-identical, "
+        "allocation-free steady state)",
+        wrap=InplaceKernel,
+    )
+)
+register_backend(
+    Backend(
+        name="numba",
+        description="njit-compiled plane loops (7pt; other kernels fall back "
+        "to the in-place path)",
+        wrap=_wrap_numba,
+        available=_NUMBA_AVAILABLE,
+        unavailable_reason=_NUMBA_REASON,
+    )
+)

@@ -78,10 +78,13 @@ class ParallelBlocking35D:
             dst = field.like()
             copy_shell(src, dst, self.kernel.radius)
             thread_stats = [TrafficStats() for _ in range(self.n_threads)]
+            token = object()  # shell planes are loaded once per run
             remaining = steps
             while remaining > 0:
                 round_t = min(self.inner.dim_t, remaining)
-                self._sweep_round(pool, src, dst, round_t, traffic, thread_stats)
+                self._sweep_round(
+                    pool, src, dst, round_t, traffic, thread_stats, token
+                )
                 src, dst = dst, src
                 remaining -= round_t
             if traffic is not None:
@@ -103,23 +106,20 @@ class ParallelBlocking35D:
         round_t: int,
         traffic: TrafficStats | None,
         thread_stats: list[TrafficStats],
+        shell_token: object | None = None,
     ) -> None:
-        from ..core.regions import plan_tiles_2d
-
         inner = self.inner
-        r = self.kernel.radius
         nz, ny, nx = src.shape
-        tiles = plan_tiles_2d(ny, nx, r, round_t, inner.tile_y, inner.tile_x)
-        schedule = build_schedule(nz, r, round_t, concurrent=True)
-        if inner.validate:
-            schedule.validate()
+        tiles = inner._plan_tiles(ny, nx, round_t)
+        schedule = inner._get_schedule(nz, round_t)
         if traffic is not None:
             traffic.notes.setdefault("tiles_per_round", len(tiles))
             traffic.notes.setdefault("threads", self.n_threads)
+            traffic.notes.setdefault("round_t", []).append(round_t)
         iterations = schedule.iterations()
         for tile in tiles:
             ctx = inner._tile_context(src, tile, round_t)
-            inner._load_shell_planes(src, ctx, traffic)
+            inner._load_shell_planes(src, ctx, traffic, shell_token)
             regions = inner.instance_regions(ctx, src.shape, round_t)
             rows = partition_span(ctx.ey[0], ctx.ey[1], self.n_threads)
             for k in sorted(iterations):

@@ -6,6 +6,13 @@ would dwarf the stencil work.  This pool mirrors that: N persistent workers,
 each with a task queue, plus a ``run_spmd`` entry that hands every worker
 the same function with its thread id — the SPMD launch shape of the 3.5D
 algorithm.
+
+The pool is a context manager and its :meth:`~WorkerPool.shutdown` is
+idempotent and thread-safe: closing twice, or closing after a worker raised,
+must neither hang nor raise.  Each ``run_spmd`` launch carries a generation
+tag so completions left over from an interrupted launch (e.g. the caller was
+interrupted between enqueueing and draining) can never satisfy a later
+launch's join.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ class WorkerPool:
         self._queues: list[queue.Queue] = [queue.Queue() for _ in range(n_threads)]
         self._done: queue.Queue = queue.Queue()
         self._shutdown = False
+        self._generation = 0
+        self._lock = threading.Lock()
         self._threads = [
             threading.Thread(target=self._worker, args=(tid,), daemon=True)
             for tid in range(n_threads)
@@ -34,42 +43,59 @@ class WorkerPool:
         for t in self._threads:
             t.start()
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has begun."""
+        return self._shutdown
+
     def _worker(self, tid: int) -> None:
         q = self._queues[tid]
         while True:
             task = q.get()
             if task is None:
                 return
-            fn = task
+            gen, fn = task
             try:
                 fn(tid)
-                self._done.put((tid, None))
+                self._done.put((gen, tid, None))
             except BaseException as exc:  # propagate to the caller
-                self._done.put((tid, exc))
+                self._done.put((gen, tid, exc))
 
     def run_spmd(self, fn: Callable[[int], None]) -> None:
         """Run ``fn(thread_id)`` on every worker; blocks until all finish.
 
-        The first worker exception is re-raised in the caller.
+        The first worker exception is re-raised in the caller (after all
+        workers of this launch have finished, so the pool stays reusable).
+        Launches are serialized: concurrent callers take turns.
         """
-        if self._shutdown:
-            raise RuntimeError("pool is shut down")
-        for q in self._queues:
-            q.put(fn)
-        first_exc: BaseException | None = None
-        for _ in range(self.n_threads):
-            _, exc = self._done.get()
-            if exc is not None and first_exc is None:
-                first_exc = exc
-        if first_exc is not None:
-            raise first_exc
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("pool is shut down")
+            self._generation += 1
+            gen = self._generation
+            for q in self._queues:
+                q.put((gen, fn))
+            first_exc: BaseException | None = None
+            remaining = self.n_threads
+            while remaining > 0:
+                got_gen, _, exc = self._done.get()
+                if got_gen != gen:
+                    # stale completion from an interrupted earlier launch
+                    continue
+                remaining -= 1
+                if exc is not None and first_exc is None:
+                    first_exc = exc
+            if first_exc is not None:
+                raise first_exc
 
     def shutdown(self) -> None:
-        if self._shutdown:
-            return
-        self._shutdown = True
-        for q in self._queues:
-            q.put(None)
+        """Stop the workers.  Safe to call repeatedly and from any thread."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            for q in self._queues:
+                q.put(None)
         for t in self._threads:
             t.join(timeout=5)
 

@@ -1,6 +1,6 @@
 """Stencil kernels and grid containers (the PDE-solver substrate)."""
 
-from .base import PlaneKernel, validate_footprint
+from .base import PlaneKernel, ScratchArena, validate_footprint
 from .fd import heat_stencil, laplacian_coefficients, laplacian_stencil, stable_dt_factor
 from .generic import GenericStencil, box_stencil, star_stencil
 from .grid import Field3D, copy_shell, interior_points, interior_slices
@@ -10,6 +10,7 @@ from .variable import VariableCoefficientStencil
 
 __all__ = [
     "PlaneKernel",
+    "ScratchArena",
     "validate_footprint",
     "Field3D",
     "copy_shell",

@@ -19,11 +19,74 @@ address it.  Executors guarantee the full stencil footprint
 from __future__ import annotations
 
 import abc
+import threading
 from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["PlaneKernel", "validate_footprint"]
+__all__ = ["PlaneKernel", "ScratchArena", "validate_footprint"]
+
+
+class ScratchArena:
+    """Preallocated, reusable scratch buffers keyed by ``(tag, shape, dtype)``.
+
+    The allocation-free kernel paths (:meth:`PlaneKernel.compute_plane_inplace`)
+    draw every temporary they need from an arena instead of allocating fresh
+    NumPy arrays.  Buffers are cached per *thread*: the row-partitioned 3.5D
+    executor calls kernels from several workers concurrently, often with
+    identical region shapes, so sharing buffers across threads would race.
+
+    The arena only ever grows — one buffer per distinct (tag, shape, dtype)
+    per thread — which is bounded in practice by the handful of region shapes
+    a blocking schedule produces.
+    """
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        #: per-thread buffer dicts, kept for aggregate accounting
+        self._pools: list[dict] = []
+        #: number of buffers ever allocated (across all threads)
+        self.allocations = 0
+        #: number of ``get`` calls served from an existing buffer
+        self.hits = 0
+
+    def _pool(self) -> dict:
+        pool = getattr(self._tls, "pool", None)
+        if pool is None:
+            pool = self._tls.pool = {}
+            with self._lock:
+                self._pools.append(pool)
+        return pool
+
+    def get(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """The scratch buffer for ``tag`` at this shape/dtype (contents stale)."""
+        pool = self._pool()
+        if not isinstance(dtype, np.dtype):
+            dtype = np.dtype(dtype)
+        key = (tag, tuple(shape), dtype)
+        buf = pool.get(key)
+        if buf is None:
+            # Zero-filled so the flat kernel paths' seam lanes start finite
+            # (see PlaneRing); np.empty would hand back arbitrary bits.
+            buf = np.zeros(key[1], dtype=dtype)
+            pool[key] = buf
+            self.allocations += 1
+        else:
+            self.hits += 1
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held across all threads' pools."""
+        with self._lock:
+            return sum(b.nbytes for pool in self._pools for b in pool.values())
+
+    def clear(self) -> None:
+        """Drop every cached buffer (they are re-created on demand)."""
+        with self._lock:
+            for pool in self._pools:
+                pool.clear()
 
 
 class PlaneKernel(abc.ABC):
@@ -64,6 +127,41 @@ class PlaneKernel(abc.ABC):
             Global coordinates of ``out``'s plane index and of local
             ``(y=0, x=0)``; used for auxiliary state lookup.
         """
+
+    def compute_plane_inplace(
+        self,
+        out: np.ndarray,
+        src: Sequence[np.ndarray],
+        yr: tuple[int, int],
+        xr: tuple[int, int],
+        gz: int = 0,
+        gy0: int = 0,
+        gx0: int = 0,
+        *,
+        arena: "ScratchArena",
+        seam_writable: bool = False,
+    ) -> None:
+        """Allocation-free variant of :meth:`compute_plane`.
+
+        Must produce results *bit-identical* to :meth:`compute_plane` — same
+        operand pairing, same reduction order — while drawing every temporary
+        from ``arena`` (``np.add/np.multiply(..., out=...)`` style).  The base
+        implementation falls back to the allocating path, so kernels without
+        a hand-written in-place path stay correct under the ``numpy-inplace``
+        backend, just not allocation-free.
+
+        ``seam_writable=True`` is a caller promise that positions of ``out``
+        in rows ``[y0, y1)`` but *outside* columns ``[x0, x1)`` are dead: the
+        caller either overwrites them after this call or never reads them
+        (true for the blocking executors' intermediate ring planes, whose
+        boundary strips are refreshed after every compute step).  The flat
+        contiguous fast paths then accumulate straight into ``out``'s
+        underlying buffer — clobbering those seam positions with junk —
+        instead of going through a scratch buffer plus a strided copy-out.
+        The promise also implies ``out`` aliases none of the ``src`` planes.
+        Target-region values are bit-identical either way.
+        """
+        self.compute_plane(out, src, yr, xr, gz, gy0, gx0)
 
     def element_size(self, dtype) -> int:
         """Bytes per grid point (the paper's E) for a given precision."""

@@ -9,10 +9,11 @@ overestimation machinery can be exercised and property-tested.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from contextlib import nullcontext
 
 import numpy as np
 
-from .base import PlaneKernel, validate_footprint
+from .base import PlaneKernel, ScratchArena, validate_footprint
 
 __all__ = ["GenericStencil", "star_stencil", "box_stencil"]
 
@@ -41,6 +42,9 @@ class GenericStencil(PlaneKernel):
         # Pre-sort taps for a deterministic evaluation order (bit-exactness
         # across all blocking schedules depends on it).
         self._order = sorted(self.taps)
+        # Contraction test for the flat path's throwaway seam lanes — see
+        # SevenPointStencil.__init__.
+        self._seam_contractive = sum(abs(w) for w in self.taps.values()) <= 1.0
 
     def __repr__(self) -> str:
         return f"GenericStencil(radius={self.radius}, taps={len(self.taps)})"
@@ -65,6 +69,78 @@ class GenericStencil(PlaneKernel):
             plane = src[dz + self.radius][0]
             acc += w * plane[y0 + dy : y1 + dy, x0 + dx : x1 + dx]
         out[0, y0:y1, x0:x1] = acc
+
+    def compute_plane_inplace(
+        self,
+        out: np.ndarray,
+        src: Sequence[np.ndarray],
+        yr: tuple[int, int],
+        xr: tuple[int, int],
+        gz: int = 0,
+        gy0: int = 0,
+        gx0: int = 0,
+        *,
+        arena: ScratchArena,
+        seam_writable: bool = False,
+    ) -> None:
+        # Same zero-initialized accumulation in the same tap order as
+        # compute_plane.  On contiguous planes every tap window is a 1D
+        # contiguous slice of the flattened plane over the tight window
+        # [y0*nx+x0, (y1-1)*nx+x1): in-bounds for any |dy|,|dx| <= R given the
+        # footprint check, with only the seam positions between rows holding
+        # junk that is never copied out.
+        validate_footprint(out.shape[1:], yr, xr, self.radius)
+        y0, y1 = yr
+        x0, x1 = xr
+        dtype = out.dtype.type
+        planes = [src[dz + self.radius][0] for dz in range(-self.radius, self.radius + 1)]
+        if all(p.flags.c_contiguous for p in planes):
+            ny, nx = planes[0].shape
+            s0 = y0 * nx + x0
+            e0 = (y1 - 1) * nx + x1
+            flats = [p.ravel() for p in planes]
+            oplane = out[0]
+            # Seam-writable targets accumulate straight into out's flat
+            # window (junk lands on the dead seam columns between rows); see
+            # SevenPointStencil.compute_plane_inplace.
+            direct = seam_writable and oplane.flags.c_contiguous
+            if direct:
+                acc = oplane.ravel()[s0:e0]
+            else:
+                acc = arena.get("generic.facc", (e0 - s0,), out.dtype)
+            tmp = arena.get("generic.ftmp", (e0 - s0,), out.dtype)
+            acc[...] = 0
+            # Seam lanes can overflow round over round for non-contractive
+            # weights; suppress their spurious FP warnings then (see
+            # SevenPointStencil.compute_plane_inplace).
+            ctx = (
+                nullcontext()
+                if self._seam_contractive
+                else np.errstate(all="ignore")
+            )
+            with ctx:
+                for dz, dy, dx in self._order:
+                    w = dtype(self.taps[(dz, dy, dx)])
+                    off = dy * nx + dx
+                    np.multiply(
+                        flats[dz + self.radius][s0 + off : e0 + off], w, out=tmp
+                    )
+                    acc += tmp
+            if not direct:
+                isize = acc.itemsize
+                view = np.lib.stride_tricks.as_strided(
+                    acc, shape=(y1 - y0, x1 - x0), strides=(nx * isize, isize)
+                )
+                out[0, y0:y1, x0:x1] = view
+            return
+        tmp = arena.get("generic.tmp", (y1 - y0, x1 - x0), out.dtype)
+        acc = out[0, y0:y1, x0:x1]
+        acc[...] = 0
+        for dz, dy, dx in self._order:
+            w = dtype(self.taps[(dz, dy, dx)])
+            plane = src[dz + self.radius][0]
+            np.multiply(plane[y0 + dy : y1 + dy, x0 + dx : x1 + dx], w, out=tmp)
+            acc += tmp
 
 
 def star_stencil(radius: int, center: float = 0.4, arm: float = 0.05) -> GenericStencil:

@@ -14,10 +14,11 @@ of A and one write of B per point: 8 bytes SP, 16 bytes DP, so
 from __future__ import annotations
 
 from collections.abc import Sequence
+from contextlib import nullcontext
 
 import numpy as np
 
-from .base import PlaneKernel, validate_footprint
+from .base import PlaneKernel, ScratchArena, validate_footprint
 
 __all__ = ["SevenPointStencil"]
 
@@ -34,6 +35,12 @@ class SevenPointStencil(PlaneKernel):
     def __init__(self, alpha: float = 0.4, beta: float = 0.1) -> None:
         self.alpha = alpha
         self.beta = beta
+        # When the weights are a contraction (sum of magnitudes <= 1), the
+        # flat path's throwaway seam lanes stay bounded by the largest finite
+        # operand — they can never overflow on their own, so the per-call FP
+        # warning suppression is unnecessary (ring and arena memory is
+        # zero-initialised; see PlaneRing).
+        self._seam_contractive = abs(alpha) + 6 * abs(beta) <= 1.0
 
     def __repr__(self) -> str:
         return f"SevenPointStencil(alpha={self.alpha}, beta={self.beta})"
@@ -65,3 +72,86 @@ class SevenPointStencil(PlaneKernel):
         acc += mid[ys, slice(x0 - 1, x1 - 1)] + mid[ys, slice(x0 + 1, x1 + 1)]
         dtype = out.dtype.type
         out[0, ys, xs] = dtype(self.alpha) * mid[ys, xs] + dtype(self.beta) * acc
+
+    def compute_plane_inplace(
+        self,
+        out: np.ndarray,
+        src: Sequence[np.ndarray],
+        yr: tuple[int, int],
+        xr: tuple[int, int],
+        gz: int = 0,
+        gy0: int = 0,
+        gx0: int = 0,
+        *,
+        arena: ScratchArena,
+        seam_writable: bool = False,
+    ) -> None:
+        # Same operand pairing as compute_plane, with every temporary drawn
+        # from the arena and the final add targeting ``out`` directly.
+        #
+        # Fast path: when the source planes are C-contiguous (always true for
+        # ring-buffer and whole-grid planes), every shifted neighbor window is
+        # a *contiguous 1D* slice of the flattened plane — the ufuncs run one
+        # straight SIMD pass instead of a strided row loop.  Full rows
+        # ``[y0, y1)`` are computed, so the wrap-around columns outside
+        # ``[x0, x1)`` hold junk; they are simply never copied into ``out``.
+        # Each core position sees exactly the same operand values and the same
+        # operation tree as ``compute_plane``, so the result is bit-identical.
+        validate_footprint(out.shape[1:], yr, xr, self.radius)
+        below, mid, above = src[0][0], src[1][0], src[2][0]
+        y0, y1 = yr
+        x0, x1 = xr
+        dtype = out.dtype.type
+        if (
+            below.flags.c_contiguous
+            and mid.flags.c_contiguous
+            and above.flags.c_contiguous
+        ):
+            ny, nx = mid.shape
+            s = y0 * nx
+            e = y1 * nx
+            fb, fm, fa = below.ravel(), mid.ravel(), above.ravel()
+            oplane = out[0]
+            # With the caller's seam-writable promise the accumulator can be
+            # out's own flat row span — junk lands on the dead seam columns
+            # and the strided copy-out below disappears entirely.
+            direct = seam_writable and oplane.flags.c_contiguous
+            if direct:
+                acc = oplane.ravel()[s:e]
+            else:
+                acc = arena.get("7pt.acc", (e - s,), out.dtype)
+            tmp = arena.get("7pt.tmp", (e - s,), out.dtype)
+            # Non-contractive weights can amplify the throwaway seam lanes
+            # past the FP range round over round; suppress the spurious
+            # warnings those lanes would raise.  Contractive weights (the
+            # default) keep them bounded, so the guard is skipped.
+            ctx = (
+                nullcontext()
+                if self._seam_contractive
+                else np.errstate(all="ignore")
+            )
+            with ctx:
+                np.add(fb[s:e], fa[s:e], out=acc)
+                np.add(fm[s - nx : e - nx], fm[s + nx : e + nx], out=tmp)
+                acc += tmp
+                np.add(fm[s - 1 : e - 1], fm[s + 1 : e + 1], out=tmp)
+                acc += tmp
+                np.multiply(fm[s:e], dtype(self.alpha), out=tmp)
+                np.multiply(acc, dtype(self.beta), out=acc)
+                np.add(tmp, acc, out=acc)
+            if not direct:
+                out[0, y0:y1, x0:x1] = acc.reshape(y1 - y0, nx)[:, x0:x1]
+            return
+        ys = slice(y0, y1)
+        xs = slice(x0, x1)
+        shape = (y1 - y0, x1 - x0)
+        acc = arena.get("7pt.acc2d", shape, out.dtype)
+        tmp = arena.get("7pt.tmp2d", shape, out.dtype)
+        np.add(below[ys, xs], above[ys, xs], out=acc)
+        np.add(mid[y0 - 1 : y1 - 1, xs], mid[y0 + 1 : y1 + 1, xs], out=tmp)
+        acc += tmp
+        np.add(mid[ys, x0 - 1 : x1 - 1], mid[ys, x0 + 1 : x1 + 1], out=tmp)
+        acc += tmp
+        np.multiply(mid[ys, xs], dtype(self.alpha), out=tmp)
+        np.multiply(acc, dtype(self.beta), out=acc)
+        np.add(tmp, acc, out=out[0, ys, xs])

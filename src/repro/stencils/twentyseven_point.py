@@ -11,10 +11,11 @@ kernel compute bound on both architectures (Section IV-C).
 from __future__ import annotations
 
 from collections.abc import Sequence
+from contextlib import nullcontext
 
 import numpy as np
 
-from .base import PlaneKernel, validate_footprint
+from .base import PlaneKernel, ScratchArena, validate_footprint
 
 __all__ = ["TwentySevenPointStencil"]
 
@@ -62,6 +63,11 @@ class TwentySevenPointStencil(PlaneKernel):
         self.face = face
         self.edge = edge
         self.corner = corner
+        # Contraction test for the flat path's throwaway seam lanes — see
+        # SevenPointStencil.__init__.
+        self._seam_contractive = (
+            abs(center) + 6 * abs(face) + 12 * abs(edge) + 8 * abs(corner)
+        ) <= 1.0
 
     def __repr__(self) -> str:
         return (
@@ -99,3 +105,87 @@ class TwentySevenPointStencil(PlaneKernel):
         result += dtype(self.edge) * group_sum(_EDGES)
         result += dtype(self.corner) * group_sum(_CORNERS)
         out[0, y0:y1, x0:x1] = result
+
+    def compute_plane_inplace(
+        self,
+        out: np.ndarray,
+        src: Sequence[np.ndarray],
+        yr: tuple[int, int],
+        xr: tuple[int, int],
+        gz: int = 0,
+        gy0: int = 0,
+        gx0: int = 0,
+        *,
+        arena: ScratchArena,
+        seam_writable: bool = False,
+    ) -> None:
+        # Same center/face/edge/corner grouping and accumulation order as
+        # compute_plane; the weighted result accumulates straight into out.
+        # On contiguous planes the tap windows become 1D contiguous slices of
+        # the flattened planes over the tight window [y0*nx+x0, (y1-1)*nx+x1)
+        # (see GenericStencil.compute_plane_inplace for the bounds argument);
+        # seam positions between rows hold junk and are never copied out.
+        validate_footprint(out.shape[1:], yr, xr, self.radius)
+        y0, y1 = yr
+        x0, x1 = xr
+        dtype = out.dtype.type
+        planes = [src[0][0], src[1][0], src[2][0]]
+        if all(p.flags.c_contiguous for p in planes):
+            ny, nx = planes[1].shape
+            s0 = y0 * nx + x0
+            e0 = (y1 - 1) * nx + x1
+            flats = [p.ravel() for p in planes]
+            oplane = out[0]
+            # Seam-writable targets accumulate straight into out's flat
+            # window (junk lands on the dead seam columns between rows); see
+            # SevenPointStencil.compute_plane_inplace.
+            if seam_writable and oplane.flags.c_contiguous:
+                result = oplane.ravel()[s0:e0]
+                copy_back = False
+            else:
+                result = arena.get("27pt.facc", (e0 - s0,), out.dtype)
+                copy_back = True
+            group = arena.get("27pt.fgrp", (e0 - s0,), out.dtype)
+
+            def shifted(dz: int, dy: int, dx: int) -> np.ndarray:
+                off = dy * nx + dx
+                return flats[dz + 1][s0 + off : e0 + off]
+
+            flat = True
+        else:
+            shape = (y1 - y0, x1 - x0)
+            group = arena.get("27pt.group", shape, out.dtype)
+            result = out[0, y0:y1, x0:x1]
+
+            def shifted(dz: int, dy: int, dx: int) -> np.ndarray:
+                plane = src[dz + 1][0]
+                return plane[y0 + dy : y1 + dy, x0 + dx : x1 + dx]
+
+            flat = copy_back = False
+
+        def add_group(offsets, weight) -> None:
+            np.copyto(group, shifted(*offsets[0]))
+            for off in offsets[1:]:
+                np.add(group, shifted(*off), out=group)
+            np.multiply(group, weight, out=group)
+            np.add(result, group, out=result)
+
+        # Seam lanes of the flat path can overflow round over round for
+        # non-contractive weights; suppress their spurious FP warnings then
+        # (see SevenPointStencil.compute_plane_inplace).
+        ctx = (
+            nullcontext()
+            if self._seam_contractive or not flat
+            else np.errstate(all="ignore")
+        )
+        with ctx:
+            np.multiply(shifted(0, 0, 0), dtype(self.center), out=result)
+            add_group(_FACES, dtype(self.face))
+            add_group(_EDGES, dtype(self.edge))
+            add_group(_CORNERS, dtype(self.corner))
+        if copy_back:
+            isize = result.itemsize
+            view = np.lib.stride_tricks.as_strided(
+                result, shape=(y1 - y0, x1 - x0), strides=(nx * isize, isize)
+            )
+            out[0, y0:y1, x0:x1] = view

@@ -23,7 +23,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from .base import PlaneKernel, validate_footprint
+from .base import PlaneKernel, ScratchArena, validate_footprint
 
 __all__ = ["VariableCoefficientStencil"]
 
@@ -114,3 +114,40 @@ class VariableCoefficientStencil(PlaneKernel):
         acc += mid[ys, slice(x0 - 1, x1 - 1)]
         acc += mid[ys, slice(x0 + 1, x1 + 1)]
         out[0, ys, xs] = a * mid[ys, xs] + b * acc
+
+    def compute_plane_inplace(
+        self,
+        out: np.ndarray,
+        src: Sequence[np.ndarray],
+        yr: tuple[int, int],
+        xr: tuple[int, int],
+        gz: int = 0,
+        gy0: int = 0,
+        gx0: int = 0,
+        *,
+        arena: ScratchArena,
+        seam_writable: bool = False,
+    ) -> None:
+        # Same neighbor accumulation order as compute_plane; coefficient
+        # slices are views, so only the two scratch planes are reused.
+        # (seam_writable is accepted but unused: this path writes only the
+        # target region already.)
+        validate_footprint(out.shape[1:], yr, xr, self.radius)
+        y0, y1 = yr
+        x0, x1 = xr
+        ys = slice(y0, y1)
+        xs = slice(x0, x1)
+        below, mid, above = src[0][0], src[1][0], src[2][0]
+        a = self.alpha[gz, gy0 + y0 : gy0 + y1, gx0 + x0 : gx0 + x1]
+        b = self.beta[gz, gy0 + y0 : gy0 + y1, gx0 + x0 : gx0 + x1]
+        shape = (y1 - y0, x1 - x0)
+        acc = arena.get("varco.acc", shape, out.dtype)
+        tmp = arena.get("varco.tmp", shape, out.dtype)
+        np.add(below[ys, xs], above[ys, xs], out=acc)
+        acc += mid[slice(y0 - 1, y1 - 1), xs]
+        acc += mid[slice(y0 + 1, y1 + 1), xs]
+        acc += mid[ys, slice(x0 - 1, x1 - 1)]
+        acc += mid[ys, slice(x0 + 1, x1 + 1)]
+        np.multiply(a, mid[ys, xs], out=tmp)
+        np.multiply(b, acc, out=acc)
+        np.add(tmp, acc, out=out[0, ys, xs])

@@ -90,6 +90,71 @@ class TestWorkerPool:
         with pytest.raises(RuntimeError):
             pool.run_spmd(lambda tid: None)
 
+    def test_closed_property(self):
+        pool = WorkerPool(2)
+        assert not pool.closed
+        pool.shutdown()
+        assert pool.closed
+
+    def test_context_manager_closes(self):
+        with WorkerPool(2) as pool:
+            assert not pool.closed
+        assert pool.closed
+
+    def test_shutdown_after_worker_exception(self):
+        """A raised SPMD task must not wedge the queues for shutdown."""
+        pool = WorkerPool(3)
+
+        def fail(tid):
+            raise ValueError("bad")
+
+        with pytest.raises(ValueError):
+            pool.run_spmd(fail)
+        pool.shutdown()  # must return promptly, not hang
+        assert pool.closed
+
+    def test_stale_completion_discarded(self):
+        """Completions tagged with an older generation never satisfy a newer
+        launch's join (regression for interrupted launches)."""
+        pool = WorkerPool(2)
+        try:
+            # forge a leftover completion from a long-gone launch
+            pool._done.put((pool._generation, 0, None))
+            results = []
+            lock = threading.Lock()
+
+            def fn(tid):
+                with lock:
+                    results.append(tid)
+
+            pool.run_spmd(fn)
+            assert sorted(results) == [0, 1]
+            # the stale entry was consumed, not left to poison a later launch
+            assert pool._done.empty()
+        finally:
+            pool.shutdown()
+
+    def test_concurrent_launches_serialized(self):
+        """run_spmd from several threads at once: each launch completes with
+        exactly its own workers' completions."""
+        pool = WorkerPool(2)
+        errors = []
+
+        def launcher(n):
+            try:
+                for _ in range(10):
+                    pool.run_spmd(lambda tid: None)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=launcher, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        pool.shutdown()
+        assert not errors
+
 
 class TestPartition:
     def test_even_split(self):
