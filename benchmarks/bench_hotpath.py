@@ -23,6 +23,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 import tracemalloc
@@ -157,6 +158,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="backend names (default: all available)")
     ap.add_argument("--no-check", action="store_true",
                     help="skip the naive bit-exactness cross-check")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="also write machine-readable results to this file")
     args = ap.parse_args(argv)
 
     grid = args.grid or (32 if args.quick else 128)
@@ -182,6 +185,9 @@ def main(argv: list[str] | None = None) -> int:
             name, g, steps, dim_t, tile, backends, repeats, not args.no_check
         )
 
+    rc = 0
+    verdict = None
+    speedup = None
     if "7pt" in results and "numpy-inplace" in results["7pt"]:
         speedup = results["7pt"]["numpy-inplace"] / results["7pt"]["numpy"]
         bar = 1.5
@@ -189,8 +195,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n7pt numpy-inplace vs numpy: {speedup:.2f}x "
               f"(acceptance >= {bar}x at 128^3: {verdict})")
         if not args.quick and speedup < bar:
-            return 1
-    return 0
+            rc = 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "benchmark": "hotpath",
+                    "grid": grid,
+                    "quick": args.quick,
+                    "repeats": repeats,
+                    "gups": results,
+                    "acceptance": {"speedup": speedup, "verdict": verdict},
+                },
+                fh, indent=2,
+            )
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return rc
 
 
 if __name__ == "__main__":

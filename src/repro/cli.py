@@ -50,12 +50,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel backend (default: $REPRO_BACKEND or 'numpy'); "
         "see 'repro info' for the registry",
     )
+    run.add_argument(
+        "--tune",
+        choices=["wallclock"],
+        default=None,
+        help="auto-pick dim_T/tile before running (3.5d scheme only): "
+        "'wallclock' times real sweeps and caches the winner on disk",
+    )
 
     tune = sub.add_parser("tune", help="Section VI parameter selection")
     tune.add_argument("--kernel", choices=["7pt", "27pt", "lbm"], default="7pt")
     tune.add_argument("--machine", choices=["corei7", "gtx285"], default="corei7")
     tune.add_argument("--precision", choices=["sp", "dp"], default="sp")
     tune.add_argument("--capacity", type=int, default=None, help="override bytes")
+    tune.add_argument(
+        "--mode",
+        choices=["analytic", "wallclock"],
+        default="analytic",
+        help="'analytic' applies the paper's closed forms; 'wallclock' times "
+        "real sweeps on this host and persists the winner in the tuning cache",
+    )
+    tune.add_argument(
+        "--backend",
+        default=None,
+        help="backend for wallclock probes (default 'fused-numpy')",
+    )
+    tune.add_argument(
+        "--probe-grid", type=int, default=32,
+        help="cubic probe side for wallclock LBM tuning (default 32)",
+    )
+    tune.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cached wallclock winners and re-measure",
+    )
 
     rep = sub.add_parser("reproduce", help="regenerate paper artifacts")
     rep.add_argument(
@@ -128,6 +155,20 @@ def _cmd_run(args) -> int:
     else:
         field = Field3D.random((args.grid,) * 3, dtype=dtype, seed=args.seed)
 
+    tuned = None
+    if args.tune == "wallclock":
+        if args.scheme != "3.5d":
+            print("note: --tune wallclock only applies to --scheme 3.5d; ignored",
+                  file=sys.stderr)
+        else:
+            from repro.core.autotune import autotune_wallclock
+
+            tuned = autotune_wallclock(
+                ref_kernel, dtype=dtype, backend=backend_name,
+                probe_field=field, repeats=2,
+            )
+            args.dim_t, args.tile = tuned.best.dim_t, tuned.best.tile
+
     traffic = TrafficStats()
     t0 = time.perf_counter()
     if args.scheme == "naive":
@@ -154,6 +195,11 @@ def _cmd_run(args) -> int:
     print(f"kernel       : {args.kernel} ({args.precision.upper()})")
     print(f"scheme       : {args.scheme}")
     print(f"backend      : {backend_name}")
+    if tuned is not None:
+        origin = ("cache hit, 0 probe runs" if tuned.from_cache
+                  else f"measured, {tuned.probe_runs} probe runs")
+        print(f"autotuned    : dim_T={tuned.best.dim_t} tile={tuned.best.tile} "
+              f"({origin})")
     print(f"grid         : {args.grid}^3 x {args.steps} steps")
     print(f"wall time    : {elapsed:.3f} s "
           f"({n_updates / elapsed / 1e6:.1f} MU/s on the NumPy substrate)")
@@ -171,11 +217,50 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_tune_wallclock(args, machine) -> int:
+    from repro.core.autotune import TuningCache, autotune_wallclock
+    from repro.perf.backends import BackendUnavailableError
+
+    kernel, lattice, dtype = _make_kernel(args.kernel, args.probe_grid, args.precision)
+    backend = args.backend or "fused-numpy"
+    try:
+        res = autotune_wallclock(
+            kernel,
+            machine,
+            dtype,
+            probe_field=lattice.f if lattice is not None else None,
+            capacity=args.capacity,
+            backend=backend,
+            refresh=args.refresh,
+        )
+    except (ValueError, BackendUnavailableError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    best = res.best
+    print(f"machine  : {machine.name} (capacity gate only)")
+    print(f"kernel   : {args.kernel} ({args.precision.upper()})")
+    print(f"backend  : {backend}")
+    print("mode     : wallclock (measured on this host)")
+    print(f"dim_T    : {best.dim_t}")
+    print(f"dim_X=Y  : {best.tile}")
+    print(f"median   : {best.seconds_per_round:.3e} s/round "
+          f"({best.seconds_per_update:.3e} s/update)")
+    print(f"buffer   : {best.buffer_bytes / 1024:.0f} KB of "
+          f"{(args.capacity or machine.blocking_capacity) / 1024:.0f} KB"
+          f"{'' if best.fits_capacity else ' (exceeds capacity)'}")
+    origin = ("cache hit, 0 probe runs" if res.from_cache
+              else f"measured, {res.probe_runs} probe runs")
+    print(f"cache    : {origin} ({TuningCache().path})")
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.core import tune
     from repro.machine import CORE_I7, GTX_285
 
     machine = CORE_I7 if args.machine == "corei7" else GTX_285
+    if args.mode == "wallclock":
+        return _cmd_tune_wallclock(args, machine)
     kernel, _, dtype = _make_kernel(args.kernel, 16, args.precision)
     result = tune(
         kernel,

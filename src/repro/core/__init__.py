@@ -1,6 +1,15 @@
 """The paper's primary contribution: 3.5D blocking and its comparisons."""
 
-from .autotune import Candidate, autotune_empirical
+from .autotune import (
+    Candidate,
+    TuningCache,
+    WallClockCandidate,
+    WallClockResult,
+    autotune_empirical,
+    autotune_wallclock,
+    machine_fingerprint,
+    shape_class,
+)
 from .blocking3d import Blocking3D, run_3d
 from .blocking4d import Blocking4D, run_4d
 from .blocking25d import Blocking25D, run_2_5d
@@ -45,6 +54,12 @@ __all__ = [
     "Blocking3D",
     "Candidate",
     "autotune_empirical",
+    "autotune_wallclock",
+    "TuningCache",
+    "WallClockCandidate",
+    "WallClockResult",
+    "machine_fingerprint",
+    "shape_class",
     "Blocking4D",
     "Blocking25D",
     "Blocking35D",

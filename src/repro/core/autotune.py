@@ -15,7 +15,13 @@ cross-validate each other.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -25,7 +31,42 @@ from .blocking35d import Blocking35D
 from .params import capacity_bytes_needed
 from .traffic import TrafficStats
 
-__all__ = ["Candidate", "autotune_empirical"]
+__all__ = [
+    "Candidate",
+    "REPRO_TUNE_CACHE_ENV",
+    "TuningCache",
+    "WallClockCandidate",
+    "WallClockResult",
+    "autotune_empirical",
+    "autotune_wallclock",
+    "machine_fingerprint",
+    "shape_class",
+    "validate_probe_shape",
+]
+
+#: environment variable overriding the on-disk tuning-cache location
+REPRO_TUNE_CACHE_ENV = "REPRO_TUNE_CACHE"
+
+
+def validate_probe_shape(
+    probe_shape: tuple[int, int, int], kernel: PlaneKernel
+) -> None:
+    """Reject probe grids with no interior for the kernel's radius.
+
+    A radius-R kernel updates only ``[R, n-R)`` of each axis; a probe axis
+    of ``2R`` or less therefore has an *empty* interior, which silently
+    makes every per-update statistic a division by zero (or, one point
+    wider, a grid that is all edge effects and misleads the ranking).
+    """
+    r = kernel.radius
+    if len(probe_shape) != 3:
+        raise ValueError(f"probe_shape must be (nz, ny, nx), got {probe_shape!r}")
+    if min(probe_shape) <= 2 * r:
+        raise ValueError(
+            f"probe_shape {probe_shape} has no interior for kernel radius "
+            f"{r}: every axis must exceed 2*R = {2 * r} "
+            f"(got minimum {min(probe_shape)})"
+        )
 
 
 @dataclass(frozen=True)
@@ -65,6 +106,7 @@ def autotune_empirical(
     the probe sweeps with (the traffic model is backend-independent, but the
     wall-clock of the search itself benefits from the hot-path backends).
     """
+    validate_probe_shape(probe_shape, kernel)
     if precision is None:
         precision = "sp" if np.dtype(dtype).itemsize == 4 else "dp"
     if backend is not None:
@@ -113,3 +155,280 @@ def autotune_empirical(
         raise ValueError("no feasible candidate configurations")
     results.sort(key=lambda c: (not c.fits_capacity, c.predicted_time_per_update))
     return results
+
+
+# ----------------------------------------------------------------------
+# Wall-clock auto-tuning with a persistent on-disk cache
+# ----------------------------------------------------------------------
+
+
+def machine_fingerprint() -> str:
+    """Short stable hash identifying the measuring machine + toolchain.
+
+    Cached tuning results are only valid on the host (and library stack)
+    that produced them, so cache entries carry this fingerprint and are
+    invalidated when it changes.
+    """
+    try:
+        import numba  # noqa: F401
+
+        numba_version = numba.__version__
+    except Exception:
+        numba_version = "none"
+    blob = "|".join(
+        (
+            platform.machine(),
+            platform.processor() or "",
+            platform.python_version(),
+            str(os.cpu_count() or 0),
+            np.__version__,
+            numba_version,
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def shape_class(shape: tuple[int, ...]) -> str:
+    """Bucket a grid shape per-axis to the next power of two.
+
+    Wall-clock winners transfer well between nearby sizes, so the cache is
+    keyed by this coarse class rather than the exact shape — a 120^3 and a
+    128^3 probe share the entry, a 512^3 one does not.
+    """
+    return "x".join(
+        str(1 << max(0, int(n - 1).bit_length())) for n in shape
+    )
+
+
+class TuningCache:
+    """Persistent JSON store of wall-clock tuning winners.
+
+    Location: explicit ``path`` argument, else ``$REPRO_TUNE_CACHE``, else
+    ``$XDG_CACHE_HOME/repro/tuning.json`` (default ``~/.cache/repro``).
+    Entries are keyed by ``kernel|backend|dtype|shape-class`` and carry the
+    :func:`machine_fingerprint` of the measuring host; a lookup with a
+    different fingerprint is a miss, so stale entries self-invalidate.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        if path is None:
+            path = os.environ.get(REPRO_TUNE_CACHE_ENV)
+        if path is None:
+            base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+                os.path.expanduser("~"), ".cache"
+            )
+            path = os.path.join(base, "repro", "tuning.json")
+        self.path = Path(path)
+
+    @staticmethod
+    def key(
+        kernel: PlaneKernel, backend: str, dtype, shape: tuple[int, ...]
+    ) -> str:
+        name = type(getattr(kernel, "inner", kernel)).__name__
+        return "|".join(
+            (name, backend, np.dtype(dtype).name, shape_class(shape))
+        )
+
+    def _load(self) -> dict:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def get(self, key: str, fingerprint: str | None = None) -> dict | None:
+        """Return the entry for ``key`` if its fingerprint matches."""
+        if fingerprint is None:
+            fingerprint = machine_fingerprint()
+        entry = self._load().get(key)
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("fingerprint") != fingerprint:
+            return None
+        return entry
+
+    def put(self, key: str, entry: dict) -> None:
+        """Insert/replace ``key``; atomic via write-to-temp + rename."""
+        data = self._load()
+        data[key] = entry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+@dataclass(frozen=True)
+class WallClockCandidate:
+    """One configuration timed on the probe grid (best-first in results)."""
+
+    dim_t: int
+    tile: int
+    seconds_per_round: float
+    seconds_per_update: float
+    buffer_bytes: int
+    fits_capacity: bool
+
+
+@dataclass
+class WallClockResult:
+    """Outcome of :func:`autotune_wallclock`.
+
+    ``probe_runs`` counts every timed/warmup sweep executed; a warm-cache
+    invocation answers from disk with ``probe_runs == 0``.
+    """
+
+    best: WallClockCandidate
+    candidates: list[WallClockCandidate] = field(default_factory=list)
+    probe_runs: int = 0
+    from_cache: bool = False
+    cache_key: str = ""
+    backend: str = ""
+
+
+def autotune_wallclock(
+    kernel: PlaneKernel,
+    machine=None,
+    dtype=np.float32,
+    probe_shape: tuple[int, int, int] = (12, 96, 96),
+    dim_t_candidates: tuple[int, ...] = (1, 2, 3, 4, 6),
+    tile_candidates: tuple[int, ...] | None = None,
+    capacity: int | None = None,
+    seed: int = 0,
+    backend: str = "fused-numpy",
+    repeats: int = 3,
+    warmup: int = 1,
+    probe_field: Field3D | None = None,
+    cache: TuningCache | None = None,
+    use_cache: bool = True,
+    refresh: bool = False,
+) -> WallClockResult:
+    """Pick (dim_T, tile) by timing real fused sweeps; persist the winner.
+
+    Unlike :func:`autotune_empirical` (roofline on *modelled* machines) this
+    ranks candidates by measured wall-clock on *this* host: each feasible
+    configuration runs ``warmup`` untimed rounds then ``repeats`` timed ones
+    through the requested backend, and the median seconds-per-round decides.
+
+    Winners are persisted in a :class:`TuningCache` keyed by
+    (kernel, backend, dtype, shape-class, machine fingerprint); a repeat
+    invocation with a warm cache performs **zero** probe runs
+    (``result.from_cache`` is True, ``result.probe_runs == 0``).  Pass
+    ``refresh=True`` to force re-measurement, ``use_cache=False`` to bypass
+    the cache entirely.
+
+    ``machine``/``capacity`` only gate the Equation-1 capacity flag; with
+    neither given every candidate is considered fitting (the measurement
+    itself already reflects the real cache hierarchy).
+    """
+    if probe_field is not None:
+        probe_shape = probe_field.shape
+    validate_probe_shape(probe_shape, kernel)
+    fingerprint = machine_fingerprint()
+    if cache is None and use_cache:
+        cache = TuningCache()
+    key = TuningCache.key(kernel, backend, dtype, probe_shape)
+
+    if use_cache and cache is not None and not refresh:
+        entry = cache.get(key, fingerprint)
+        if entry is not None:
+            best = WallClockCandidate(
+                dim_t=int(entry["dim_t"]),
+                tile=int(entry["tile"]),
+                seconds_per_round=float(entry["seconds_per_round"]),
+                seconds_per_update=float(entry["seconds_per_update"]),
+                buffer_bytes=int(entry["buffer_bytes"]),
+                fits_capacity=bool(entry["fits_capacity"]),
+            )
+            return WallClockResult(
+                best=best,
+                candidates=[best],
+                probe_runs=0,
+                from_cache=True,
+                cache_key=key,
+                backend=backend,
+            )
+
+    # lazy import: repro.core must not depend on repro.perf at module level
+    from ..perf.backends import wrap_kernel
+
+    run_kernel = wrap_kernel(kernel, backend)
+    if capacity is None and machine is not None:
+        capacity = machine.blocking_capacity
+    esize = run_kernel.element_size(dtype)
+    if probe_field is None:
+        probe_field = Field3D.random(
+            probe_shape, ncomp=kernel.ncomp, dtype=dtype, seed=seed
+        )
+    npts = interior_points(probe_shape, kernel.radius)
+
+    if tile_candidates is None:
+        tile_candidates = tuple(
+            t for t in (16, 24, 32, 48, 64, 96) if t <= min(probe_shape[1:])
+        )
+
+    probe_runs = 0
+    results: list[WallClockCandidate] = []
+    for dim_t in dim_t_candidates:
+        for tile in tile_candidates:
+            if tile <= 2 * kernel.radius * dim_t:
+                continue
+            try:
+                executor = Blocking35D(run_kernel, dim_t, tile, tile)
+                times = []
+                for rep in range(warmup + repeats):
+                    t0 = time.perf_counter()
+                    executor.run(probe_field, dim_t)
+                    elapsed = time.perf_counter() - t0
+                    probe_runs += 1
+                    if rep >= warmup:
+                        times.append(elapsed)
+            except ValueError:
+                continue
+            sec = float(np.median(times))
+            buf = capacity_bytes_needed(esize, kernel.radius, dim_t, tile, tile)
+            results.append(
+                WallClockCandidate(
+                    dim_t=dim_t,
+                    tile=tile,
+                    seconds_per_round=sec,
+                    seconds_per_update=sec / (npts * dim_t),
+                    buffer_bytes=buf,
+                    fits_capacity=capacity is None or buf <= capacity,
+                )
+            )
+    if not results:
+        raise ValueError("no feasible candidate configurations")
+    results.sort(key=lambda c: (not c.fits_capacity, c.seconds_per_update))
+    best = results[0]
+
+    if use_cache and cache is not None:
+        cache.put(
+            key,
+            {
+                "fingerprint": fingerprint,
+                "dim_t": best.dim_t,
+                "tile": best.tile,
+                "seconds_per_round": best.seconds_per_round,
+                "seconds_per_update": best.seconds_per_update,
+                "buffer_bytes": best.buffer_bytes,
+                "fits_capacity": best.fits_capacity,
+                "probe_shape": list(probe_shape),
+            },
+        )
+    return WallClockResult(
+        best=best,
+        candidates=results,
+        probe_runs=probe_runs,
+        from_cache=False,
+        cache_key=key,
+        backend=backend,
+    )

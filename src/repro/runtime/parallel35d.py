@@ -20,6 +20,8 @@ bandwidth use is imbalanced (the Section II critique of Habich/Wellein).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.blocking35d import Blocking35D
 from ..core.schedule import build_schedule
 from ..core.traffic import TrafficStats
@@ -74,8 +76,11 @@ class ParallelBlocking35D:
             return field.copy()
         pool = self._pool or WorkerPool(self.n_threads)
         try:
-            src = field.copy()
-            dst = field.like()
+            # Persistent ping/pong buffers (see Blocking35D._ping_pong): keeps
+            # fused-sweep instruction plans bound across runs; the result is
+            # copied out below, so returned fields stay independent.
+            src, dst = self.inner._ping_pong(field)
+            np.copyto(src.data, field.data)
             copy_shell(src, dst, self.kernel.radius)
             thread_stats = [TrafficStats() for _ in range(self.n_threads)]
             token = object()  # shell planes are loaded once per run
@@ -92,7 +97,7 @@ class ParallelBlocking35D:
                     traffic.merge(ts)
             if per_thread_traffic is not None:
                 per_thread_traffic.extend(thread_stats)
-            return src
+            return src.copy()
         finally:
             if self._owns_pool:
                 pool.shutdown()
@@ -117,11 +122,30 @@ class ParallelBlocking35D:
             traffic.notes.setdefault("threads", self.n_threads)
             traffic.notes.setdefault("round_t", []).append(round_t)
         iterations = schedule.iterations()
+        tile_runner = getattr(self.kernel, "tile_runner", None)
         for tile in tiles:
             ctx = inner._tile_context(src, tile, round_t)
             inner._load_shell_planes(src, ctx, traffic, shell_token)
-            regions = inner.instance_regions(ctx, src.shape, round_t)
             rows = partition_span(ctx.ey[0], ctx.ey[1], self.n_threads)
+            if tile_runner is not None:
+                # Fused sweep: every worker executes the whole z-iteration on
+                # its row span in one call (repro.perf.fused); run_spmd still
+                # supplies the paper's single barrier per z-iteration.
+                runner = tile_runner(inner, src, dst, ctx, schedule, round_t)
+                if runner is not None:
+                    for k in runner.iteration_keys:
+
+                        def run_fused(tid: int, k=k) -> None:
+                            row = rows[tid]
+                            if row[0] >= row[1]:
+                                return
+                            runner.run_iteration(
+                                k, rows=row, traffic=thread_stats[tid]
+                            )
+
+                        pool.run_spmd(run_fused)
+                    continue
+            regions = inner.instance_regions(ctx, src.shape, round_t)
             for k in sorted(iterations):
                 steps_k = iterations[k]
 

@@ -1,0 +1,310 @@
+"""Tests for the fused z-iteration sweep layer and the wall-clock autotuner.
+
+Fused sweeps (:mod:`repro.perf.fused`) must be *bit-identical* to the naive
+reference for every executor, thread count, and dim_T — they re-order
+nothing, they only pre-lower the per-step work into one instruction plan per
+z-iteration.  The wall-clock autotuner must answer repeat invocations from
+its persistent cache with zero probe runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Blocking35D, TrafficStats, run_naive
+from repro.core.autotune import (
+    REPRO_TUNE_CACHE_ENV,
+    TuningCache,
+    autotune_empirical,
+    autotune_wallclock,
+    machine_fingerprint,
+    shape_class,
+)
+from repro.machine import CORE_I7
+from repro.perf.backends import (
+    BackendUnavailableError,
+    backend_names,
+    get_backend,
+    wrap_kernel,
+)
+from repro.runtime import ParallelBlocking35D
+from repro.stencils import (
+    Field3D,
+    SevenPointStencil,
+    TwentySevenPointStencil,
+    VariableCoefficientStencil,
+)
+from repro.stencils.generic import box_stencil, star_stencil
+
+from .conftest import assert_fields_equal
+
+_NUMBA = get_backend("fused-numba").available
+
+
+def _varco(shape, dtype=np.float32):
+    rng = np.random.default_rng(7)
+    alpha = (0.8 + 0.4 * rng.random(shape)).astype(dtype)
+    beta = (0.05 + 0.02 * rng.random(shape)).astype(dtype)
+    return VariableCoefficientStencil(alpha=alpha, beta=beta)
+
+
+def _kernels(shape):
+    return {
+        "7pt": SevenPointStencil(),
+        "27pt": TwentySevenPointStencil(),
+        "star-r2": star_stencil(2),
+        "box-r1": box_stencil(1),
+        "varco": _varco(shape),
+    }
+
+
+def _fused_backends():
+    names = ["fused-numpy"]
+    if _NUMBA:  # pragma: no cover - depends on environment
+        names.append("fused-numba")
+    return names
+
+
+class TestRegistry:
+    def test_fused_backends_registered(self):
+        assert {"fused-numpy", "fused-numba"} <= set(backend_names())
+        assert get_backend("fused-numpy").available
+
+    def test_fused_numba_unavailable_message_is_actionable(self):
+        b = get_backend("fused-numba")
+        if b.available:  # pragma: no cover - depends on environment
+            pytest.skip("numba installed in this environment")
+        assert "pip install" in b.unavailable_reason
+        with pytest.raises(BackendUnavailableError, match="pip install"):
+            wrap_kernel(SevenPointStencil(), "fused-numba")
+
+    def test_wrapping_preserves_kernel_contract(self):
+        k = wrap_kernel(star_stencil(2), "fused-numpy")
+        assert k.radius == 2
+        assert k.ncomp == 1
+        inner = SevenPointStencil()
+        w = wrap_kernel(inner, "fused-numpy")
+        assert type(w.padded_for(1, (8, 8, 8))) is type(w)
+        assert type(w.restricted_to(1, 7)) is type(w)
+
+
+class TestFusedBitExactness:
+    @pytest.mark.parametrize("backend", _fused_backends())
+    @pytest.mark.parametrize("name", ["7pt", "27pt", "star-r2", "box-r1", "varco"])
+    def test_serial_matches_naive(self, backend, name):
+        shape = (10, 20, 20)
+        kernel = _kernels(shape)[name]
+        field = Field3D.random(shape, dtype=np.float32, seed=3)
+        wrapped = wrap_kernel(kernel, backend)
+        for dim_t, tile in ((1, 20), (2, 12), (3, 10)):
+            if tile <= 2 * kernel.radius * dim_t:
+                continue
+            out = Blocking35D(wrapped, dim_t, tile, tile).run(field, 5)
+            ref = run_naive(kernel, field, 5)
+            assert_fields_equal(out, ref)
+
+    @pytest.mark.parametrize("backend", _fused_backends())
+    @pytest.mark.parametrize("threads", [1, 3])
+    @pytest.mark.parametrize("name", ["7pt", "27pt", "star-r2", "varco"])
+    def test_parallel_matches_naive(self, backend, threads, name):
+        shape = (9, 18, 18)
+        kernel = _kernels(shape)[name]
+        field = Field3D.random(shape, dtype=np.float32, seed=4)
+        wrapped = wrap_kernel(kernel, backend)
+        ex = ParallelBlocking35D(wrapped, 2, 12, 12, threads)
+        out = ex.run(field, 5)
+        ref = run_naive(kernel, field, 5)
+        assert_fields_equal(out, ref)
+
+    @pytest.mark.parametrize("backend", _fused_backends())
+    def test_double_precision(self, backend):
+        field = Field3D.random((8, 16, 16), dtype=np.float64, seed=5)
+        wrapped = wrap_kernel(SevenPointStencil(), backend)
+        out = Blocking35D(wrapped, 2, 12, 12).run(field, 4)
+        assert_fields_equal(out, run_naive(SevenPointStencil(), field, 4))
+
+    @pytest.mark.parametrize("backend", _fused_backends())
+    def test_full_plane_tile(self, backend):
+        """tile >= plane exercises the direct-store (flat dst) path."""
+        field = Field3D.random((8, 12, 12), dtype=np.float32, seed=6)
+        wrapped = wrap_kernel(SevenPointStencil(), backend)
+        out = Blocking35D(wrapped, 2, 12, 12).run(field, 4)
+        assert_fields_equal(out, run_naive(SevenPointStencil(), field, 4))
+
+    def test_multicomponent_fallback(self):
+        """ncomp > 1 kernels (LBM) run through the per-plane fallback path."""
+        from repro.lbm import LBMKernel, Lattice
+
+        shape = (8, 10, 10)
+        rng = np.random.default_rng(0)
+        lat = Lattice.from_moments(
+            (1.0 + 0.02 * rng.random(shape)).astype(np.float32),
+            (0.01 * (rng.random((3,) + shape) - 0.5)).astype(np.float32),
+        )
+        kernel = LBMKernel(lat.flags, omega=1.2)
+        wrapped = wrap_kernel(kernel, "fused-numpy")
+        out = Blocking35D(wrapped, 2, 8, 8).run(lat.f, 4)
+        assert_fields_equal(out, run_naive(kernel, lat.f, 4))
+
+    def test_traffic_parity_with_numpy_backend(self):
+        """Fusing changes execution, not the external-traffic accounting."""
+        kernel = SevenPointStencil()
+        field = Field3D.random((10, 24, 24), dtype=np.float32, seed=1)
+        t_ref, t_fused = TrafficStats(), TrafficStats()
+        Blocking35D(wrap_kernel(kernel, "numpy"), 2, 16, 16).run(field, 4, t_ref)
+        Blocking35D(wrap_kernel(kernel, "fused-numpy"), 2, 16, 16).run(
+            field, 4, t_fused
+        )
+        assert t_fused.bytes_read == t_ref.bytes_read
+        assert t_fused.bytes_written == t_ref.bytes_written
+        assert t_fused.plane_loads == t_ref.plane_loads
+        assert t_fused.plane_stores == t_ref.plane_stores
+
+    def test_runner_cache_is_reused_across_runs(self):
+        kernel = wrap_kernel(SevenPointStencil(), "fused-numpy")
+        ex = Blocking35D(kernel, 2, 16, 16)
+        field = Field3D.random((8, 16, 16), dtype=np.float32, seed=2)
+        ex.run(field, 4)
+        ctxs = [c for c in ex._contexts.values()]
+        sizes = [len(c.fused) for c in ctxs if c.fused is not None]
+        ex.run(field, 4)
+        # the ping/pong buffers keep runner identity: no new runners appear
+        assert sizes == [len(c.fused) for c in ctxs if c.fused is not None]
+
+
+class TestProbeValidation:
+    def test_empirical_rejects_thin_probe(self):
+        with pytest.raises(ValueError, match="no interior"):
+            autotune_empirical(
+                star_stencil(2), CORE_I7, probe_shape=(4, 64, 64)
+            )
+
+    def test_wallclock_rejects_thin_probe(self):
+        with pytest.raises(ValueError, match="no interior"):
+            autotune_wallclock(
+                SevenPointStencil(), probe_shape=(12, 2, 96), use_cache=False
+            )
+
+    def test_valid_probe_accepted(self):
+        results = autotune_empirical(
+            SevenPointStencil(),
+            CORE_I7,
+            probe_shape=(8, 24, 24),
+            dim_t_candidates=(1, 2),
+            tile_candidates=(16, 24),
+        )
+        assert results
+
+
+class TestTuningCache:
+    def test_shape_class_buckets_to_pow2(self):
+        assert shape_class((128, 128, 128)) == "128x128x128"
+        assert shape_class((120, 100, 65)) == "128x128x128"
+        assert shape_class((12, 96, 96)) == "16x128x128"
+
+    def test_fingerprint_is_stable(self):
+        assert machine_fingerprint() == machine_fingerprint()
+
+    def test_round_trip(self, tmp_path):
+        cache = TuningCache(tmp_path / "tuning.json")
+        entry = {"fingerprint": "abc", "dim_t": 4, "tile": 32}
+        cache.put("k", entry)
+        reloaded = TuningCache(tmp_path / "tuning.json")
+        assert reloaded.get("k", fingerprint="abc") == entry
+
+    def test_fingerprint_mismatch_invalidates(self, tmp_path):
+        cache = TuningCache(tmp_path / "tuning.json")
+        cache.put("k", {"fingerprint": "abc", "dim_t": 4, "tile": 32})
+        assert cache.get("k", fingerprint="other") is None
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(REPRO_TUNE_CACHE_ENV, str(tmp_path / "alt.json"))
+        assert TuningCache().path == tmp_path / "alt.json"
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text("{not json")
+        cache = TuningCache(path)
+        assert cache.get("k", fingerprint="abc") is None
+        cache.put("k", {"fingerprint": "abc"})  # overwrites cleanly
+        assert cache.get("k", fingerprint="abc") is not None
+
+
+class TestWallClockAutotune:
+    _kwargs = dict(
+        probe_shape=(8, 24, 24),
+        dim_t_candidates=(1, 2),
+        tile_candidates=(16, 24),
+        repeats=2,
+        warmup=1,
+    )
+
+    def test_cold_run_measures_and_persists(self, tmp_path):
+        cache = TuningCache(tmp_path / "tuning.json")
+        res = autotune_wallclock(SevenPointStencil(), cache=cache, **self._kwargs)
+        assert not res.from_cache
+        assert res.probe_runs > 0
+        assert res.best.seconds_per_round > 0
+        assert cache.get(res.cache_key) is not None
+
+    def test_warm_cache_performs_zero_probe_runs(self, tmp_path):
+        cache = TuningCache(tmp_path / "tuning.json")
+        cold = autotune_wallclock(SevenPointStencil(), cache=cache, **self._kwargs)
+        warm = autotune_wallclock(SevenPointStencil(), cache=cache, **self._kwargs)
+        assert warm.from_cache
+        assert warm.probe_runs == 0
+        assert (warm.best.dim_t, warm.best.tile) == (cold.best.dim_t, cold.best.tile)
+
+    def test_refresh_forces_remeasurement(self, tmp_path):
+        cache = TuningCache(tmp_path / "tuning.json")
+        autotune_wallclock(SevenPointStencil(), cache=cache, **self._kwargs)
+        res = autotune_wallclock(
+            SevenPointStencil(), cache=cache, refresh=True, **self._kwargs
+        )
+        assert not res.from_cache
+        assert res.probe_runs > 0
+
+    def test_candidates_ranked_by_measured_time(self, tmp_path):
+        cache = TuningCache(tmp_path / "tuning.json")
+        res = autotune_wallclock(SevenPointStencil(), cache=cache, **self._kwargs)
+        fitting = [c.seconds_per_update for c in res.candidates if c.fits_capacity]
+        assert fitting == sorted(fitting)
+
+    def test_capacity_gate(self, tmp_path):
+        cache = TuningCache(tmp_path / "tuning.json")
+        res = autotune_wallclock(
+            SevenPointStencil(), capacity=1, cache=cache, **self._kwargs
+        )
+        assert not any(c.fits_capacity for c in res.candidates)
+
+    def test_cache_disabled(self):
+        res = autotune_wallclock(
+            SevenPointStencil(), use_cache=False, **self._kwargs
+        )
+        assert not res.from_cache
+        assert res.probe_runs > 0
+
+
+class TestCLI:
+    def test_tune_wallclock_mode(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv(REPRO_TUNE_CACHE_ENV, str(tmp_path / "tuning.json"))
+        assert main(["tune", "--mode", "wallclock", "--kernel", "7pt"]) == 0
+        out = capsys.readouterr().out
+        assert "dim_T" in out and "wallclock" in out
+        # warm repeat answers from the cache
+        assert main(["tune", "--mode", "wallclock", "--kernel", "7pt"]) == 0
+        assert "0 probe runs" in capsys.readouterr().out
+
+    def test_run_with_wallclock_tuning(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv(REPRO_TUNE_CACHE_ENV, str(tmp_path / "tuning.json"))
+        rc = main(
+            ["run", "--kernel", "7pt", "--grid", "16", "--steps", "2",
+             "--tune", "wallclock", "--backend", "fused-numpy"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "autotuned" in out
+        assert "bit-identical" in out
