@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core import Blocking35D, run_naive
 from repro.perf.backends import available_backends, wrap_kernel
+from repro.resilience import GuardedSweep, bind_with_fallback
 from repro.runtime import ParallelBlocking35D
 from repro.stencils import (
     Field3D,
@@ -88,23 +89,30 @@ def bench_case(
     print(f"{'backend':<16} {'ms/run':>9} {'GUPS':>8} {'vs numpy':>9}")
     executors = {}
     for bname in backends:
-        wrapped = wrap_kernel(kernel, bname)
+        # bind through the resilience layer — the gate must hold with the
+        # full production path (fallback chain + guarded sweep) enabled
+        bound = bind_with_fallback(kernel, bname)
+        if bound.used != bname:
+            print(f"{bname:<16} degraded to {bound.used}; skipped")
+            continue
+        wrapped = bound.kernel
         if threads > 1:
-            ex = ParallelBlocking35D(wrapped, dim_t, tile, tile, threads)
+            inner = ParallelBlocking35D(wrapped, dim_t, tile, tile, threads)
         else:
-            ex = Blocking35D(wrapped, dim_t, tile, tile)
+            inner = Blocking35D(wrapped, dim_t, tile, tile)
+        ex = GuardedSweep(inner)
         out = ex.run(field, steps)  # warm-up + correctness
         if ref is not None and not np.array_equal(out.data, ref.data):
             print(f"{bname:<16} BIT-EXACTNESS FAILURE vs naive reference")
             raise SystemExit(1)
         executors[bname] = ex
     # Interleave timed repeats so machine-speed drift hits all backends alike.
-    best = {bname: float("inf") for bname in backends}
+    best = {bname: float("inf") for bname in executors}
     for _ in range(repeats):
         for bname, ex in executors.items():
             best[bname] = min(best[bname], _timed(ex.run, field, steps))
     gups = {bname: n_updates / t / 1e9 for bname, t in best.items()}
-    for bname in backends:
+    for bname in executors:
         ratio = gups[bname] / gups[backends[0]]
         print(f"{bname:<16} {best[bname] * 1e3:>9.2f} {gups[bname]:>8.4f} "
               f"{ratio:>8.2f}x")

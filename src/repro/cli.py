@@ -57,6 +57,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="auto-pick dim_T/tile before running (3.5d scheme only): "
         "'wallclock' times real sweeps and caches the winner on disk",
     )
+    run.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="bind the requested backend directly; a failure aborts instead "
+        "of degrading down the fallback chain",
+    )
+    run.add_argument(
+        "--health",
+        choices=["off", "raise", "warn", "repair"],
+        default="raise",
+        help="per-round NaN/Inf policy (default 'raise'); 'repair' rolls "
+        "back to the last good state",
+    )
+    run.add_argument(
+        "--retries", type=int, default=0,
+        help="retries per round for rounds that raise (default 0)",
+    )
+    run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot the grid to PATH every --checkpoint-every rounds",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="rounds between snapshots (default 1)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="restart from the --checkpoint snapshot if one matches this run",
+    )
+    run.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="watchdog deadline per threaded z-sweep (--threads > 1); a "
+        "stalled worker raises with per-thread stack dumps",
+    )
 
     tune = sub.add_parser("tune", help="Section VI parameter selection")
     tune.add_argument("--kernel", choices=["7pt", "27pt", "lbm"], default="7pt")
@@ -123,7 +157,21 @@ def _make_kernel(name: str, grid: int, precision: str):
     return LBMKernel(lat.flags, omega=1.2), lat, dtype
 
 
+class _FnExecutor:
+    """Adapter giving function-style schemes the executor ``run`` shape."""
+
+    dim_t = 1
+
+    def __init__(self, fn, kernel):
+        self.fn = fn
+        self.kernel = kernel
+
+    def run(self, field, steps, traffic=None):
+        return self.fn(self.kernel, field, steps, traffic)
+
+
 def _cmd_run(args) -> int:
+    """Exit codes: 0 clean, 2 usage error, 3 degraded-but-correct, 4 failed."""
     import time
 
     from repro.core import (
@@ -140,20 +188,51 @@ def _cmd_run(args) -> int:
         default_backend_name,
         wrap_kernel,
     )
+    from repro.resilience import (
+        CheckpointStore,
+        FallbackExhaustedError,
+        GuardedSweep,
+        ResilienceError,
+        RunReport,
+        bind_with_fallback,
+    )
     from repro.runtime import ParallelBlocking35D
     from repro.stencils import Field3D
 
-    ref_kernel, lattice, dtype = _make_kernel(args.kernel, args.grid, args.precision)
-    backend_name = args.backend if args.backend is not None else default_backend_name()
-    try:
-        kernel = wrap_kernel(ref_kernel, backend_name)
-    except (ValueError, BackendUnavailableError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
+
+    ref_kernel, lattice, dtype = _make_kernel(args.kernel, args.grid, args.precision)
     if lattice is not None:
         field = lattice.f
     else:
         field = Field3D.random((args.grid,) * 3, dtype=dtype, seed=args.seed)
+
+    backend_name = args.backend if args.backend is not None else default_backend_name()
+    report = RunReport(requested_backend=backend_name)
+    if args.no_fallback:
+        try:
+            kernel = wrap_kernel(ref_kernel, backend_name)
+        except (ValueError, BackendUnavailableError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ResilienceError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 4
+        report.used_backend = backend_name
+    else:
+        try:
+            bound = bind_with_fallback(ref_kernel, backend_name, probe_field=field)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except FallbackExhaustedError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 4
+        kernel = bound.kernel
+        report.used_backend = bound.used
+        report.degradations = list(bound.degradations)
 
     tuned = None
     if args.tune == "wallclock":
@@ -164,37 +243,56 @@ def _cmd_run(args) -> int:
             from repro.core.autotune import autotune_wallclock
 
             tuned = autotune_wallclock(
-                ref_kernel, dtype=dtype, backend=backend_name,
+                ref_kernel, dtype=dtype, backend=report.used_backend,
                 probe_field=field, repeats=2,
             )
             args.dim_t, args.tile = tuned.best.dim_t, tuned.best.tile
 
-    traffic = TrafficStats()
-    t0 = time.perf_counter()
     if args.scheme == "naive":
-        out = run_naive(kernel, field, args.steps, traffic)
+        ex = _FnExecutor(run_naive, kernel)
     elif args.scheme == "3d":
         ex = Blocking3D(kernel, args.tile, args.tile, args.tile)
-        out = ex.run(field, args.steps, traffic)
     elif args.scheme == "2.5d":
-        out = Blocking25D(kernel, args.tile, args.tile).run(field, args.steps, traffic)
+        ex = Blocking25D(kernel, args.tile, args.tile)
     elif args.scheme == "4d":
         ex = Blocking4D(kernel, args.dim_t, args.tile, args.tile, args.tile)
-        out = ex.run(field, args.steps, traffic)
     elif args.scheme == "cache-oblivious":
-        out = run_cache_oblivious(kernel, field, args.steps, traffic)
+        ex = _FnExecutor(run_cache_oblivious, kernel)
     elif args.threads > 1:
-        ex = ParallelBlocking35D(kernel, args.dim_t, args.tile, args.tile, args.threads)
-        out = ex.run(field, args.steps, traffic)
+        ex = ParallelBlocking35D(
+            kernel, args.dim_t, args.tile, args.tile, args.threads,
+            spmd_deadline=args.deadline,
+        )
     else:
         ex = Blocking35D(kernel, args.dim_t, args.tile, args.tile)
-        out = ex.run(field, args.steps, traffic)
+
+    checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
+    guard = GuardedSweep(
+        ex,
+        health=args.health,
+        max_retries=args.retries,
+        checkpoint=checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        meta={
+            "kernel": args.kernel, "scheme": args.scheme, "grid": args.grid,
+            "precision": args.precision, "seed": args.seed,
+        },
+        report=report,
+    )
+
+    traffic = TrafficStats()
+    t0 = time.perf_counter()
+    try:
+        out = guard.run(field, args.steps, traffic, resume=args.resume)
+    except ResilienceError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 4
     elapsed = time.perf_counter() - t0
 
     n_updates = args.grid**3 * args.steps
     print(f"kernel       : {args.kernel} ({args.precision.upper()})")
     print(f"scheme       : {args.scheme}")
-    print(f"backend      : {backend_name}")
+    print(f"backend      : {report.used_backend}")
     if tuned is not None:
         origin = ("cache hit, 0 probe runs" if tuned.from_cache
                   else f"measured, {tuned.probe_runs} probe runs")
@@ -213,8 +311,10 @@ def _cmd_run(args) -> int:
             print("check        : bit-identical to the naive reference")
         else:
             print("check        : MISMATCH against the naive reference")
-            return 1
-    return 0
+            return 4
+    for line in report.lines():
+        print(line)
+    return 3 if report.degraded else 0
 
 
 def _cmd_tune_wallclock(args, machine) -> int:

@@ -230,12 +230,32 @@ class TuningCache:
         )
 
     def _load(self) -> dict:
+        """The cache contents; malformed files are quarantined, never fatal.
+
+        A truncated or corrupt JSON file (a crash mid-write, a bad disk) is
+        renamed to ``*.corrupt`` and treated as empty, so a poisoned cache
+        can neither kill ``run --tune wallclock`` at startup nor keep
+        re-poisoning every later run.
+        """
         try:
             with open(self.path, encoding="utf-8") as fh:
                 data = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
             return {}
-        return data if isinstance(data, dict) else {}
+        except ValueError:
+            self._quarantine()
+            return {}
+        if not isinstance(data, dict):
+            self._quarantine()
+            return {}
+        return data
+
+    def _quarantine(self) -> None:
+        corrupt = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, corrupt)
+        except OSError:
+            pass
 
     def get(self, key: str, fingerprint: str | None = None) -> dict | None:
         """Return the entry for ``key`` if its fingerprint matches."""
@@ -249,14 +269,30 @@ class TuningCache:
         return entry
 
     def put(self, key: str, entry: dict) -> None:
-        """Insert/replace ``key``; atomic via write-to-temp + rename."""
+        """Insert/replace ``key``; crash-safe via write-to-temp + rename.
+
+        The temp file is flushed and fsynced before the atomic
+        ``os.replace``, so a crash at any point leaves either the old
+        complete file or the new complete file — never a truncated one.
+        (The ``cache.corrupt`` fault site simulates the crash a *non*-atomic
+        writer would suffer, for the quarantine tests.)
+        """
+        from ..resilience.faultinject import FAULTS
+
         data = self._load()
         data[key] = entry
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        serialized = json.dumps(data, indent=2, sort_keys=True) + "\n"
+        if FAULTS.should("cache.corrupt"):
+            # simulated crash mid-write: a half-written JSON at the real path
+            with open(self.path, "w", encoding="utf-8") as fh:
+                fh.write(serialized[: max(1, len(serialized) // 2)])
+            return
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(data, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+            fh.write(serialized)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.path)
 
     def clear(self) -> None:

@@ -1,11 +1,12 @@
 """Distributed-memory layer: slab decomposition + simulated message passing."""
 
-from .comm import CommStats, SimComm, transfer_time
+from .comm import CommFailedError, CommStats, SimComm, transfer_time
 from .decompose import Slab, decompose_z
 from .runner import DistributedJacobi
 
 __all__ = [
     "SimComm",
+    "CommFailedError",
     "CommStats",
     "transfer_time",
     "Slab",

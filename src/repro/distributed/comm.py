@@ -12,16 +12,33 @@ and a latency/bandwidth cost model.
 Ranks execute sequentially inside the driver (a valid schedule of the real
 parallel execution); all sends of a phase complete before the matching
 receives, like buffered MPI sends.
+
+Long-running sweeps must survive imperfect transport, so the communicator
+also models it: a deterministic per-transmission *loss/corruption* mode
+(``loss``/``corruption`` probabilities under a seeded RNG, plus the
+``comm.drop``/``comm.corrupt`` fault sites) with a simple ack/retry
+protocol on top.  Every payload travels with a checksum; a receiver that
+finds the message dropped or checksummed wrong requests a retransmission
+from the sender's reliable outbox, up to ``max_retries`` times, before
+:class:`CommFailedError` surfaces.  Retries are counted per rank in
+:class:`CommStats`, so the cost of an unreliable link is measurable.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CommStats", "SimComm", "transfer_time"]
+from ..resilience.faultinject import FAULTS, ResilienceError
+
+__all__ = ["CommFailedError", "CommStats", "SimComm", "transfer_time"]
+
+
+class CommFailedError(ResilienceError):
+    """A message stayed undeliverable after every allowed retransmission."""
 
 
 @dataclass
@@ -32,39 +49,126 @@ class CommStats:
     messages_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    dropped: int = 0
+    corrupted: int = 0
+    retries: int = 0
 
     def merge(self, other: "CommStats") -> None:
         self.messages_sent += other.messages_sent
         self.messages_received += other.messages_received
         self.bytes_sent += other.bytes_sent
         self.bytes_received += other.bytes_received
+        self.dropped += other.dropped
+        self.corrupted += other.corrupted
+        self.retries += other.retries
+
+
+class _Message:
+    """One in-flight message: pristine retransmit copy plus the wire state."""
+
+    __slots__ = ("pristine", "wire", "checksum")
+
+    def __init__(self, pristine: np.ndarray, wire: np.ndarray | None,
+                 checksum: int) -> None:
+        self.pristine = pristine
+        self.wire = wire  # None = lost in flight
+        self.checksum = checksum
+
+
+def _checksum(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
 
 
 class SimComm:
-    """An in-process communicator for ``size`` ranks."""
+    """An in-process communicator for ``size`` ranks.
 
-    def __init__(self, size: int) -> None:
+    ``loss`` and ``corruption`` are per-transmission probabilities drawn
+    from a ``seed``-initialized RNG (deterministic across runs); the
+    ``comm.drop``/``comm.corrupt`` fault sites force the same fates
+    regardless of the probabilities.  ``max_retries`` bounds the
+    retransmissions the ack/retry protocol attempts per message.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        loss: float = 0.0,
+        corruption: float = 0.0,
+        seed: int = 0,
+        max_retries: int = 3,
+    ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
+        if not 0.0 <= loss < 1.0 or not 0.0 <= corruption < 1.0:
+            raise ValueError("loss/corruption must be probabilities in [0, 1)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.size = size
-        self._mail: dict[tuple[int, int, int], deque[np.ndarray]] = {}
+        self.loss = loss
+        self.corruption = corruption
+        self.max_retries = max_retries
+        self._rng = np.random.default_rng(seed)
+        self._mail: dict[tuple[int, int, int], deque[_Message]] = {}
         self.stats = [CommStats() for _ in range(size)]
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} outside [0, {self.size})")
 
+    # -- transport -----------------------------------------------------
+    def _transmit(self, src: int, payload: np.ndarray) -> np.ndarray | None:
+        """One transmission attempt: the wire copy, corrupted, or ``None``.
+
+        The fault sites are consulted first (so tests can force fates
+        deterministically), then the seeded RNG applies the configured
+        loss/corruption probabilities.
+        """
+        if FAULTS.should("comm.drop", detail=str(src)):
+            fate = "drop"
+        elif FAULTS.should("comm.corrupt", detail=str(src)):
+            fate = "corrupt"
+        elif self.loss and self._rng.random() < self.loss:
+            fate = "drop"
+        elif self.corruption and self._rng.random() < self.corruption:
+            fate = "corrupt"
+        else:
+            return payload
+        if fate == "drop":
+            self.stats[src].dropped += 1
+            return None
+        wire = payload.copy()
+        flat = wire.reshape(-1).view(np.uint8)
+        if flat.size == 0:  # nothing to corrupt: treat as a drop
+            self.stats[src].dropped += 1
+            return None
+        flat[int(self._rng.integers(flat.size))] ^= 0xFF  # single bit-level hit
+        self.stats[src].corrupted += 1
+        return wire
+
     def send(self, src: int, dst: int, tag: int, array: np.ndarray) -> None:
-        """Buffered send: the payload is copied at send time (MPI semantics)."""
+        """Buffered send: the payload is copied at send time (MPI semantics).
+
+        The pristine copy stays in the sender's outbox until delivery, so
+        the receiver-driven retry protocol can retransmit it.
+        """
         self._check_rank(src)
         self._check_rank(dst)
         payload = np.ascontiguousarray(array).copy()
-        self._mail.setdefault((src, dst, tag), deque()).append(payload)
+        wire = self._transmit(src, payload)
+        msg = _Message(payload, wire, _checksum(payload))
+        self._mail.setdefault((src, dst, tag), deque()).append(msg)
         self.stats[src].messages_sent += 1
         self.stats[src].bytes_sent += payload.nbytes
 
     def recv(self, src: int, dst: int, tag: int) -> np.ndarray:
-        """Receive the oldest matching message; raises if none is pending."""
+        """Receive the oldest matching message; raises if none is pending.
+
+        A dropped or corrupted wire copy triggers the ack/retry protocol:
+        the receiver requests a retransmission of the pristine payload
+        (each resend counted against both ranks) until it checksums clean
+        or ``max_retries`` is exhausted (:class:`CommFailedError`).
+        """
         self._check_rank(src)
         self._check_rank(dst)
         box = self._mail.get((src, dst, tag))
@@ -72,10 +176,24 @@ class SimComm:
             raise LookupError(
                 f"no message from rank {src} to rank {dst} with tag {tag}"
             )
-        payload = box.popleft()
+        msg = box.popleft()
+        wire = msg.wire
+        attempts = 0
+        while wire is None or _checksum(wire) != msg.checksum:
+            if attempts >= self.max_retries:
+                raise CommFailedError(
+                    f"message {src}->{dst} (tag {tag}) undeliverable after "
+                    f"{attempts} retransmission(s)"
+                )
+            attempts += 1
+            self.stats[dst].retries += 1
+            # nack + retransmit from the sender's reliable outbox
+            self.stats[src].messages_sent += 1
+            self.stats[src].bytes_sent += msg.pristine.nbytes
+            wire = self._transmit(src, msg.pristine)
         self.stats[dst].messages_received += 1
-        self.stats[dst].bytes_received += payload.nbytes
-        return payload
+        self.stats[dst].bytes_received += wire.nbytes
+        return wire
 
     def sendrecv(
         self,

@@ -63,6 +63,10 @@ class DistributedJacobi:
         tile_y: int | None = None,
         tile_x: int | None = None,
         scheme: str = "35d",
+        loss: float = 0.0,
+        corruption: float = 0.0,
+        comm_seed: int = 0,
+        max_retries: int = 3,
     ) -> None:
         if scheme not in ("35d", "naive"):
             raise ValueError(f"unknown scheme {scheme!r}")
@@ -74,6 +78,12 @@ class DistributedJacobi:
         self.tile_y = tile_y
         self.tile_x = tile_x
         self.scheme = scheme
+        # transport imperfection model, forwarded to SimComm: halo exchanges
+        # survive injected/random drops via its ack/retry protocol
+        self.loss = loss
+        self.corruption = corruption
+        self.comm_seed = comm_seed
+        self.max_retries = max_retries
 
     # ------------------------------------------------------------------
     def run(
@@ -91,7 +101,13 @@ class DistributedJacobi:
         r = self.kernel.radius
         halo = r * self.dim_t
         slabs = decompose_z(field.nz, self.n_ranks, halo)
-        comm = SimComm(self.n_ranks)
+        comm = SimComm(
+            self.n_ranks,
+            loss=self.loss,
+            corruption=self.corruption,
+            seed=self.comm_seed,
+            max_retries=self.max_retries,
+        )
         local = [field.data[:, s.z0 : s.z1].copy() for s in slabs]
 
         remaining = steps

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..resilience.faultinject import FAULTS
 from ..stencils.base import PlaneKernel, ScratchArena, validate_footprint
 
 __all__ = [
@@ -90,6 +91,7 @@ class InplaceKernel(PlaneKernel):
         return f"InplaceKernel({self.inner!r})"
 
     def compute_plane(self, out, src, yr, xr, gz=0, gy0=0, gx0=0, seam_writable=False):
+        FAULTS.fire("backend.compute", detail="numpy-inplace")
         self.inner.compute_plane_inplace(
             out, src, yr, xr, gz, gy0, gx0,
             arena=self.arena, seam_writable=seam_writable,
@@ -505,13 +507,16 @@ def wrap_kernel(kernel: PlaneKernel, backend: str | None = None) -> PlaneKernel:
     """Bind ``kernel`` to a backend (default: :func:`default_backend_name`).
 
     Raises :class:`BackendUnavailableError` when the backend exists but
-    cannot run here (e.g. ``numba`` without numba installed).
+    cannot run here (e.g. ``numba`` without numba installed).  The
+    ``backend.bind`` fault site fires here (detail = backend name), so the
+    fallback chain's bind-failure path is testable on any machine.
     """
     b = get_backend(backend if backend is not None else default_backend_name())
     if not b.available:
         raise BackendUnavailableError(
             f"backend {b.name!r} unavailable: {b.unavailable_reason}"
         )
+    FAULTS.fire("backend.bind", detail=b.name)
     return b.wrap(kernel)
 
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.schedule import Schedule, StepKind
+from ..resilience.faultinject import FAULTS
 from ..stencils.generic import GenericStencil
 from ..stencils.seven_point import SevenPointStencil
 from ..stencils.twentyseven_point import TwentySevenPointStencil
@@ -100,6 +101,7 @@ class FusedSweepKernel(InplaceKernel):
         when no fused execution is possible (never happens for the numpy
         engine, which has a universal fallback).
         """
+        FAULTS.fire("backend.compute", detail=f"fused-{self.engine}")
         cache = ctx.fused
         if cache is None:
             cache = ctx.fused = []

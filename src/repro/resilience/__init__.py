@@ -1,0 +1,77 @@
+"""Resilient execution layer: fault injection, fallback, watchdog, restart.
+
+The paper's 3.5D schedule keeps N persistent threads in lockstep with one
+barrier per z-iteration and assumes every backend, worker and cache file
+behaves perfectly.  This package is the part of the reproduction that
+drops that assumption:
+
+* :mod:`~repro.resilience.faultinject` — deterministic named fault sites
+  (armed via :data:`FAULTS` or ``$REPRO_FAULTS``) so every failure mode is
+  testable;
+* :mod:`~repro.resilience.fallback` — the bit-exact backend fallback chain
+  ``fused-numba -> fused-numpy -> numpy-inplace -> numpy``;
+* :mod:`~repro.resilience.watchdog` — :class:`GuardedSweep` per-round
+  NaN/Inf health checks, retry with exponential backoff, repair from the
+  last good state;
+* :mod:`~repro.resilience.checkpoint` — atomic grid+step snapshots and
+  bit-exact restart;
+* :mod:`~repro.resilience.report` — the structured record of every
+  degradation, mapped to the CLI's exit codes (0 clean, 3 degraded-but-
+  correct, 4 failed).
+
+See ``docs/robustness.md`` for the full contract.
+"""
+
+from .checkpoint import Checkpoint, CheckpointError, CheckpointStore
+from .fallback import (
+    FALLBACK_ORDER,
+    BoundBackend,
+    Degradation,
+    DegradedExecutionWarning,
+    FallbackExhaustedError,
+    bind_with_fallback,
+    fallback_chain,
+)
+from .faultinject import (
+    FAULTS,
+    REPRO_FAULTS_ENV,
+    SITES,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    ResilienceError,
+)
+from .report import RunReport
+from .watchdog import (
+    GuardedSweep,
+    HealthCheckError,
+    HealthWarning,
+    SweepRetriesExhaustedError,
+    grid_is_finite,
+)
+
+__all__ = [
+    "FAULTS",
+    "REPRO_FAULTS_ENV",
+    "SITES",
+    "FALLBACK_ORDER",
+    "BoundBackend",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "Degradation",
+    "DegradedExecutionWarning",
+    "FallbackExhaustedError",
+    "FaultInjector",
+    "FaultSpec",
+    "GuardedSweep",
+    "HealthCheckError",
+    "HealthWarning",
+    "InjectedFault",
+    "ResilienceError",
+    "RunReport",
+    "SweepRetriesExhaustedError",
+    "bind_with_fallback",
+    "fallback_chain",
+    "grid_is_finite",
+]

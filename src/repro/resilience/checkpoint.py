@@ -1,0 +1,106 @@
+"""Atomic checkpoint/restart for long sweeps.
+
+A blocked sweep's only state between rounds is the grid itself plus the
+number of steps already applied, so a checkpoint is exactly that: the field
+data and a step counter (plus free-form metadata so a resume can refuse a
+snapshot taken by a different experiment).  Snapshots are written with the
+same crash-safety discipline as the tuning cache — serialize to a temporary
+file in the same directory, then ``os.replace`` — so a crash mid-write can
+never destroy the previous good snapshot, and a truncated file found at
+load time is quarantined (renamed to ``*.corrupt``), never trusted.
+
+Restart is bit-exact: re-running the remaining rounds from a snapshot
+produces the same bits as the uninterrupted run, because each round reads
+only the full grid state of the previous one (the test suite asserts this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .faultinject import ResilienceError
+
+__all__ = ["Checkpoint", "CheckpointError", "CheckpointStore"]
+
+
+class CheckpointError(ResilienceError):
+    """A snapshot could not be written, or a resume was inconsistent."""
+
+
+@dataclass
+class Checkpoint:
+    """One loaded snapshot: grid data, steps already applied, metadata."""
+
+    data: np.ndarray  # (ncomp, nz, ny, nx), as Field3D stores it
+    step: int
+    meta: dict = field(default_factory=dict)
+
+
+class CheckpointStore:
+    """Atomic on-disk snapshots of (grid, step index) at a fixed path."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, data: np.ndarray, step: int, meta: dict | None = None) -> None:
+        """Atomically replace the snapshot with (``data``, ``step``)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    data=np.ascontiguousarray(data),
+                    step=np.int64(step),
+                    meta=np.frombuffer(
+                        json.dumps(meta or {}).encode(), dtype=np.uint8
+                    ),
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint {self.path}: {exc}"
+            ) from exc
+
+    def load(self) -> Checkpoint | None:
+        """The stored snapshot, or ``None`` (missing or quarantined-corrupt)."""
+        try:
+            with np.load(self.path, allow_pickle=False) as npz:
+                data = npz["data"]
+                step = int(npz["step"])
+                meta = json.loads(bytes(npz["meta"]).decode() or "{}")
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            self._quarantine()
+            return None
+        if data.ndim != 4 or step < 0 or not isinstance(meta, dict):
+            self._quarantine()
+            return None
+        return Checkpoint(data=data, step=step, meta=meta)
+
+    def _quarantine(self) -> None:
+        """Move a corrupt snapshot aside (``*.corrupt``) instead of trusting it."""
+        corrupt = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, corrupt)
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Delete the snapshot (end of a completed run)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

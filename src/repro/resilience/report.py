@@ -1,0 +1,57 @@
+"""Structured run reports: what degraded, what retried, what recovered.
+
+A resilient run that silently falls back to a slower backend is only half a
+feature — the run must *say* it degraded, in a machine-checkable form.
+:class:`RunReport` is that record: the fallback chain's degradations, the
+watchdog's retries/repairs, checkpoint activity, and warnings, plus the
+single ``degraded`` verdict the CLI maps to exit code 3
+(degraded-but-correct) versus 0 (clean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Accumulated resilience events of one run."""
+
+    requested_backend: str = ""
+    used_backend: str = ""
+    degradations: list = field(default_factory=list)
+    retries: int = 0
+    repairs: int = 0
+    rounds: int = 0
+    checkpoints_written: int = 0
+    resumed_from: int | None = None
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run completed but not on the clean path."""
+        return bool(self.degradations) or self.retries > 0 or self.repairs > 0
+
+    def lines(self) -> list[str]:
+        """Human-readable summary lines (empty for a clean run)."""
+        out = []
+        for deg in self.degradations:
+            out.append(f"degraded     : {deg}")
+        if self.used_backend and self.used_backend != self.requested_backend:
+            out.append(
+                f"backend used : {self.used_backend} "
+                f"(requested {self.requested_backend})"
+            )
+        if self.retries:
+            out.append(f"retries      : {self.retries}")
+        if self.repairs:
+            out.append(f"repairs      : {self.repairs}")
+        if self.resumed_from is not None:
+            out.append(f"resumed      : from step {self.resumed_from}")
+        if self.checkpoints_written:
+            out.append(f"checkpoints  : {self.checkpoints_written} written")
+        for w in self.warnings:
+            out.append(f"warning      : {w}")
+        return out

@@ -1,0 +1,242 @@
+"""Guarded sweep execution: health checks, retry, repair, checkpoints.
+
+:class:`GuardedSweep` wraps any executor with a ``run(field, steps[,
+traffic])`` method (the blocking executors, the threaded 3.5D executor, or
+a plain function adapter) and drives it **round by round** — chunks of
+``round_steps`` time steps, the executor's natural ``dim_T`` granularity.
+Driving rounds externally is bit-exact (each round reads only the full
+grid state of the previous one) and is what makes the guards possible:
+
+* after every round the grid is health-checked for NaN/Inf; the ``health``
+  policy decides whether a poisoned grid raises
+  (:class:`HealthCheckError`), warns and continues, or **repairs** — rolls
+  back to the last good state and re-executes the rounds since;
+* a round that *raises* a transient error (an injected fault, a flaky
+  backend) is retried up to ``max_retries`` times with exponential
+  backoff before :class:`SweepRetriesExhaustedError` surfaces the original
+  exception;
+* every ``checkpoint_every`` rounds the state is snapshotted atomically to
+  a :class:`~repro.resilience.checkpoint.CheckpointStore`, and ``run``
+  resumes from a matching snapshot — the crash/restart path of long sweeps.
+
+The ``grid.nan`` fault site fires here (poisoning one plane after a round)
+so every policy is testable without a genuinely unstable kernel.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+
+from .checkpoint import CheckpointStore
+from .faultinject import FAULTS, ResilienceError
+from .report import RunReport
+
+__all__ = [
+    "GuardedSweep",
+    "HealthCheckError",
+    "HealthWarning",
+    "SweepRetriesExhaustedError",
+    "grid_is_finite",
+]
+
+
+class HealthCheckError(ResilienceError):
+    """A round produced non-finite values and the policy is ``raise`` (or
+    repair was impossible/exhausted)."""
+
+
+class HealthWarning(UserWarning):
+    """A round produced non-finite values and the policy is ``warn``."""
+
+
+class SweepRetriesExhaustedError(ResilienceError):
+    """A round kept failing after every allowed retry."""
+
+
+def grid_is_finite(data: np.ndarray) -> bool:
+    """True when the grid holds no NaN/Inf (trivially true for int grids)."""
+    if not np.issubdtype(data.dtype, np.floating):
+        return True
+    return bool(np.isfinite(data).all())
+
+
+class GuardedSweep:
+    """Watchdog wrapper around an executor's ``run`` method.
+
+    Parameters
+    ----------
+    executor:
+        Anything with ``run(field, steps, traffic=None) -> Field3D``.
+    round_steps:
+        Steps advanced per guarded round; defaults to ``executor.dim_t``
+        (falling back to 1), the granularity at which chunked execution is
+        bit-identical to a single call.
+    health:
+        ``"off"``, ``"raise"``, ``"warn"`` or ``"repair"``.
+    max_retries:
+        Retries per round for rounds that raise; 0 disables catching.
+    backoff / backoff_factor:
+        First retry delay in seconds and its growth per retry.
+    checkpoint / checkpoint_every:
+        Optional :class:`CheckpointStore` and snapshot period in rounds.
+    meta:
+        Run identity stored in checkpoints; a resume refuses a snapshot
+        whose metadata differs.
+    report:
+        A :class:`RunReport` accumulating degradations/retries/repairs.
+    sleep:
+        Injection point for the backoff clock (tests pass a no-op).
+    """
+
+    def __init__(
+        self,
+        executor,
+        *,
+        round_steps: int | None = None,
+        health: str = "raise",
+        max_retries: int = 0,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        checkpoint: CheckpointStore | None = None,
+        checkpoint_every: int = 1,
+        meta: dict | None = None,
+        report: RunReport | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        if health not in ("off", "raise", "warn", "repair"):
+            raise ValueError(f"unknown health policy {health!r}")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.executor = executor
+        self.round_steps = round_steps or getattr(executor, "dim_t", 1)
+        self.health = health
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.meta = dict(meta or {})
+        self.report = report if report is not None else RunReport()
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def run(self, field, steps: int, traffic=None, resume: bool = False):
+        """Advance ``field`` by ``steps`` under the configured guards."""
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        state, done = field, 0
+        if resume:
+            state, done = self._try_resume(field, steps)
+        if steps == 0 or done >= steps:
+            return state.copy()
+
+        # last verified-good (state, step) pair, for repair-from-checkpoint;
+        # refreshed at every checkpoint boundary (in memory even when no
+        # on-disk store is configured).
+        good_state, good_done = state.copy(), done
+        repairs_left = max(1, self.max_retries) if self.health == "repair" else 0
+        rounds_since_snapshot = 0
+        while done < steps:
+            round_t = min(self.round_steps, steps - done)
+            state = self._round_with_retry(state, round_t, traffic)
+            done += round_t
+            self.report.rounds += 1
+            if FAULTS.should("grid.nan"):
+                state.data[:, state.nz // 2] = np.nan
+            if self.health != "off" and not grid_is_finite(state.data):
+                state, done, rounds_since_snapshot, repairs_left = self._unhealthy(
+                    state, done, good_state, good_done,
+                    rounds_since_snapshot, repairs_left,
+                )
+                continue
+            rounds_since_snapshot += 1
+            if rounds_since_snapshot >= self.checkpoint_every and done < steps:
+                good_state, good_done = state.copy(), done
+                rounds_since_snapshot = 0
+                if self.checkpoint is not None:
+                    self.checkpoint.save(state.data, done, self.meta)
+                    self.report.checkpoints_written += 1
+        return state.copy()
+
+    # ------------------------------------------------------------------
+    def _try_resume(self, field, steps: int):
+        """State/step to restart from, validated against this run's identity."""
+        if self.checkpoint is None:
+            return field, 0
+        snap = self.checkpoint.load()
+        if snap is None:
+            return field, 0
+        if (
+            snap.data.shape != field.data.shape
+            or snap.data.dtype != field.data.dtype
+            or snap.meta != self.meta
+            or snap.step > steps
+        ):
+            warnings.warn(
+                HealthWarning(
+                    f"checkpoint {self.checkpoint.path} does not match this "
+                    "run (shape/dtype/meta/steps); starting from scratch"
+                ),
+                stacklevel=3,
+            )
+            return field, 0
+        resumed = field.like()
+        np.copyto(resumed.data, snap.data)
+        self.report.resumed_from = snap.step
+        return resumed, snap.step
+
+    def _round_with_retry(self, state, round_t: int, traffic):
+        """One executor round, retried with exponential backoff."""
+        if self.max_retries == 0:
+            return self.executor.run(state, round_t, traffic)
+        delay = self.backoff
+        attempt = 0
+        while True:
+            # per-attempt traffic: merged only on success so retried rounds
+            # are not double counted
+            attempt_traffic = None
+            if traffic is not None:
+                attempt_traffic = type(traffic)()
+            try:
+                out = self.executor.run(state, round_t, attempt_traffic)
+            except Exception as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise SweepRetriesExhaustedError(
+                        f"round failed {attempt} time(s), retries exhausted: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                self.report.retries += 1
+                self._sleep(delay)
+                delay *= self.backoff_factor
+                continue
+            if traffic is not None:
+                traffic.merge(attempt_traffic)
+            return out
+
+    def _unhealthy(
+        self, state, done, good_state, good_done, rounds_since_snapshot,
+        repairs_left,
+    ):
+        """Apply the health policy to a non-finite grid."""
+        msg = f"non-finite values in the grid after step {done}"
+        if self.health == "warn":
+            warnings.warn(HealthWarning(msg), stacklevel=3)
+            self.report.warnings.append(msg)
+            return state, done, rounds_since_snapshot + 1, repairs_left
+        if self.health == "repair" and repairs_left > 0:
+            self.report.repairs += 1
+            return good_state.copy(), good_done, 0, repairs_left - 1
+        raise HealthCheckError(
+            msg
+            + (
+                " (repair attempts exhausted)"
+                if self.health == "repair"
+                else ""
+            )
+        )

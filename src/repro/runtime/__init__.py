@@ -1,14 +1,22 @@
 """CPU parallel runtime: software barriers, worker pool, threaded 3.5D."""
 
-from .barrier import PthreadsBarrier, SenseReversingBarrier
+from .barrier import (
+    BarrierBrokenError,
+    BarrierTimeoutError,
+    PthreadsBarrier,
+    SenseReversingBarrier,
+)
 from .parallel35d import ParallelBlocking35D, run_parallel_3_5d
 from .partition import partition_balance, partition_rows, partition_span
-from .threadpool import WorkerPool
+from .threadpool import WorkerPool, WorkerTimeoutError
 
 __all__ = [
     "SenseReversingBarrier",
     "PthreadsBarrier",
+    "BarrierBrokenError",
+    "BarrierTimeoutError",
     "WorkerPool",
+    "WorkerTimeoutError",
     "partition_rows",
     "partition_span",
     "partition_balance",

@@ -1,4 +1,4 @@
-"""Software barriers (paper Sections III-B and VII-A).
+"""Software barriers (paper Sections III-B and VII-A), with watchdogs.
 
 The paper implements a centralized sense-reversing barrier ("we implement
 our own barrier that is 50X faster than pthreads barrier", citing
@@ -12,21 +12,67 @@ In CPython the GIL changes the constants (a spin barrier burns the very
 lock the other threads need), so the spin loop yields; the *structure* of
 the algorithm is what this reproduces, and the bench reports the measured
 ratio honestly.
+
+Both barriers carry the resilience contract of ``docs/robustness.md``:
+
+* ``wait(timeout=...)`` bounds the spin — a peer that never arrives turns
+  a silent deadlock into a :class:`BarrierTimeoutError` (which *poisons*
+  the barrier, so every other waiter is released with
+  :class:`BarrierBrokenError` instead of spinning forever);
+* ``abort()`` poisons the barrier explicitly — the move a worker makes
+  from an exception handler mid z-iteration (see :meth:`guard`), so one
+  crashed thread releases its peers instead of hanging them;
+* ``reset()`` clears the poison for reuse by a fresh cohort.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 
-__all__ = ["SenseReversingBarrier", "PthreadsBarrier"]
+from ..resilience.faultinject import ResilienceError
+
+__all__ = [
+    "BarrierBrokenError",
+    "BarrierTimeoutError",
+    "PthreadsBarrier",
+    "SenseReversingBarrier",
+]
 
 
-class SenseReversingBarrier:
+class BarrierBrokenError(ResilienceError):
+    """The barrier was poisoned (a peer aborted or timed out)."""
+
+
+class BarrierTimeoutError(BarrierBrokenError):
+    """This waiter's own timeout expired; the barrier is now poisoned."""
+
+
+class _GuardMixin:
+    """Shared abort-on-exception helper for both barrier flavors."""
+
+    @contextmanager
+    def guard(self):
+        """Poison the barrier when the block raises — the idiom for worker
+        loops: ``with barrier.guard(): compute(); barrier.wait(timeout=t)``.
+
+        Re-raises the original exception; peers blocked in ``wait`` are
+        released with :class:`BarrierBrokenError`.
+        """
+        try:
+            yield self
+        except BaseException:
+            self.abort()
+            raise
+
+
+class SenseReversingBarrier(_GuardMixin):
     """Centralized sense-reversing barrier (Mellor-Crummey & Scott, 1991).
 
     The last thread to arrive flips the shared sense; earlier arrivals spin
-    (with a yield) until they observe the flip.
+    (with a yield) until they observe the flip, the poison flag, or their
+    timeout.
     """
 
     def __init__(self, n_threads: int) -> None:
@@ -35,13 +81,27 @@ class SenseReversingBarrier:
         self.n_threads = n_threads
         self._count = n_threads
         self._sense = False
+        self._broken = False
         self._lock = threading.Lock()
         self._local = threading.local()
 
-    def wait(self) -> None:
+    @property
+    def broken(self) -> bool:
+        """True while the barrier is poisoned (until :meth:`reset`)."""
+        return self._broken
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until all ``n_threads`` arrive.
+
+        Raises :class:`BarrierBrokenError` if the barrier is (or becomes)
+        poisoned, and :class:`BarrierTimeoutError` — poisoning the barrier
+        for everyone else — when ``timeout`` seconds pass first.
+        """
         local_sense = not getattr(self._local, "sense", False)
         self._local.sense = local_sense
         with self._lock:
+            if self._broken:
+                raise BarrierBrokenError("barrier is poisoned")
             self._count -= 1
             last = self._count == 0
             if last:
@@ -51,24 +111,58 @@ class SenseReversingBarrier:
             return
         # spin until the last arrival flips the sense; yield to keep the
         # GIL available for the threads still working
+        deadline = None if timeout is None else time.monotonic() + timeout
         while self._sense != local_sense:
+            if self._broken:
+                raise BarrierBrokenError("barrier poisoned while waiting")
+            if deadline is not None and time.monotonic() >= deadline:
+                self.abort()
+                raise BarrierTimeoutError(
+                    f"barrier wait exceeded {timeout}s "
+                    f"({self.n_threads - self._count}/{self.n_threads} arrived); "
+                    "barrier poisoned"
+                )
             time.sleep(0)
+
+    def abort(self) -> None:
+        """Poison the barrier: every current and future waiter raises."""
+        with self._lock:
+            self._broken = True
 
     def reset(self) -> None:
         with self._lock:
             self._count = self.n_threads
             self._sense = False
+            self._broken = False
 
 
-class PthreadsBarrier:
+class PthreadsBarrier(_GuardMixin):
     """The heavyweight reference barrier (condition-variable based)."""
 
     def __init__(self, n_threads: int) -> None:
         self._barrier = threading.Barrier(n_threads)
         self.n_threads = n_threads
 
-    def wait(self) -> None:
-        self._barrier.wait()
+    @property
+    def broken(self) -> bool:
+        return self._barrier.broken
+
+    def wait(self, timeout: float | None = None) -> None:
+        start = time.monotonic()
+        try:
+            self._barrier.wait(timeout)
+        except threading.BrokenBarrierError:
+            # threading.Barrier aborts itself on timeout, so a timed-out
+            # waiter and its released peers both land here; only the waiter
+            # whose own clock ran out reports the timeout flavor
+            if timeout is not None and time.monotonic() - start >= timeout:
+                raise BarrierTimeoutError(
+                    f"barrier wait exceeded {timeout}s; barrier poisoned"
+                ) from None
+            raise BarrierBrokenError("barrier is poisoned") from None
+
+    def abort(self) -> None:
+        self._barrier.abort()
 
     def reset(self) -> None:
         self._barrier.reset()

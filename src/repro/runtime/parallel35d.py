@@ -50,6 +50,7 @@ class ParallelBlocking35D:
         n_threads: int,
         pool: WorkerPool | None = None,
         validate: bool = False,
+        spmd_deadline: float | None = None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
@@ -60,6 +61,15 @@ class ParallelBlocking35D:
         self.n_threads = n_threads
         self._pool = pool
         self._owns_pool = pool is None
+        #: watchdog bound (seconds) on each SPMD launch — i.e. on each
+        #: z-iteration barrier interval; ``None`` waits forever (the launch
+        #: still fails fast if a worker thread dies).
+        self.spmd_deadline = spmd_deadline
+
+    @property
+    def dim_t(self) -> int:
+        """The temporal blocking factor (per-round step granularity)."""
+        return self.inner.dim_t
 
     # ------------------------------------------------------------------
     def run(
@@ -143,7 +153,7 @@ class ParallelBlocking35D:
                                 k, rows=row, traffic=thread_stats[tid]
                             )
 
-                        pool.run_spmd(run_fused)
+                        pool.run_spmd(run_fused, deadline=self.spmd_deadline)
                     continue
             regions = inner.instance_regions(ctx, src.shape, round_t)
             for k in sorted(iterations):
@@ -159,7 +169,7 @@ class ParallelBlocking35D:
                         )
 
                 # run_spmd joins all workers: the per-iteration barrier
-                pool.run_spmd(run_iteration)
+                pool.run_spmd(run_iteration, deadline=self.spmd_deadline)
 
 
 def run_parallel_3_5d(

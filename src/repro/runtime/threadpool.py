@@ -8,20 +8,52 @@ the same function with its thread id — the SPMD launch shape of the 3.5D
 algorithm.
 
 The pool is a context manager and its :meth:`~WorkerPool.shutdown` is
-idempotent and thread-safe: closing twice, or closing after a worker raised,
-must neither hang nor raise.  Each ``run_spmd`` launch carries a generation
-tag so completions left over from an interrupted launch (e.g. the caller was
-interrupted between enqueueing and draining) can never satisfy a later
-launch's join.
+idempotent and thread-safe: closing twice, closing after a worker raised,
+or closing *from inside a worker* (an error handler) must neither hang nor
+raise — a worker never tries to join itself, and joins happen outside any
+lock so a slow worker cannot serialize concurrent shutdown callers.  Each
+``run_spmd`` launch carries a generation tag so completions left over from
+an interrupted launch (e.g. the caller was interrupted between enqueueing
+and draining) can never satisfy a later launch's join.
+
+``run_spmd`` is also the pool's watchdog: an optional ``deadline`` bounds
+the whole launch, and the drain loop notices workers that died without
+posting a completion (including the injected ``worker.death`` fault).
+Either way the caller gets a :class:`WorkerTimeoutError` carrying a stack
+dump of every worker thread — a stuck launch diagnoses itself instead of
+hanging the sweep forever.
 """
 
 from __future__ import annotations
 
 import queue
+import sys
 import threading
+import time
+import traceback
 from collections.abc import Callable
 
-__all__ = ["WorkerPool"]
+from ..resilience.faultinject import FAULTS, ResilienceError
+
+__all__ = ["WorkerPool", "WorkerTimeoutError"]
+
+#: seconds between liveness/deadline checks while draining completions
+_POLL_S = 0.05
+
+
+class WorkerTimeoutError(ResilienceError):
+    """An SPMD launch did not complete: deadline exceeded or a worker died.
+
+    ``stacks`` maps worker thread names to their formatted stack at the
+    moment of failure (``"<dead>"`` for threads that already exited).
+    """
+
+    def __init__(self, message: str, stacks: dict[str, str]) -> None:
+        dump = "\n".join(
+            f"--- {name} ---\n{stack}" for name, stack in stacks.items()
+        )
+        super().__init__(f"{message}\nworker stacks:\n{dump}")
+        self.stacks = stacks
 
 
 class WorkerPool:
@@ -35,7 +67,12 @@ class WorkerPool:
         self._done: queue.Queue = queue.Queue()
         self._shutdown = False
         self._generation = 0
-        self._lock = threading.Lock()
+        # _launch_lock serializes run_spmd launches; _state_lock protects the
+        # shutdown flag and generation counter.  They are separate so that
+        # shutdown() — possibly called from inside a worker while a launch is
+        # draining — never blocks on an in-flight launch.
+        self._launch_lock = threading.Lock()
+        self._state_lock = threading.Lock()
         self._threads = [
             threading.Thread(target=self._worker, args=(tid,), daemon=True)
             for tid in range(n_threads)
@@ -55,48 +92,95 @@ class WorkerPool:
             if task is None:
                 return
             gen, fn = task
+            if FAULTS.should("worker.death", detail=str(tid)):
+                return  # simulated crash: exit without posting a completion
             try:
                 fn(tid)
                 self._done.put((gen, tid, None))
             except BaseException as exc:  # propagate to the caller
                 self._done.put((gen, tid, exc))
 
-    def run_spmd(self, fn: Callable[[int], None]) -> None:
+    def _thread_stacks(self) -> dict[str, str]:
+        """Formatted stack of every worker thread (``<dead>`` if exited)."""
+        frames = sys._current_frames()
+        stacks = {}
+        for t in self._threads:
+            frame = frames.get(t.ident) if t.is_alive() else None
+            stacks[t.name] = (
+                "".join(traceback.format_stack(frame)) if frame else "<dead>"
+            )
+        return stacks
+
+    def run_spmd(
+        self, fn: Callable[[int], None], deadline: float | None = None
+    ) -> None:
         """Run ``fn(thread_id)`` on every worker; blocks until all finish.
 
         The first worker exception is re-raised in the caller (after all
         workers of this launch have finished, so the pool stays reusable).
         Launches are serialized: concurrent callers take turns.
+
+        ``deadline`` bounds the whole launch in seconds; when it expires —
+        or when a worker thread dies without completing its task — the
+        launch is abandoned with a :class:`WorkerTimeoutError` carrying
+        per-thread stack dumps.  (The generation tag keeps any completions
+        that straggle in afterwards from satisfying a later launch.)
         """
-        with self._lock:
-            if self._shutdown:
-                raise RuntimeError("pool is shut down")
-            self._generation += 1
-            gen = self._generation
+        with self._launch_lock:
+            with self._state_lock:
+                if self._shutdown:
+                    raise RuntimeError("pool is shut down")
+                self._generation += 1
+                gen = self._generation
             for q in self._queues:
                 q.put((gen, fn))
             first_exc: BaseException | None = None
-            remaining = self.n_threads
-            while remaining > 0:
-                got_gen, _, exc = self._done.get()
+            pending = set(range(self.n_threads))
+            t_end = None if deadline is None else time.monotonic() + deadline
+            while pending:
+                try:
+                    got_gen, tid, exc = self._done.get(timeout=_POLL_S)
+                except queue.Empty:
+                    if t_end is not None and time.monotonic() >= t_end:
+                        raise WorkerTimeoutError(
+                            f"SPMD launch exceeded its {deadline}s deadline "
+                            f"with {len(pending)} worker(s) outstanding "
+                            f"(tids {sorted(pending)})",
+                            self._thread_stacks(),
+                        ) from None
+                    dead = [
+                        tid for tid in pending
+                        if not self._threads[tid].is_alive()
+                    ]
+                    if dead:
+                        raise WorkerTimeoutError(
+                            f"worker thread(s) {dead} died without completing "
+                            "their task; launch abandoned",
+                            self._thread_stacks(),
+                        ) from None
+                    continue
                 if got_gen != gen:
                     # stale completion from an interrupted earlier launch
                     continue
-                remaining -= 1
+                pending.discard(tid)
                 if exc is not None and first_exc is None:
                     first_exc = exc
             if first_exc is not None:
                 raise first_exc
 
     def shutdown(self) -> None:
-        """Stop the workers.  Safe to call repeatedly and from any thread."""
-        with self._lock:
-            if self._shutdown:
-                return
+        """Stop the workers.  Safe to call repeatedly, from any thread —
+        including a worker thread itself (the caller is never joined)."""
+        with self._state_lock:
+            first = not self._shutdown
             self._shutdown = True
+        if first:
             for q in self._queues:
                 q.put(None)
+        me = threading.current_thread()
         for t in self._threads:
+            if t is me:
+                continue  # a worker closing the pool cannot join itself
             t.join(timeout=5)
 
     def __enter__(self) -> "WorkerPool":

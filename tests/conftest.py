@@ -1,11 +1,69 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also provides a fallback per-test timeout: the resilience tests exercise
+deadlocks and poisoned barriers, and a regression there must fail fast, not
+hang CI.  When the ``pytest-timeout`` plugin is installed (the ``test``
+extra) it owns the ``timeout`` ini/marker; otherwise a SIGALRM-based
+fallback below enforces the same budget on platforms that have it.
+"""
 
 from __future__ import annotations
+
+import importlib.util
+import signal
 
 import numpy as np
 import pytest
 
 from repro.stencils import Field3D, SevenPointStencil
+
+_HAS_TIMEOUT_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+_HAS_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+def pytest_addoption(parser):
+    # pytest-timeout registers the 'timeout' ini key itself; mirror it only
+    # when the plugin is absent so the fallback hook below can read it.
+    if not _HAS_TIMEOUT_PLUGIN:
+        parser.addini("timeout", "fallback per-test timeout in seconds",
+                      default="0")
+
+
+def pytest_configure(config):
+    if not _HAS_TIMEOUT_PLUGIN:
+        config.addinivalue_line(
+            "markers", "timeout(seconds): per-test wall-clock budget"
+        )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback for the ``timeout`` budget when the plugin is absent."""
+    limit = 0.0
+    if not _HAS_TIMEOUT_PLUGIN and _HAS_SIGALRM:
+        try:
+            limit = float(item.config.getini("timeout") or 0)
+        except (TypeError, ValueError):
+            limit = 0.0
+        marker = item.get_closest_marker("timeout")
+        if marker and marker.args:
+            limit = float(marker.args[0])
+    if limit <= 0:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the fallback timeout of {limit:.0f}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -134,3 +134,85 @@ class TestScheduleCommand:
         rc = main(["schedule", "--nz", "12", "--radius", "2", "--dim-t", "2"])
         assert rc == 0
         assert "lag=3" in capsys.readouterr().out
+
+
+class TestResilienceExitCodes:
+    """The run contract: 0 clean, 2 usage, 3 degraded-but-correct, 4 failed."""
+
+    _base = ["run", "--grid", "12", "--steps", "2", "--tile", "10", "--dim-t", "2"]
+
+    def test_unknown_backend_is_usage_error(self, capsys):
+        rc = main(self._base + ["--backend", "bogus"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        rc = main(self._base + ["--resume"])
+        assert rc == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_degraded_backend_exits_3_but_verifies(self, capsys):
+        from repro.resilience import DegradedExecutionWarning
+        from repro.resilience.faultinject import FAULTS
+
+        with FAULTS.injected("backend.bind=fused-numpy"):
+            with pytest.warns(DegradedExecutionWarning):
+                rc = main(self._base + ["--backend", "fused-numpy"])
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "bit-identical" in out
+        assert "degraded" in out
+        assert "backend used : numpy-inplace" in out
+
+    def test_no_fallback_fails_with_4(self, capsys):
+        from repro.resilience.faultinject import FAULTS
+
+        with FAULTS.injected("backend.bind=fused-numpy"):
+            rc = main(
+                self._base + ["--backend", "fused-numpy", "--no-fallback"]
+            )
+        assert rc == 4
+        assert "InjectedFault" in capsys.readouterr().err
+
+    def test_health_failure_exits_4(self, capsys):
+        from repro.resilience.faultinject import FAULTS
+
+        with FAULTS.injected("grid.nan"):
+            rc = main(list(self._base))
+        assert rc == 4
+        assert "HealthCheckError" in capsys.readouterr().err
+
+    def test_nan_under_warn_policy_fails_the_check(self, capsys):
+        from repro.resilience import HealthWarning
+        from repro.resilience.faultinject import FAULTS
+
+        with FAULTS.injected("grid.nan"):
+            with pytest.warns(HealthWarning):
+                rc = main(self._base + ["--health", "warn"])
+        assert rc == 4
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_repair_policy_recovers_with_3(self, capsys):
+        from repro.resilience.faultinject import FAULTS
+
+        with FAULTS.injected("grid.nan@1"):
+            rc = main(
+                ["run", "--grid", "12", "--steps", "6", "--tile", "10",
+                 "--dim-t", "2", "--health", "repair"]
+            )
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "bit-identical" in out
+        assert "repairs" in out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ck = str(tmp_path / "snap.npz")
+        base = ["run", "--grid", "12", "--steps", "4", "--tile", "10",
+                "--dim-t", "2", "--checkpoint", ck]
+        assert main(base) == 0
+        capsys.readouterr()
+        rc = main(base + ["--resume"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed      : from step 2" in out
+        assert "bit-identical" in out

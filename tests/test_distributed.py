@@ -182,3 +182,73 @@ class TestCommunicationAccounting:
         sent = [s.messages_sent for s in comm.stats]
         assert sent[0] == sent[-1]
         assert sent[1] == sent[2] == 2 * sent[0]  # interior ranks: two neighbors
+
+
+class TestLossyTransport:
+    """The ack/retry protocol: imperfect links, bit-perfect delivery."""
+
+    def test_forced_drop_is_retransmitted(self):
+        from repro.resilience.faultinject import FAULTS
+
+        comm = SimComm(2, max_retries=3)
+        payload = np.arange(5.0)
+        with FAULTS.injected("comm.drop"):
+            comm.send(0, 1, 0, payload)
+            out = comm.recv(0, 1, 0)
+        assert np.array_equal(out, payload)
+        assert comm.stats[0].dropped == 1
+        assert comm.stats[1].retries == 1
+
+    def test_corruption_caught_by_checksum(self):
+        from repro.resilience.faultinject import FAULTS
+
+        comm = SimComm(2, max_retries=3)
+        payload = np.arange(5.0)
+        with FAULTS.injected("comm.corrupt"):
+            comm.send(0, 1, 0, payload)
+            out = comm.recv(0, 1, 0)
+        assert np.array_equal(out, payload)  # the retransmission, bit-exact
+        assert comm.stats[0].corrupted == 1
+        assert comm.stats[1].retries == 1
+
+    def test_persistent_loss_exhausts_retries(self):
+        from repro.distributed import CommFailedError
+        from repro.resilience.faultinject import FAULTS
+
+        comm = SimComm(2, max_retries=2)
+        with FAULTS.injected("comm.drop:*"):
+            comm.send(0, 1, 0, np.arange(3.0))
+            with pytest.raises(CommFailedError, match="undeliverable"):
+                comm.recv(0, 1, 0)
+        FAULTS.disarm()
+
+    def test_random_loss_is_seed_deterministic(self):
+        def total_retries(seed):
+            comm = SimComm(2, loss=0.4, seed=seed, max_retries=16)
+            for i in range(10):
+                comm.send(0, 1, i, np.arange(4.0))
+                comm.recv(0, 1, i)
+            return comm.total_stats().retries
+
+        assert total_retries(3) == total_retries(3)
+        assert total_retries(3) > 0
+
+    def test_invalid_transport_config_rejected(self):
+        with pytest.raises(ValueError):
+            SimComm(2, loss=1.5)
+        with pytest.raises(ValueError):
+            SimComm(2, max_retries=-1)
+
+    def test_lossy_halo_exchange_stays_bit_exact(self):
+        """A 30%-lossy link changes the stats, never the physics."""
+        k = SevenPointStencil()
+        f = Field3D.random((24, 10, 10), seed=12)
+        lossy = DistributedJacobi(
+            k, 3, dim_t=2, loss=0.3, corruption=0.1, comm_seed=5,
+            max_retries=32,
+        )
+        out, comm = lossy.run(f, 6)
+        assert np.array_equal(out.data, run_naive(k, f, 6).data)
+        total = comm.total_stats()
+        assert total.retries > 0
+        assert total.dropped + total.corrupted > 0

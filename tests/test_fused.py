@@ -228,6 +228,30 @@ class TestTuningCache:
         cache.put("k", {"fingerprint": "abc"})  # overwrites cleanly
         assert cache.get("k", fingerprint="abc") is not None
 
+    def test_half_written_file_is_quarantined(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text('{"k": {"fingerprint"')  # truncated by a crash
+        cache = TuningCache(path)
+        assert cache.get("k", fingerprint="abc") is None
+        assert not path.exists()
+        assert (tmp_path / "tuning.json.corrupt").exists()
+
+    def test_put_crash_leaves_recoverable_state(self, tmp_path):
+        from repro.resilience.faultinject import FAULTS
+
+        path = tmp_path / "tuning.json"
+        cache = TuningCache(path)
+        with FAULTS.injected("cache.corrupt"):
+            cache.put("k", {"fingerprint": "abc"})  # simulated mid-write crash
+        # the torn file is quarantined at next load, never parsed as truth
+        fresh = TuningCache(path)
+        assert fresh.get("k", fingerprint="abc") is None
+        assert (tmp_path / "tuning.json.corrupt").exists()
+        # and a clean put uses write-then-rename: no temp file survives
+        fresh.put("k", {"fingerprint": "abc", "dim_t": 2})
+        assert fresh.get("k", fingerprint="abc") is not None
+        assert not list(tmp_path.glob("*.tmp"))
+
 
 class TestWallClockAutotune:
     _kwargs = dict(
