@@ -187,6 +187,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"7pt fused-numba vs fused-numpy: {nb:.2f}x")
             acceptance["fused_numba_vs_numpy_plan"] = nb
 
+    # One extra metered sweep (outside the timed repeats) joins measured
+    # traffic against the Eq. 2 model so CI can watch kappa drift.
+    from repro.obs.validate import metered_sweep_metrics
+
+    mkernel, mfield = _make_case("7pt", grid)
+    mbackend = "fused-numpy" if "fused-numpy" in backends else backends[0]
+    mthreads = max(args.threads)
+    metrics_block = metered_sweep_metrics(
+        bind_with_fallback(mkernel, mbackend).kernel, mfield, args.steps,
+        dim_t=dim_t, tile=tile, threads=mthreads,
+    )
+    metrics_block["kernel"] = "7pt"
+    metrics_block["backend"] = mbackend
+    print(f"\nmetrics (7pt, {mbackend}, threads={mthreads}): "
+          f"kappa {metrics_block['kappa_measured']:.4f} vs predicted "
+          f"{metrics_block['kappa_predicted']:.4f}"
+          + (f", barrier wait {100 * metrics_block['barrier_wait_fraction']:.1f}%"
+             if metrics_block["barrier_wait_fraction"] is not None else ""))
+
     json_path = args.json or os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "BENCH_fused.json"
     )
@@ -202,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
                 "repeats": repeats,
                 "backends": backends,
                 "gups": results,
+                "metrics": metrics_block,
                 "acceptance": acceptance,
             },
             fh, indent=2,

@@ -197,6 +197,20 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quick and speedup < bar:
             rc = 1
     if args.json:
+        # One extra metered sweep (outside the timed repeats) joins measured
+        # traffic against the Eq. 2 model so CI can watch kappa drift.
+        from repro.obs.validate import metered_sweep_metrics
+
+        mbackend = ("numpy-inplace" if "numpy-inplace" in backends
+                    else backends[0])
+        mkernel, mfield, msteps, mdim_t, mtile = _make_case(
+            "7pt", grid, 2 if args.quick else 4, 4, min(grid, 128))
+        metrics_block = metered_sweep_metrics(
+            wrap_kernel(mkernel, mbackend), mfield, msteps,
+            dim_t=mdim_t, tile=mtile,
+        )
+        metrics_block["kernel"] = "7pt"
+        metrics_block["backend"] = mbackend
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(
                 {
@@ -205,6 +219,7 @@ def main(argv: list[str] | None = None) -> int:
                     "quick": args.quick,
                     "repeats": repeats,
                     "gups": results,
+                    "metrics": metrics_block,
                     "acceptance": {"speedup": speedup, "verdict": verdict},
                 },
                 fh, indent=2,

@@ -7,6 +7,7 @@ Subcommands
 ``repro tune``       print the Section VI decision for a kernel/machine.
 ``repro reproduce``  regenerate paper artifacts (tables/figures) as text.
 ``repro schedule``   render and validate the Figure-3a step schedule.
+``repro trace``      summarize a chrome-trace JSON written by ``run --trace``.
 ``repro info``       version, machine table, package inventory.
 """
 
@@ -91,6 +92,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="watchdog deadline per threaded z-sweep (--threads > 1); a "
         "stalled worker raises with per-thread stack dumps",
     )
+    run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record sweep/round/z_iter/tile spans and write a chrome-trace "
+        "JSON to PATH (open with Perfetto or chrome://tracing)",
+    )
+    run.add_argument(
+        "--metrics", nargs="?", const="metrics.json", default=None,
+        metavar="PATH",
+        help="collect counters (bytes, barrier wait, comm, resilience) and "
+        "write a metrics JSON (default metrics.json), including the "
+        "measured-vs-model kappa validation for the 3.5d scheme",
+    )
+    run.add_argument(
+        "--ranks", type=int, default=1, metavar="N",
+        help="simulate a distributed slab run over N ranks (SimComm halo "
+        "exchange; schemes 3.5d and naive, reference kernel only)",
+    )
+    run.add_argument(
+        "--loss", type=float, default=0.0,
+        help="per-message drop probability of the simulated transport "
+        "(--ranks > 1); recovered via ack/retry and surfaced in the summary",
+    )
+    run.add_argument(
+        "--corruption", type=float, default=0.0,
+        help="per-message corruption probability of the simulated transport "
+        "(--ranks > 1)",
+    )
 
     tune = sub.add_parser("tune", help="Section VI parameter selection")
     tune.add_argument("--kernel", choices=["7pt", "27pt", "lbm"], default="7pt")
@@ -135,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--iterations", type=int, default=None,
                        help="truncate the printout")
 
+    trace = sub.add_parser(
+        "trace", help="summarize a chrome-trace JSON written by run --trace"
+    )
+    trace.add_argument("file", help="path to a repro.trace/v1 JSON file")
+
     sub.add_parser("info", help="version and machine inventory")
     return parser
 
@@ -155,6 +188,65 @@ def _make_kernel(name: str, grid: int, precision: str):
         (0.01 * (rng.random((3,) + shape) - 0.5)).astype(dtype),
     )
     return LBMKernel(lat.flags, omega=1.2), lat, dtype
+
+
+def _arm_obs(args) -> bool:
+    """Arm tracer/metrics per the run flags; returns True if either armed."""
+    from repro.obs import METRICS, TRACE
+
+    if args.trace is not None:
+        TRACE.arm()
+    if args.metrics is not None:
+        METRICS.arm()
+    return args.trace is not None or args.metrics is not None
+
+
+def _disarm_obs() -> None:
+    from repro.obs import METRICS, TRACE
+
+    TRACE.disarm()
+    METRICS.disarm()
+
+
+def _emit_obs_outputs(args, validation=None, run_info=None) -> None:
+    """Write --trace / --metrics files and print their summary lines."""
+    from repro.obs import METRICS
+    from repro.obs.export import write_chrome_trace, write_metrics
+
+    if args.metrics is not None:
+        if validation is not None:
+            for line in validation.lines():
+                print(line)
+        frac = METRICS.barrier_wait_fraction()
+        if frac is not None:
+            print(f"barrier wait : {100 * frac:.1f}% of worker time")
+        write_metrics(args.metrics, validation=validation, run=run_info)
+        print(f"metrics      : wrote {args.metrics}")
+    if args.trace is not None:
+        doc = write_chrome_trace(args.trace)
+        n_spans = sum(1 for ev in doc["traceEvents"] if ev.get("ph") == "X")
+        print(f"trace        : wrote {args.trace} ({n_spans} spans)")
+
+
+def _metrics_validation(args, ref_kernel, field, traffic, elapsed):
+    """The measured-vs-model join for a 3.5d run, or None."""
+    if args.metrics is None or args.scheme != "3.5d":
+        return None
+    from repro.obs import METRICS
+    from repro.obs.validate import validate_35d
+
+    per_thread = None
+    slots = METRICS.to_dict()["per_thread"]
+    read = slots.get("traffic.bytes_read.per_thread")
+    written = slots.get("traffic.bytes_written.per_thread")
+    if read and written:
+        per_thread = [r + w for r, w in zip(read, written)]
+    executor = "parallel35d" if args.threads > 1 else "blocking35d"
+    return validate_35d(
+        ref_kernel, field, args.steps, traffic,
+        dim_t=args.dim_t, tile_y=args.tile, tile_x=args.tile,
+        executor=executor, per_thread_bytes=per_thread, elapsed_s=elapsed,
+    )
 
 
 class _FnExecutor:
@@ -208,6 +300,12 @@ def _cmd_run(args) -> int:
         field = lattice.f
     else:
         field = Field3D.random((args.grid,) * 3, dtype=dtype, seed=args.seed)
+
+    if args.ranks > 1:
+        return _cmd_run_distributed(args, ref_kernel, field)
+    if args.loss or args.corruption:
+        print("error: --loss/--corruption require --ranks > 1", file=sys.stderr)
+        return 2
 
     backend_name = args.backend if args.backend is not None else default_backend_name()
     report = RunReport(requested_backend=backend_name)
@@ -281,40 +379,124 @@ def _cmd_run(args) -> int:
     )
 
     traffic = TrafficStats()
-    t0 = time.perf_counter()
+    _arm_obs(args)
     try:
-        out = guard.run(field, args.steps, traffic, resume=args.resume)
-    except ResilienceError as exc:
-        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 4
-    elapsed = time.perf_counter() - t0
-
-    n_updates = args.grid**3 * args.steps
-    print(f"kernel       : {args.kernel} ({args.precision.upper()})")
-    print(f"scheme       : {args.scheme}")
-    print(f"backend      : {report.used_backend}")
-    if tuned is not None:
-        origin = ("cache hit, 0 probe runs" if tuned.from_cache
-                  else f"measured, {tuned.probe_runs} probe runs")
-        print(f"autotuned    : dim_T={tuned.best.dim_t} tile={tuned.best.tile} "
-              f"({origin})")
-    print(f"grid         : {args.grid}^3 x {args.steps} steps")
-    print(f"wall time    : {elapsed:.3f} s "
-          f"({n_updates / elapsed / 1e6:.1f} MU/s on the NumPy substrate)")
-    print(f"ext. read    : {traffic.bytes_read / 1e6:.1f} MB")
-    print(f"ext. write   : {traffic.bytes_written / 1e6:.1f} MB")
-    print(f"bytes/update : {traffic.bytes_per_update():.2f}")
-    if not args.no_check:
-        # the cross-check always uses the reference (numpy) kernel
-        ref = run_naive(ref_kernel, field, args.steps)
-        if np.array_equal(out.data, ref.data):
-            print("check        : bit-identical to the naive reference")
-        else:
-            print("check        : MISMATCH against the naive reference")
+        t0 = time.perf_counter()
+        try:
+            out = guard.run(field, args.steps, traffic, resume=args.resume)
+        except ResilienceError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 4
-    for line in report.lines():
-        print(line)
-    return 3 if report.degraded else 0
+        elapsed = time.perf_counter() - t0
+
+        if args.metrics is not None:
+            from repro.obs import METRICS
+
+            METRICS.merge_traffic(traffic)
+        n_updates = args.grid**3 * args.steps
+        print(f"kernel       : {args.kernel} ({args.precision.upper()})")
+        print(f"scheme       : {args.scheme}")
+        print(f"backend      : {report.used_backend}")
+        if tuned is not None:
+            origin = ("cache hit, 0 probe runs" if tuned.from_cache
+                      else f"measured, {tuned.probe_runs} probe runs")
+            print(f"autotuned    : dim_T={tuned.best.dim_t} tile={tuned.best.tile} "
+                  f"({origin})")
+        print(f"grid         : {args.grid}^3 x {args.steps} steps")
+        print(f"wall time    : {elapsed:.3f} s "
+              f"({n_updates / elapsed / 1e6:.1f} MU/s on the NumPy substrate)")
+        print(f"ext. read    : {traffic.bytes_read / 1e6:.1f} MB")
+        print(f"ext. write   : {traffic.bytes_written / 1e6:.1f} MB")
+        print(f"bytes/update : {traffic.bytes_per_update():.2f}")
+        if not args.no_check:
+            # the cross-check always uses the reference (numpy) kernel
+            ref = run_naive(ref_kernel, field, args.steps)
+            if np.array_equal(out.data, ref.data):
+                print("check        : bit-identical to the naive reference")
+            else:
+                print("check        : MISMATCH against the naive reference")
+                return 4
+        for line in report.lines():
+            print(line)
+        validation = _metrics_validation(args, ref_kernel, field, traffic, elapsed)
+        _emit_obs_outputs(args, validation, run_info={
+            "kernel": args.kernel, "scheme": args.scheme,
+            "backend": report.used_backend, "grid": args.grid,
+            "steps": args.steps, "dim_t": args.dim_t, "tile": args.tile,
+            "threads": args.threads, "precision": args.precision,
+            "elapsed_s": elapsed,
+        })
+        return 3 if report.degraded else 0
+    finally:
+        _disarm_obs()
+
+
+def _cmd_run_distributed(args, ref_kernel, field) -> int:
+    """Simulated multi-rank slab run; surfaces SimComm transport stats."""
+    import time
+
+    from repro.core import TrafficStats, run_naive
+    from repro.distributed import DistributedJacobi
+
+    if args.scheme not in ("3.5d", "naive"):
+        print("error: --ranks requires --scheme 3.5d or naive", file=sys.stderr)
+        return 2
+    if args.threads > 1:
+        print("error: --ranks and --threads are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    runner = DistributedJacobi(
+        ref_kernel,
+        args.ranks,
+        dim_t=args.dim_t,
+        tile_y=args.tile,
+        tile_x=args.tile,
+        scheme="35d" if args.scheme == "3.5d" else "naive",
+        loss=args.loss,
+        corruption=args.corruption,
+        comm_seed=args.seed,
+    )
+    traffic = TrafficStats()
+    _arm_obs(args)
+    try:
+        t0 = time.perf_counter()
+        out, comm = runner.run(field, args.steps, traffic)
+        elapsed = time.perf_counter() - t0
+
+        n_updates = args.grid**3 * args.steps
+        print(f"kernel       : {args.kernel} ({args.precision.upper()})")
+        print(f"scheme       : {args.scheme} (distributed, {args.ranks} ranks)")
+        print("backend      : numpy (reference kernel)")
+        print(f"grid         : {args.grid}^3 x {args.steps} steps")
+        print(f"wall time    : {elapsed:.3f} s "
+              f"({n_updates / elapsed / 1e6:.1f} MU/s on the NumPy substrate)")
+        total = comm.total_stats()
+        print(f"comm         : {total.messages_sent} messages, "
+              f"{total.bytes_sent / 1e6:.1f} MB payload")
+        print(f"comm faults  : {total.dropped} dropped, "
+              f"{total.corrupted} corrupted, {total.retries} retries"
+              + (" (all recovered)" if total.retries else ""))
+        if not args.no_check:
+            ref = run_naive(ref_kernel, field, args.steps)
+            if np.array_equal(out.data, ref.data):
+                print("check        : bit-identical to the naive reference")
+            else:
+                print("check        : MISMATCH against the naive reference")
+                return 4
+        if args.metrics is not None:
+            from repro.obs import METRICS
+
+            METRICS.merge_traffic(traffic)
+        _emit_obs_outputs(args, None, run_info={
+            "kernel": args.kernel, "scheme": args.scheme,
+            "ranks": args.ranks, "grid": args.grid, "steps": args.steps,
+            "dim_t": args.dim_t, "tile": args.tile,
+            "precision": args.precision, "elapsed_s": elapsed,
+            "loss": args.loss, "corruption": args.corruption,
+        })
+        return 0
+    finally:
+        _disarm_obs()
 
 
 def _cmd_tune_wallclock(args, machine) -> int:
@@ -510,6 +692,20 @@ def main(argv: list[str] | None = None) -> int:
               f"{variant}, lag={schedule.lag}")
         print(schedule_to_text(schedule, max_iterations=args.iterations))
         print("(schedule validated: dependencies and ring liveness hold)")
+        return 0
+    if args.command == "trace":
+        import json
+
+        from repro.obs.export import summarize_trace
+
+        try:
+            with open(args.file, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for line in summarize_trace(doc):
+            print(line)
         return 0
     if args.command == "info":
         return _cmd_info()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.trace import TRACE
 from ..stencils.base import PlaneKernel
 from ..stencils.grid import Field3D, copy_shell
 from .buffer import PlaneRing
@@ -83,9 +84,11 @@ class Blocking25D:
         src = field.copy()
         dst = field.like()
         copy_shell(src, dst, self.kernel.radius)
-        for _ in range(steps):
-            self.sweep(src, dst, traffic)
-            src, dst = dst, src
+        with TRACE.span("sweep", executor="blocking25d", steps=steps):
+            for i in range(steps):
+                with TRACE.span("round", index=i, round_t=1):
+                    self.sweep(src, dst, traffic)
+                src, dst = dst, src
         return src
 
     def sweep(
@@ -111,13 +114,7 @@ class Blocking25D:
                 if traffic is not None:
                     traffic.read(extent_area * esize, planes=1)
 
-            # Phase 1: prolog — planes [0, 2R).
-            for z in range(2 * r):
-                load(z)
-            # Phase 2: stream through z.
-            yr = (cy0 - ey0, cy1 - ey0)
-            xr = (cx0 - ex0, cx1 - ex0)
-            for z in range(r, nz - r):
+            def z_iter(z: int) -> None:
                 load(z + r)
                 srcs = [ring.get(z + dz) for dz in range(-r, r + 1)]
                 out = dst.data[:, z, ey0:ey1, ex0:ex1]
@@ -125,6 +122,21 @@ class Blocking25D:
                 if traffic is not None:
                     traffic.write((cy1 - cy0) * (cx1 - cx0) * esize, planes=1)
                     traffic.update((cy1 - cy0) * (cx1 - cx0), kernel.ops_per_update)
+
+            yr = (cy0 - ey0, cy1 - ey0)
+            xr = (cx0 - ex0, cx1 - ex0)
+            if TRACE.armed:
+                with TRACE.span("tile", y0=cy0, y1=cy1, x0=cx0, x1=cx1):
+                    for z in range(2 * r):  # Phase 1: prolog — planes [0, 2R)
+                        load(z)
+                    for z in range(r, nz - r):  # Phase 2: stream through z
+                        with TRACE.span("z_iter", k=z):
+                            z_iter(z)
+            else:
+                for z in range(2 * r):  # Phase 1: prolog — planes [0, 2R)
+                    load(z)
+                for z in range(r, nz - r):  # Phase 2: stream through z
+                    z_iter(z)
 
 
 def run_2_5d(

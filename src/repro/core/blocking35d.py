@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.trace import TRACE
 from ..stencils.base import PlaneKernel
 from ..stencils.grid import Field3D, copy_shell, interior_points
 from .buffer import RingSet
@@ -171,12 +172,18 @@ class Blocking35D:
         # One shell token per run: the boundary shell is constant in time, so
         # cached shell planes are filled on the first round and reused after.
         token = object()
-        remaining = steps
-        while remaining > 0:
-            round_t = min(self.dim_t, remaining)
-            self.sweep_round(src, dst, round_t, traffic, _shell_token=token)
-            src, dst = dst, src
-            remaining -= round_t
+        with TRACE.span("sweep", executor="blocking35d", steps=steps,
+                        dim_t=self.dim_t):
+            remaining = steps
+            round_index = 0
+            while remaining > 0:
+                round_t = min(self.dim_t, remaining)
+                with TRACE.span("round", index=round_index, round_t=round_t):
+                    self.sweep_round(src, dst, round_t, traffic,
+                                     _shell_token=token)
+                src, dst = dst, src
+                remaining -= round_t
+                round_index += 1
         return src.copy()
 
     # ------------------------------------------------------------------
@@ -205,10 +212,18 @@ class Blocking35D:
             # actual steps executed this round (may be < dim_t on the final
             # partial round), so traffic-model comparisons are not skewed
             traffic.notes.setdefault("round_t", []).append(round_t)
-        for tile in tiles:
-            ctx = self._tile_context(src, tile, round_t)
-            self._load_shell_planes(src, ctx, traffic, token)
-            self._run_schedule(src, dst, ctx, schedule, round_t, traffic)
+        if TRACE.armed:
+            for tile in tiles:
+                with TRACE.span("tile", y0=tile.y.core[0], y1=tile.y.core[1],
+                                x0=tile.x.core[0], x1=tile.x.core[1]):
+                    ctx = self._tile_context(src, tile, round_t)
+                    self._load_shell_planes(src, ctx, traffic, token)
+                    self._run_schedule(src, dst, ctx, schedule, round_t, traffic)
+        else:
+            for tile in tiles:
+                ctx = self._tile_context(src, tile, round_t)
+                self._load_shell_planes(src, ctx, traffic, token)
+                self._run_schedule(src, dst, ctx, schedule, round_t, traffic)
 
     # ------------------------------------------------------------------
     def _plan_tiles(self, ny: int, nx: int, round_t: int) -> list[Tile2D]:
@@ -406,12 +421,26 @@ class Blocking35D:
         if tile_runner is not None:
             runner = tile_runner(self, src, dst, ctx, schedule, round_t)
             if runner is not None:
-                for k in runner.iteration_keys:
-                    runner.run_iteration(k, traffic=traffic)
+                if TRACE.armed:
+                    for k in runner.iteration_keys:
+                        with TRACE.span("z_iter", k=k, fused=True):
+                            runner.run_iteration(k, traffic=traffic)
+                else:
+                    for k in runner.iteration_keys:
+                        runner.run_iteration(k, traffic=traffic)
                 return
         regions = self.instance_regions(ctx, src.shape, round_t)
-        for step in schedule.steps:
-            self.execute_step(src, dst, ctx, step, regions, traffic)
+        if TRACE.armed:
+            # the flat step order equals the per-iteration grouping (steps
+            # are generated k-outer/t-inner), so spanning by iteration does
+            # not reorder execution
+            for k, iter_steps in schedule.iterations().items():
+                with TRACE.span("z_iter", k=k, fused=False):
+                    for step in iter_steps:
+                        self.execute_step(src, dst, ctx, step, regions, traffic)
+        else:
+            for step in schedule.steps:
+                self.execute_step(src, dst, ctx, step, regions, traffic)
 
     def _fill_xy_strips(
         self,

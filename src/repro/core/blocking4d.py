@@ -10,6 +10,7 @@ shows 4D blocking improves LBM by only ~8% where 3.5D gives ~2X (Figure 5a).
 
 from __future__ import annotations
 
+from ..obs.trace import TRACE
 from ..stencils.base import PlaneKernel, ScratchArena
 from ..stencils.grid import Field3D, copy_shell
 from .regions import axis_tiles
@@ -56,12 +57,17 @@ class Blocking4D:
         src = field.copy()
         dst = field.like()
         copy_shell(src, dst, self.kernel.radius)
-        remaining = steps
-        while remaining > 0:
-            round_t = min(self.dim_t, remaining)
-            self.sweep_round(src, dst, round_t, traffic)
-            src, dst = dst, src
-            remaining -= round_t
+        with TRACE.span("sweep", executor="blocking4d", steps=steps,
+                        dim_t=self.dim_t):
+            remaining = steps
+            round_index = 0
+            while remaining > 0:
+                round_t = min(self.dim_t, remaining)
+                with TRACE.span("round", index=round_index, round_t=round_t):
+                    self.sweep_round(src, dst, round_t, traffic)
+                src, dst = dst, src
+                remaining -= round_t
+                round_index += 1
         return src
 
     def sweep_round(
@@ -77,18 +83,24 @@ class Blocking4D:
         if traffic is not None:
             traffic.notes.setdefault("dim_t", self.dim_t)
             traffic.notes.setdefault("round_t", []).append(round_t)
+        armed = TRACE.armed
         for tz in axis_tiles(nz, r, round_t, self.tile_z):
             for ty in axis_tiles(ny, r, round_t, self.tile_y):
                 for tx in axis_tiles(nx, r, round_t, self.tile_x):
-                    advance_tile_trapezoid(
-                        self.kernel,
-                        src,
-                        dst,
-                        (tz.core, ty.core, tx.core),
-                        round_t,
-                        traffic,
-                        scratch=self.scratch,
-                    )
+                    if armed:
+                        with TRACE.span("tile", z0=tz.core[0], y0=ty.core[0],
+                                        x0=tx.core[0]):
+                            advance_tile_trapezoid(
+                                self.kernel, src, dst,
+                                (tz.core, ty.core, tx.core),
+                                round_t, traffic, scratch=self.scratch,
+                            )
+                    else:
+                        advance_tile_trapezoid(
+                            self.kernel, src, dst,
+                            (tz.core, ty.core, tx.core),
+                            round_t, traffic, scratch=self.scratch,
+                        )
 
 
 def run_4d(

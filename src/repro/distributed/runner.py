@@ -25,6 +25,8 @@ import numpy as np
 from ..core.blocking35d import Blocking35D
 from ..core.naive import naive_sweep
 from ..core.traffic import TrafficStats
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACE
 from ..stencils.base import PlaneKernel
 from ..stencils.grid import Field3D, copy_shell
 from .comm import CommStats, SimComm
@@ -110,14 +112,23 @@ class DistributedJacobi:
         )
         local = [field.data[:, s.z0 : s.z1].copy() for s in slabs]
 
-        remaining = steps
-        while remaining > 0:
-            round_t = min(self.dim_t, remaining)
-            self._exchange_and_compute(field, slabs, local, comm, round_t, traffic)
-            remaining -= round_t
+        with TRACE.span("sweep", executor="distributed", steps=steps,
+                        ranks=self.n_ranks, scheme=self.scheme):
+            remaining = steps
+            round_index = 0
+            while remaining > 0:
+                round_t = min(self.dim_t, remaining)
+                with TRACE.span("round", index=round_index, round_t=round_t):
+                    self._exchange_and_compute(
+                        field, slabs, local, comm, round_t, traffic
+                    )
+                remaining -= round_t
+                round_index += 1
 
         gathered = Field3D(np.concatenate(local, axis=1))
         assert comm.pending() == 0
+        if METRICS.armed:
+            METRICS.merge_comm(comm)
         return gathered, comm
 
     # ------------------------------------------------------------------
@@ -133,27 +144,32 @@ class DistributedJacobi:
         r = self.kernel.radius
         h = r * round_t
         # phase A: every rank posts its boundary planes
-        for s in slabs:
-            if s.hi_neighbor is not None:
-                comm.send(s.rank, s.hi_neighbor, _TAG_UP, local[s.rank][:, -h:])
-            if s.lo_neighbor is not None:
-                comm.send(s.rank, s.lo_neighbor, _TAG_DOWN, local[s.rank][:, :h])
+        with TRACE.span("halo_exchange", phase="send", halo=h):
+            for s in slabs:
+                if s.hi_neighbor is not None:
+                    comm.send(s.rank, s.hi_neighbor, _TAG_UP,
+                              local[s.rank][:, -h:])
+                if s.lo_neighbor is not None:
+                    comm.send(s.rank, s.lo_neighbor, _TAG_DOWN,
+                              local[s.rank][:, :h])
         # phase B: every rank assembles its augmented slab and computes
         for s in slabs:
             parts = []
             zlo = s.z0
-            if s.lo_neighbor is not None:
-                parts.append(comm.recv(s.lo_neighbor, s.rank, _TAG_UP))
-                zlo = s.z0 - h
-            parts.append(local[s.rank])
-            zhi = s.z1
-            if s.hi_neighbor is not None:
-                parts.append(comm.recv(s.hi_neighbor, s.rank, _TAG_DOWN))
-                zhi = s.z1 + h
-            aug = Field3D(np.concatenate(parts, axis=1))
-            out = self._advance_local(aug, zlo, zhi, round_t, traffic)
-            lo_off = s.z0 - zlo
-            local[s.rank] = out.data[:, lo_off : lo_off + s.owned].copy()
+            with TRACE.span("halo_exchange", phase="recv", rank=s.rank):
+                if s.lo_neighbor is not None:
+                    parts.append(comm.recv(s.lo_neighbor, s.rank, _TAG_UP))
+                    zlo = s.z0 - h
+                parts.append(local[s.rank])
+                zhi = s.z1
+                if s.hi_neighbor is not None:
+                    parts.append(comm.recv(s.hi_neighbor, s.rank, _TAG_DOWN))
+                    zhi = s.z1 + h
+            with TRACE.span("rank_compute", rank=s.rank):
+                aug = Field3D(np.concatenate(parts, axis=1))
+                out = self._advance_local(aug, zlo, zhi, round_t, traffic)
+                lo_off = s.z0 - zlo
+                local[s.rank] = out.data[:, lo_off : lo_off + s.owned].copy()
 
     def _advance_local(
         self,

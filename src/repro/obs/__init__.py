@@ -1,0 +1,21 @@
+"""Observability layer: span tracer, metrics registry, exporters.
+
+Only the tracer and metrics singletons are imported eagerly — they
+depend on nothing outside the stdlib and numpy, so core executors can
+import them without cycles.  The exporters (:mod:`repro.obs.export`),
+the model-validation join (:mod:`repro.obs.validate`) and the schema
+checker (:mod:`repro.obs.schema`) import ``repro.core`` /
+``repro.machine`` and must be imported explicitly by their consumers.
+"""
+
+from .metrics import METRICS, MetricsRegistry
+from .trace import TRACE, SpanRecord, SpanTracer, span
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "TRACE",
+    "SpanRecord",
+    "SpanTracer",
+    "span",
+]

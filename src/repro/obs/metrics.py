@@ -1,0 +1,211 @@
+"""Metrics registry: named counters, gauges, histograms, per-thread slots.
+
+Like the tracer, the registry is a process-wide singleton
+(:data:`METRICS`) and disarmed by default.  Disarmed, every mutator
+returns after a single attribute check; hot loops additionally branch on
+``METRICS.armed`` so the common path contains no calls at all.
+
+Three kinds of instruments:
+
+* **counters** — monotonically increasing sums (``inc``).  Locked, so
+  only incremented outside per-element loops (per round / per launch).
+* **gauges** — last-write-wins values (``set_gauge``).
+* **histograms** — bounded summaries (count/sum/min/max) of observed
+  values (``observe``); raw samples are not retained.
+
+For genuinely hot per-thread accumulation the registry hands out
+**thread slots**: preallocated ``numpy.int64`` arrays indexed by worker
+id, written lock-free by workers and summed only at export time
+(:meth:`MetricsRegistry.to_dict`).  The executors' per-thread
+``TrafficStats`` are folded in the same way via
+:meth:`merge_per_thread_traffic` at sweep end.
+
+Counter catalog (see docs/observability.md for the full list):
+
+``traffic.bytes_read`` / ``traffic.bytes_written``  executor-accounted bytes
+``traffic.updates`` / ``traffic.ops``               point updates and flops
+``traffic.plane_loads`` / ``traffic.plane_stores``  ring-buffer plane moves
+``barrier.wait_ns`` / ``barrier.spmd_ns``           thread idle vs launch wall
+``barrier.launches``                                run_spmd calls
+``comm.messages`` / ``comm.bytes`` / ``comm.dropped`` / ``comm.corrupted`` /
+``comm.retries``                                    SimComm totals
+``resilience.retries`` / ``resilience.repairs`` /
+``resilience.degradations`` / ``resilience.checkpoint_bytes``
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["MetricsRegistry", "METRICS"]
+
+
+class _Hist:
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": (self.sum / self.count) if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Process-wide counters/gauges/histograms with per-thread slots."""
+
+    def __init__(self) -> None:
+        self.armed = False
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, _Hist] = {}
+        self._slots: dict[str, np.ndarray] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def arm(self) -> None:
+        self.reset()
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+            self._slots.clear()
+
+    # -- instruments ---------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        if not self.armed:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.armed:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.armed:
+            return
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = _Hist()
+            hist.observe(value)
+
+    def thread_slots(self, name: str, n_threads: int) -> np.ndarray:
+        """Preallocated int64 per-thread accumulator, summed at export.
+
+        Workers write ``slots[tid] += v`` lock-free; the array is
+        registered under ``name`` and its per-thread values appear in
+        ``to_dict()["per_thread"]``.  Call only while armed.
+        """
+        with self._lock:
+            arr = self._slots.get(name)
+            if arr is None or len(arr) != n_threads:
+                arr = np.zeros(n_threads, dtype=np.int64)
+                self._slots[name] = arr
+            return arr
+
+    # -- domain merges (duck-typed to avoid package cycles) ------------
+    def merge_traffic(self, traffic: Any, prefix: str = "traffic") -> None:
+        """Fold a TrafficStats-shaped object into the counters."""
+        if not self.armed:
+            return
+        self.inc(f"{prefix}.bytes_read", traffic.bytes_read)
+        self.inc(f"{prefix}.bytes_written", traffic.bytes_written)
+        self.inc(f"{prefix}.updates", traffic.updates)
+        self.inc(f"{prefix}.ops", traffic.ops)
+        self.inc(f"{prefix}.plane_loads", traffic.plane_loads)
+        self.inc(f"{prefix}.plane_stores", traffic.plane_stores)
+
+    def merge_per_thread_traffic(self, stats: Iterable[Any]) -> None:
+        """Record each worker's TrafficStats into per-thread slots."""
+        if not self.armed:
+            return
+        stats = list(stats)
+        if not stats:
+            return
+        read = self.thread_slots("traffic.bytes_read.per_thread", len(stats))
+        written = self.thread_slots("traffic.bytes_written.per_thread", len(stats))
+        updates = self.thread_slots("traffic.updates.per_thread", len(stats))
+        for i, s in enumerate(stats):
+            read[i] += s.bytes_read
+            written[i] += s.bytes_written
+            updates[i] += s.updates
+
+    def merge_comm(self, comm: Any, prefix: str = "comm") -> None:
+        """Fold a SimComm's aggregated CommStats into the counters."""
+        if not self.armed:
+            return
+        total = comm.total_stats()
+        self.inc(f"{prefix}.messages", total.messages_sent)
+        self.inc(f"{prefix}.bytes", total.bytes_sent)
+        self.inc(f"{prefix}.dropped", total.dropped)
+        self.inc(f"{prefix}.corrupted", total.corrupted)
+        self.inc(f"{prefix}.retries", total.retries)
+
+    # -- derived -------------------------------------------------------
+    def barrier_wait_fraction(self) -> float | None:
+        """Fraction of worker-time spent idle at the implicit barrier.
+
+        ``sum(wait_ns) / (n_threads * sum(spmd wall ns))`` over every
+        ``run_spmd`` launch; ``None`` if no threaded launches happened.
+        """
+        with self._lock:
+            wait = self._counters.get("barrier.wait_ns")
+            wall = self._counters.get("barrier.spmd_ns")
+            threads = self._gauges.get("barrier.threads")
+        if wait is None or not wall or not threads:
+            return None
+        return wait / (threads * wall)
+
+    def counter(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            hists = {k: h.to_dict() for k, h in self._hists.items()}
+            per_thread = {k: [int(v) for v in arr]
+                          for k, arr in self._slots.items()}
+        doc: dict[str, Any] = {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+            "per_thread": per_thread,
+        }
+        frac = self.barrier_wait_fraction()
+        if frac is not None:
+            doc["derived"] = {"barrier_wait_fraction": frac}
+        return doc
+
+
+METRICS = MetricsRegistry()

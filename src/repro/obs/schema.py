@@ -1,0 +1,130 @@
+"""Minimal JSON-schema validator for the obs export formats.
+
+Supports the subset the checked-in schemas use — ``type``, ``required``,
+``properties``, ``items``, ``enum``, ``minimum``, ``minItems``,
+``additionalProperties`` (schema form) — so CI can validate emitted
+trace/metrics files without adding a jsonschema dependency.
+
+CLI::
+
+    python -m repro.obs.schema trace.json metrics.json
+
+Each file is matched to its schema by its top-level ``"schema"`` tag
+(``repro.trace/v1`` or ``repro.metrics/v1``); exit 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any
+
+__all__ = ["validate", "load_schema", "validate_file", "main"]
+
+_SCHEMA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "schemas")
+_SCHEMA_FILES = {
+    "repro.trace/v1": "trace.schema.json",
+    "repro.metrics/v1": "metrics.schema.json",
+}
+
+_TYPES = {
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "object": dict,
+    "array": list,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, tname: str) -> bool:
+    py = _TYPES[tname]
+    if tname in ("integer", "number") and isinstance(value, bool):
+        return False
+    return isinstance(value, py)
+
+
+def validate(instance: Any, schema: dict[str, Any], path: str = "$") -> list[str]:
+    """Return a list of human-readable violations (empty = valid)."""
+    errors: list[str] = []
+    stype = schema.get("type")
+    if stype is not None:
+        types = stype if isinstance(stype, list) else [stype]
+        if not any(_type_ok(instance, t) for t in types):
+            errors.append(
+                f"{path}: expected {' or '.join(types)}, "
+                f"got {type(instance).__name__}")
+            return errors
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) and instance < schema["minimum"]:
+        errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in instance:
+                errors.extend(validate(instance[key], sub, f"{path}.{key}"))
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, val in instance.items():
+                if key not in props:
+                    errors.extend(validate(val, extra, f"{path}.{key}"))
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(instance)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, val in enumerate(instance):
+                errors.extend(validate(val, items, f"{path}[{i}]"))
+    return errors
+
+
+def load_schema(schema_id: str) -> dict[str, Any]:
+    try:
+        fname = _SCHEMA_FILES[schema_id]
+    except KeyError:
+        raise ValueError(f"unknown schema id {schema_id!r}") from None
+    with open(os.path.join(_SCHEMA_DIR, fname), encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def validate_file(path: str) -> list[str]:
+    """Validate one emitted JSON file against its self-declared schema."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "schema" not in doc:
+        return [f"{path}: no top-level 'schema' tag"]
+    try:
+        schema = load_schema(doc["schema"])
+    except ValueError as exc:
+        return [f"{path}: {exc}"]
+    return [f"{path}: {err}" for err in validate(doc, schema)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.schema FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv:
+        errors = validate_file(path)
+        if errors:
+            rc = 1
+            for err in errors:
+                print(f"FAIL {err}")
+        else:
+            print(f"OK   {path}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,8 @@ import warnings
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACE
 from .checkpoint import CheckpointStore
 from .faultinject import FAULTS, ResilienceError
 from .report import RunReport
@@ -141,26 +143,41 @@ class GuardedSweep:
         good_state, good_done = state.copy(), done
         repairs_left = max(1, self.max_retries) if self.health == "repair" else 0
         rounds_since_snapshot = 0
-        while done < steps:
-            round_t = min(self.round_steps, steps - done)
-            state = self._round_with_retry(state, round_t, traffic)
-            done += round_t
-            self.report.rounds += 1
-            if FAULTS.should("grid.nan"):
-                state.data[:, state.nz // 2] = np.nan
-            if self.health != "off" and not grid_is_finite(state.data):
-                state, done, rounds_since_snapshot, repairs_left = self._unhealthy(
-                    state, done, good_state, good_done,
-                    rounds_since_snapshot, repairs_left,
-                )
-                continue
-            rounds_since_snapshot += 1
-            if rounds_since_snapshot >= self.checkpoint_every and done < steps:
-                good_state, good_done = state.copy(), done
-                rounds_since_snapshot = 0
-                if self.checkpoint is not None:
-                    self.checkpoint.save(state.data, done, self.meta)
-                    self.report.checkpoints_written += 1
+        retries_before = self.report.retries
+        repairs_before = self.report.repairs
+        with TRACE.span("guarded_run", steps=steps, health=self.health):
+            while done < steps:
+                round_t = min(self.round_steps, steps - done)
+                with TRACE.span("guard_round", done=done, round_t=round_t):
+                    state = self._round_with_retry(state, round_t, traffic)
+                done += round_t
+                self.report.rounds += 1
+                if FAULTS.should("grid.nan"):
+                    state.data[:, state.nz // 2] = np.nan
+                if self.health != "off" and not grid_is_finite(state.data):
+                    state, done, rounds_since_snapshot, repairs_left = (
+                        self._unhealthy(
+                            state, done, good_state, good_done,
+                            rounds_since_snapshot, repairs_left,
+                        )
+                    )
+                    continue
+                rounds_since_snapshot += 1
+                if rounds_since_snapshot >= self.checkpoint_every and done < steps:
+                    good_state, good_done = state.copy(), done
+                    rounds_since_snapshot = 0
+                    if self.checkpoint is not None:
+                        self.checkpoint.save(state.data, done, self.meta)
+                        self.report.checkpoints_written += 1
+                        METRICS.inc("resilience.checkpoint_bytes",
+                                    state.data.nbytes)
+        if METRICS.armed:
+            METRICS.inc("resilience.retries",
+                        self.report.retries - retries_before)
+            METRICS.inc("resilience.repairs",
+                        self.report.repairs - repairs_before)
+            METRICS.set_gauge("resilience.degradations",
+                              len(self.report.degradations))
         return state.copy()
 
     # ------------------------------------------------------------------

@@ -25,6 +25,8 @@ import numpy as np
 from ..core.blocking35d import Blocking35D
 from ..core.schedule import build_schedule
 from ..core.traffic import TrafficStats
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACE
 from ..stencils.base import PlaneKernel
 from ..stencils.grid import Field3D, copy_shell
 from .partition import partition_span
@@ -94,17 +96,26 @@ class ParallelBlocking35D:
             copy_shell(src, dst, self.kernel.radius)
             thread_stats = [TrafficStats() for _ in range(self.n_threads)]
             token = object()  # shell planes are loaded once per run
-            remaining = steps
-            while remaining > 0:
-                round_t = min(self.inner.dim_t, remaining)
-                self._sweep_round(
-                    pool, src, dst, round_t, traffic, thread_stats, token
-                )
-                src, dst = dst, src
-                remaining -= round_t
+            with TRACE.span("sweep", executor="parallel35d", steps=steps,
+                            dim_t=self.inner.dim_t, threads=self.n_threads):
+                remaining = steps
+                round_index = 0
+                while remaining > 0:
+                    round_t = min(self.inner.dim_t, remaining)
+                    with TRACE.span("round", index=round_index,
+                                    round_t=round_t):
+                        self._sweep_round(
+                            pool, src, dst, round_t, traffic, thread_stats,
+                            token
+                        )
+                    src, dst = dst, src
+                    remaining -= round_t
+                    round_index += 1
             if traffic is not None:
                 for ts in thread_stats:
                     traffic.merge(ts)
+            if METRICS.armed:
+                METRICS.merge_per_thread_traffic(thread_stats)
             if per_thread_traffic is not None:
                 per_thread_traffic.extend(thread_stats)
             return src.copy()
@@ -133,43 +144,69 @@ class ParallelBlocking35D:
             traffic.notes.setdefault("round_t", []).append(round_t)
         iterations = schedule.iterations()
         tile_runner = getattr(self.kernel, "tile_runner", None)
+        armed = TRACE.armed
         for tile in tiles:
-            ctx = inner._tile_context(src, tile, round_t)
-            inner._load_shell_planes(src, ctx, traffic, shell_token)
-            rows = partition_span(ctx.ey[0], ctx.ey[1], self.n_threads)
-            if tile_runner is not None:
-                # Fused sweep: every worker executes the whole z-iteration on
-                # its row span in one call (repro.perf.fused); run_spmd still
-                # supplies the paper's single barrier per z-iteration.
-                runner = tile_runner(inner, src, dst, ctx, schedule, round_t)
-                if runner is not None:
-                    for k in runner.iteration_keys:
+            tile_span = TRACE.span(
+                "tile", y0=tile.y.core[0], y1=tile.y.core[1],
+                x0=tile.x.core[0], x1=tile.x.core[1],
+            ) if armed else None
+            if tile_span is not None:
+                tile_span.__enter__()
+            try:
+                ctx = inner._tile_context(src, tile, round_t)
+                inner._load_shell_planes(src, ctx, traffic, shell_token)
+                rows = partition_span(ctx.ey[0], ctx.ey[1], self.n_threads)
+                if tile_runner is not None:
+                    # Fused sweep: every worker executes the whole z-iteration
+                    # on its row span in one call (repro.perf.fused); run_spmd
+                    # still supplies the paper's single barrier per z-iteration.
+                    runner = tile_runner(inner, src, dst, ctx, schedule, round_t)
+                    if runner is not None:
+                        for k in runner.iteration_keys:
 
-                        def run_fused(tid: int, k=k) -> None:
-                            row = rows[tid]
-                            if row[0] >= row[1]:
-                                return
-                            runner.run_iteration(
-                                k, rows=row, traffic=thread_stats[tid]
+                            def run_fused(tid: int, k=k) -> None:
+                                row = rows[tid]
+                                if row[0] >= row[1]:
+                                    return
+                                runner.run_iteration(
+                                    k, rows=row, traffic=thread_stats[tid]
+                                )
+
+                            if armed:
+                                with TRACE.span("z_iter", k=k, fused=True):
+                                    pool.run_spmd(
+                                        run_fused, deadline=self.spmd_deadline
+                                    )
+                            else:
+                                pool.run_spmd(
+                                    run_fused, deadline=self.spmd_deadline
+                                )
+                        continue
+                regions = inner.instance_regions(ctx, src.shape, round_t)
+                for k in sorted(iterations):
+                    steps_k = iterations[k]
+
+                    def run_iteration(tid: int, steps_k=steps_k) -> None:
+                        row = rows[tid]
+                        if row[0] >= row[1]:
+                            return
+                        for step in steps_k:
+                            inner.execute_step(
+                                src, dst, ctx, step, regions,
+                                thread_stats[tid], rows=row
                             )
 
-                        pool.run_spmd(run_fused, deadline=self.spmd_deadline)
-                    continue
-            regions = inner.instance_regions(ctx, src.shape, round_t)
-            for k in sorted(iterations):
-                steps_k = iterations[k]
-
-                def run_iteration(tid: int, steps_k=steps_k) -> None:
-                    row = rows[tid]
-                    if row[0] >= row[1]:
-                        return
-                    for step in steps_k:
-                        inner.execute_step(
-                            src, dst, ctx, step, regions, thread_stats[tid], rows=row
-                        )
-
-                # run_spmd joins all workers: the per-iteration barrier
-                pool.run_spmd(run_iteration, deadline=self.spmd_deadline)
+                    # run_spmd joins all workers: the per-iteration barrier
+                    if armed:
+                        with TRACE.span("z_iter", k=k, fused=False):
+                            pool.run_spmd(
+                                run_iteration, deadline=self.spmd_deadline
+                            )
+                    else:
+                        pool.run_spmd(run_iteration, deadline=self.spmd_deadline)
+            finally:
+                if tile_span is not None:
+                    tile_span.__exit__(None, None, None)
 
 
 def run_parallel_3_5d(

@@ -33,6 +33,10 @@ import time
 import traceback
 from collections.abc import Callable
 
+import numpy as np
+
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACE
 from ..resilience.faultinject import FAULTS, ResilienceError
 
 __all__ = ["WorkerPool", "WorkerTimeoutError"]
@@ -73,6 +77,10 @@ class WorkerPool:
         # draining — never blocks on an in-flight launch.
         self._launch_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        # per-worker completion timestamps of the current SPMD launch, used
+        # for barrier-wait accounting when the metrics registry is armed
+        # (preallocated: the hot path must not allocate)
+        self._spmd_ends = np.zeros(n_threads, dtype=np.int64)
         self._threads = [
             threading.Thread(target=self._worker, args=(tid,), daemon=True)
             for tid in range(n_threads)
@@ -132,6 +140,25 @@ class WorkerPool:
                     raise RuntimeError("pool is shut down")
                 self._generation += 1
                 gen = self._generation
+            # Observability wrap: per-worker completion timestamps feed the
+            # barrier-wait counters (wait_i = last_finisher - finish_i), and
+            # an armed tracer gets one "spmd" span per worker so Perfetto
+            # shows each worker thread's share of the launch.
+            record = METRICS.armed
+            if record or TRACE.armed:
+                ends = self._spmd_ends
+                ends[:] = 0
+                user_fn = fn
+
+                def fn(tid: int, _fn=user_fn, _ends=ends, _rec=record) -> None:
+                    with TRACE.span("spmd", tid=tid):
+                        try:
+                            _fn(tid)
+                        finally:
+                            if _rec:
+                                _ends[tid] = time.perf_counter_ns()
+
+                t_start = time.perf_counter_ns()
             for q in self._queues:
                 q.put((gen, fn))
             first_exc: BaseException | None = None
@@ -165,6 +192,16 @@ class WorkerPool:
                 pending.discard(tid)
                 if exc is not None and first_exc is None:
                     first_exc = exc
+            if record:
+                done_ns = time.perf_counter_ns()
+                ends = self._spmd_ends
+                valid = ends[ends > 0]
+                if len(valid):
+                    METRICS.inc("barrier.wait_ns",
+                                int((valid.max() - valid).sum()))
+                    METRICS.inc("barrier.spmd_ns", done_ns - t_start)
+                    METRICS.inc("barrier.launches", 1)
+                    METRICS.set_gauge("barrier.threads", self.n_threads)
             if first_exc is not None:
                 raise first_exc
 

@@ -216,3 +216,106 @@ class TestResilienceExitCodes:
         assert rc == 0
         assert "resumed      : from step 2" in out
         assert "bit-identical" in out
+
+
+class TestObservabilityCLI:
+    """--trace/--metrics emission and the `repro trace` summary command."""
+
+    _base = ["run", "--grid", "16", "--steps", "2", "--tile", "8",
+             "--dim-t", "2"]
+
+    def test_trace_and_metrics_files_validate(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.schema import validate_file
+
+        tr = str(tmp_path / "trace.json")
+        mx = str(tmp_path / "metrics.json")
+        rc = main(self._base + ["--trace", tr, "--metrics", mx])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical" in out
+        assert "kappa measured" in out
+        assert validate_file(tr) == []
+        assert validate_file(mx) == []
+        doc = json.loads(open(tr).read())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"sweep", "round", "z_iter", "tile"} <= names
+        mdoc = json.loads(open(mx).read())
+        assert mdoc["counters"]["traffic.bytes_read"] > 0
+        assert mdoc["validation"]["kappa_ratio"] == pytest.approx(
+            mdoc["validation"]["kappa_measured"]
+            / mdoc["validation"]["kappa_predicted"])
+        assert mdoc["run"]["kernel"] == "7pt"
+
+    def test_threaded_metrics_report_barrier_wait(self, tmp_path, capsys):
+        import json
+
+        mx = str(tmp_path / "metrics.json")
+        rc = main(self._base + ["--threads", "2", "--metrics", mx])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "barrier wait" in out
+        mdoc = json.loads(open(mx).read())
+        assert "barrier_wait_fraction" in mdoc.get("derived", {})
+        assert len(mdoc["per_thread"]["traffic.bytes_read.per_thread"]) == 2
+        assert "load_imbalance" in mdoc["validation"]
+
+    def test_tracer_disarmed_after_run(self, tmp_path):
+        from repro.obs import METRICS, TRACE
+
+        tr = str(tmp_path / "trace.json")
+        assert main(self._base + ["--trace", tr, "--metrics",
+                                  str(tmp_path / "m.json")]) == 0
+        assert not TRACE.armed
+        assert not METRICS.armed
+
+    def test_trace_summary_command(self, tmp_path, capsys):
+        tr = str(tmp_path / "trace.json")
+        main(self._base + ["--trace", tr])
+        capsys.readouterr()
+        rc = main(["trace", tr])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "z_iter" in out
+        assert "self %" in out
+
+    def test_trace_summary_missing_file(self, capsys):
+        rc = main(["trace", "/nonexistent/trace.json"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDistributedCLI:
+    _base = ["run", "--grid", "16", "--steps", "2", "--tile", "8",
+             "--dim-t", "2"]
+
+    def test_ranks_run_verifies(self, capsys):
+        rc = main(self._base + ["--ranks", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "distributed, 2 ranks" in out
+        assert "comm         :" in out
+        assert "bit-identical" in out
+
+    def test_lossy_run_recovers(self, capsys):
+        rc = main(["run", "--grid", "16", "--steps", "4", "--tile", "8",
+                   "--dim-t", "2", "--ranks", "4", "--loss", "0.3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all recovered" in out
+        assert "bit-identical" in out
+
+    def test_loss_without_ranks_is_usage_error(self, capsys):
+        rc = main(self._base + ["--loss", "0.05"])
+        assert rc == 2
+        assert "--ranks" in capsys.readouterr().err
+
+    def test_ranks_metrics_include_comm(self, tmp_path, capsys):
+        import json
+
+        mx = str(tmp_path / "metrics.json")
+        rc = main(self._base + ["--ranks", "2", "--metrics", mx])
+        assert rc == 0
+        mdoc = json.loads(open(mx).read())
+        assert mdoc["counters"]["comm.messages"] > 0
