@@ -8,6 +8,10 @@ Subcommands
 ``repro reproduce``  regenerate paper artifacts (tables/figures) as text.
 ``repro schedule``   render and validate the Figure-3a step schedule.
 ``repro trace``      summarize a chrome-trace JSON written by ``run --trace``.
+``repro faults``     list the deterministic fault-injection sites and grammar.
+``repro chaos``      seeded chaos soak: randomized fault schedules against the
+                     distributed driver, asserting bit-exactness (exit 4 on a
+                     red seed, with an optional repro bundle).
 ``repro info``       version, machine table, package inventory.
 """
 
@@ -119,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-message corruption probability of the simulated transport "
         "(--ranks > 1)",
     )
+    run.add_argument(
+        "--no-recovery", action="store_true",
+        help="disable rank-failure tolerance (--ranks > 1): no buddy "
+        "checkpoints, a dead rank aborts the run instead of recovering",
+    )
 
     tune = sub.add_parser("tune", help="Section VI parameter selection")
     tune.add_argument("--kernel", choices=["7pt", "27pt", "lbm"], default="7pt")
@@ -167,6 +176,42 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="summarize a chrome-trace JSON written by run --trace"
     )
     trace.add_argument("file", help="path to a repro.trace/v1 JSON file")
+
+    faults = sub.add_parser(
+        "faults", help="list the deterministic fault-injection sites"
+    )
+    faults.add_argument(
+        "--list", action="store_true", dest="list_sites",
+        help="enumerate every fault site with the spec grammar (default)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos soak against the distributed driver",
+        description="Run randomized-but-reproducible fault schedules (rank "
+        "crashes, message loss, corruption, delayed acks) against the "
+        "distributed 3.5D driver and assert the result is bit-identical to "
+        "a fault-free reference. Exit 0 when every seed passes, 4 when any "
+        "seed fails.",
+    )
+    chaos.add_argument("--seeds", type=int, default=3, metavar="N",
+                       help="number of seeds to soak (default 3)")
+    chaos.add_argument("--seed-base", type=int, default=0, metavar="S",
+                       help="first seed; seeds are S..S+N-1 (default 0)")
+    chaos.add_argument("--ranks", type=int, default=4)
+    chaos.add_argument("--grid", type=int, default=24, help="cubic grid side")
+    chaos.add_argument("--steps", type=int, default=6)
+    chaos.add_argument("--dim-t", type=int, default=2)
+    chaos.add_argument(
+        "--schedules", default="crash,loss,corruption,delay",
+        help="comma-separated fault families to draw from "
+        "(default: crash,loss,corruption,delay)",
+    )
+    chaos.add_argument(
+        "--bundle", default=None, metavar="DIR",
+        help="write a repro bundle (fault specs, case JSON, recovery trace) "
+        "for every failing seed under DIR",
+    )
 
     sub.add_parser("info", help="version and machine inventory")
     return parser
@@ -437,6 +482,7 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
 
     from repro.core import TrafficStats, run_naive
     from repro.distributed import DistributedJacobi
+    from repro.resilience import ResilienceError
 
     if args.scheme not in ("3.5d", "naive"):
         print("error: --ranks requires --scheme 3.5d or naive", file=sys.stderr)
@@ -455,12 +501,17 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
         loss=args.loss,
         corruption=args.corruption,
         comm_seed=args.seed,
+        recover=not args.no_recovery,
     )
     traffic = TrafficStats()
     _arm_obs(args)
     try:
         t0 = time.perf_counter()
-        out, comm = runner.run(field, args.steps, traffic)
+        try:
+            out, comm = runner.run(field, args.steps, traffic)
+        except ResilienceError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 4
         elapsed = time.perf_counter() - t0
 
         n_updates = args.grid**3 * args.steps
@@ -476,6 +527,9 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
         print(f"comm faults  : {total.dropped} dropped, "
               f"{total.corrupted} corrupted, {total.retries} retries"
               + (" (all recovered)" if total.retries else ""))
+        recovery = runner.recovery
+        for line in recovery.lines():
+            print(line)
         if not args.no_check:
             ref = run_naive(ref_kernel, field, args.steps)
             if np.array_equal(out.data, ref.data):
@@ -494,7 +548,8 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
             "precision": args.precision, "elapsed_s": elapsed,
             "loss": args.loss, "corruption": args.corruption,
         })
-        return 0
+        # a run that survived rank failures is degraded-but-correct
+        return 3 if recovery.degraded else 0
     finally:
         _disarm_obs()
 
@@ -647,6 +702,94 @@ def _cmd_reproduce(artifact: str) -> int:
     return 0 if did else 1
 
 
+def _cmd_faults() -> int:
+    from repro.resilience import REPRO_FAULTS_ENV, SITES
+
+    print("fault spec grammar: site[=arg][:times][@after]")
+    print("  arg    restrict to probes whose detail matches (backend name,")
+    print("         rank id, ...)")
+    print("  times  probes that fire before the spec exhausts (default 1,")
+    print("         '*' = forever)")
+    print("  after  matching probes skipped before the first firing")
+    print(f"arm via ${REPRO_FAULTS_ENV} (comma-separated specs) or "
+          "FAULTS.injected(...)")
+    print()
+    print("sites:")
+    width = max(len(site) for site in SITES)
+    for site in sorted(SITES):
+        print(f"  {site:<{width}}  {SITES[site]}")
+    print()
+    print("examples:")
+    print("  rank.crash=2@1   kill rank 2 after it survives 1 round")
+    print("  comm.drop:3      drop the next 3 transported messages")
+    print("  backend.compute=fused-numba:*   every fused-numba compute raises")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Exit codes: 0 all seeds green, 2 usage error, 4 any seed red."""
+    from repro.resilience.chaos import (
+        SCHEDULES,
+        make_case,
+        run_case,
+        write_bundle,
+    )
+
+    schedules = tuple(
+        s.strip() for s in args.schedules.split(",") if s.strip()
+    )
+    unknown = set(schedules) - set(SCHEDULES)
+    if unknown:
+        print(
+            f"error: unknown schedule(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(SCHEDULES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds < 1 or args.ranks < 1:
+        print("error: --seeds and --ranks must be >= 1", file=sys.stderr)
+        return 2
+
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    print(f"chaos soak   : {args.seeds} seed(s), {args.ranks} ranks, "
+          f"{args.grid}^3 x {args.steps} steps (dim_T={args.dim_t})")
+    print(f"schedules    : {', '.join(schedules)}")
+    failures = 0
+    for seed in seeds:
+        case = make_case(
+            seed, ranks=args.ranks, grid=args.grid, steps=args.steps,
+            dim_t=args.dim_t, schedules=schedules,
+        )
+        result = run_case(case, trace=args.bundle is not None)
+        status = "ok" if result.ok else "FAIL"
+        detail = (
+            f"{result.recoveries} recoveries, "
+            f"{result.comm_retries} retries, "
+            f"{result.comm_dropped} dropped, "
+            f"{result.comm_corrupted} corrupted, "
+            f"{result.comm_delayed} delayed"
+        )
+        print(f"seed {seed:<4}    : {status} ({detail}) [{case.describe()}]")
+        if not result.ok:
+            failures += 1
+            if result.error:
+                print(f"             ! {result.error}")
+            if not result.bit_exact and result.error is None:
+                print("             ! result differs from the fault-free "
+                      "reference")
+            if args.bundle:
+                bundle = write_bundle(result, args.bundle)
+                print(f"             ! repro bundle: {bundle}")
+        from repro.obs import TRACE
+
+        TRACE.disarm()
+    if failures:
+        print(f"verdict      : {failures}/{args.seeds} seed(s) FAILED")
+        return 4
+    print(f"verdict      : all {args.seeds} seed(s) bit-exact")
+    return 0
+
+
 def _cmd_info() -> int:
     import repro
     from repro.machine import CORE_I7, GTX_285
@@ -707,6 +850,10 @@ def main(argv: list[str] | None = None) -> int:
         for line in summarize_trace(doc):
             print(line)
         return 0
+    if args.command == "faults":
+        return _cmd_faults()
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "info":
         return _cmd_info()
     return 2  # pragma: no cover

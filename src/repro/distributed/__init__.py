@@ -1,5 +1,11 @@
-"""Distributed-memory layer: slab decomposition + simulated message passing."""
+"""Distributed-memory layer: slab decomposition + simulated message passing,
+with rank-failure tolerance (buddy checkpoints + elastic re-decomposition)."""
 
+from ..resilience.rankrecovery import (
+    RankDeadError,
+    RecoveryReport,
+    UnrecoverableRankFailureError,
+)
 from .comm import CommFailedError, CommStats, SimComm, transfer_time
 from .decompose import Slab, decompose_z
 from .runner import DistributedJacobi
@@ -8,6 +14,9 @@ __all__ = [
     "SimComm",
     "CommFailedError",
     "CommStats",
+    "RankDeadError",
+    "RecoveryReport",
+    "UnrecoverableRankFailureError",
     "transfer_time",
     "Slab",
     "decompose_z",

@@ -21,7 +21,18 @@ protocol on top.  Every payload travels with a checksum; a receiver that
 finds the message dropped or checksummed wrong requests a retransmission
 from the sender's reliable outbox, up to ``max_retries`` times, before
 :class:`CommFailedError` surfaces.  Retries are counted per rank in
-:class:`CommStats`, so the cost of an unreliable link is measurable.
+:class:`CommStats`, so the cost of an unreliable link is measurable.  The
+``comm.delay`` fault site models an ack delayed past its timeout: the
+payload is fine but the receiver requests a redundant retransmission.
+
+Ranks can also *die*.  :meth:`SimComm.kill` marks a rank dead, and
+:meth:`SimComm.heartbeat` — probed once per rank per blocked round by the
+distributed driver — is where the ``rank.crash[=rank][@rounds]`` fault
+site fires.  A dead rank never hangs its peers: any receive from (or send
+by) a dead rank raises :class:`~repro.resilience.rankrecovery.RankDeadError`
+immediately, so failure detection happens at the next halo exchange and
+the driver's buddy-checkpoint recovery path takes over (see
+:mod:`repro.resilience.rankrecovery`).
 """
 
 from __future__ import annotations
@@ -33,8 +44,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..resilience.faultinject import FAULTS, ResilienceError
+from ..resilience.rankrecovery import RankDeadError
 
-__all__ = ["CommFailedError", "CommStats", "SimComm", "transfer_time"]
+__all__ = [
+    "CommFailedError",
+    "CommStats",
+    "RankDeadError",
+    "SimComm",
+    "transfer_time",
+]
 
 
 class CommFailedError(ResilienceError):
@@ -51,6 +69,7 @@ class CommStats:
     bytes_received: int = 0
     dropped: int = 0
     corrupted: int = 0
+    delayed: int = 0
     retries: int = 0
 
     def merge(self, other: "CommStats") -> None:
@@ -60,6 +79,7 @@ class CommStats:
         self.bytes_received += other.bytes_received
         self.dropped += other.dropped
         self.corrupted += other.corrupted
+        self.delayed += other.delayed
         self.retries += other.retries
 
 
@@ -110,11 +130,56 @@ class SimComm:
         self.max_retries = max_retries
         self._rng = np.random.default_rng(seed)
         self._mail: dict[tuple[int, int, int], deque[_Message]] = {}
+        self._dead: set[int] = set()
         self.stats = [CommStats() for _ in range(size)]
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} outside [0, {self.size})")
+
+    # -- liveness ------------------------------------------------------
+    @property
+    def dead(self) -> frozenset[int]:
+        """The ranks that have died so far."""
+        return frozenset(self._dead)
+
+    def alive(self, rank: int) -> bool:
+        self._check_rank(rank)
+        return rank not in self._dead
+
+    def live_ranks(self) -> list[int]:
+        return [r for r in range(self.size) if r not in self._dead]
+
+    def kill(self, rank: int) -> None:
+        """Mark ``rank`` dead.  Its pending mail stays queued but any
+        receive from it raises :class:`RankDeadError` — peers detect the
+        death at their next exchange instead of hanging on a message that
+        will never arrive."""
+        self._check_rank(rank)
+        self._dead.add(rank)
+
+    def heartbeat(self, rank: int) -> bool:
+        """One liveness probe, fired per rank per blocked round.
+
+        The ``rank.crash`` fault site is consulted here (``arg`` = rank id,
+        ``@after`` = heartbeats survived, i.e. rounds), so deterministic
+        mid-run crashes are expressible as ``rank.crash=2@3``.  Returns
+        whether the rank is (still) alive.
+        """
+        self._check_rank(rank)
+        if rank in self._dead:
+            return False
+        if FAULTS.should("rank.crash", detail=str(rank)):
+            self.kill(rank)
+            return False
+        return True
+
+    def purge(self) -> int:
+        """Drop all undelivered mail (recovery abandons the broken round);
+        returns the number of messages discarded."""
+        count = sum(len(q) for q in self._mail.values())
+        self._mail.clear()
+        return count
 
     # -- transport -----------------------------------------------------
     def _transmit(self, src: int, payload: np.ndarray) -> np.ndarray | None:
@@ -150,10 +215,14 @@ class SimComm:
         """Buffered send: the payload is copied at send time (MPI semantics).
 
         The pristine copy stays in the sender's outbox until delivery, so
-        the receiver-driven retry protocol can retransmit it.
+        the receiver-driven retry protocol can retransmit it.  A dead rank
+        cannot send; sending *to* a dead rank completes locally (buffered
+        semantics — the payload is purged during recovery).
         """
         self._check_rank(src)
         self._check_rank(dst)
+        if src in self._dead:
+            raise RankDeadError(src, f"dead rank {src} cannot send")
         payload = np.ascontiguousarray(array).copy()
         wire = self._transmit(src, payload)
         msg = _Message(payload, wire, _checksum(payload))
@@ -168,9 +237,22 @@ class SimComm:
         the receiver requests a retransmission of the pristine payload
         (each resend counted against both ranks) until it checksums clean
         or ``max_retries`` is exhausted (:class:`CommFailedError`).
+
+        Receiving from a dead rank raises :class:`RankDeadError` at once —
+        this is the failure-detection point of the distributed driver: a
+        crashed neighbor is noticed at the next halo exchange, never waited
+        on.  The ``comm.delay`` fault site fires here too: the ack timer
+        expires on a healthy payload and a redundant retransmission is
+        requested (counted as ``delayed`` + one retry).
         """
         self._check_rank(src)
         self._check_rank(dst)
+        if src in self._dead:
+            raise RankDeadError(
+                src, f"rank {src} died; detected by rank {dst} at halo exchange"
+            )
+        if dst in self._dead:
+            raise RankDeadError(dst, f"dead rank {dst} cannot receive")
         box = self._mail.get((src, dst, tag))
         if not box:
             raise LookupError(
@@ -178,6 +260,11 @@ class SimComm:
             )
         msg = box.popleft()
         wire = msg.wire
+        if wire is not None and FAULTS.should("comm.delay", detail=str(src)):
+            # the ack never made it back in time: discard the (healthy)
+            # wire copy and let the retry protocol fetch it again
+            self.stats[dst].delayed += 1
+            wire = None
         attempts = 0
         while wire is None or _checksum(wire) != msg.checksum:
             if attempts >= self.max_retries:

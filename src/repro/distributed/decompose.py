@@ -8,6 +8,7 @@ per exchange is ``R * dim_T`` — one exchange feeds a whole blocked round.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..runtime.partition import partition_span
@@ -30,16 +31,34 @@ class Slab:
         return self.z1 - self.z0
 
 
-def decompose_z(nz: int, n_ranks: int, halo: int) -> list[Slab]:
+def decompose_z(
+    nz: int, n_ranks: int, halo: int, *, ranks: Sequence[int] | None = None
+) -> list[Slab]:
     """Partition ``[0, nz)`` into contiguous near-equal slabs.
 
     Every slab must own at least ``halo`` planes so a single neighbor
     exchange provides the full ghost zone for one blocked round.
+
+    ``ranks`` optionally names the rank ids owning the slabs in Z order
+    (default ``0..n_ranks-1``).  This is the elastic re-decomposition hook:
+    after a rank failure the surviving ids — no longer contiguous — are
+    handed back in, and each slab's neighbors become the *adjacent
+    surviving* ranks.
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
     if halo < 0:
         raise ValueError("halo must be >= 0")
+    if ranks is None:
+        rank_ids = list(range(n_ranks))
+    else:
+        rank_ids = list(ranks)
+        if len(rank_ids) != n_ranks:
+            raise ValueError(
+                f"ranks names {len(rank_ids)} ids for {n_ranks} slabs"
+            )
+        if len(set(rank_ids)) != len(rank_ids):
+            raise ValueError("ranks must be distinct")
     spans = partition_span(0, nz, n_ranks)
     min_owned = min(hi - lo for lo, hi in spans)
     if n_ranks > 1 and min_owned < halo:
@@ -48,14 +67,14 @@ def decompose_z(nz: int, n_ranks: int, halo: int) -> list[Slab]:
             f"halo {halo}: use fewer ranks or a smaller dim_T"
         )
     slabs = []
-    for rank, (lo, hi) in enumerate(spans):
+    for i, (lo, hi) in enumerate(spans):
         slabs.append(
             Slab(
-                rank=rank,
+                rank=rank_ids[i],
                 z0=lo,
                 z1=hi,
-                lo_neighbor=rank - 1 if rank > 0 else None,
-                hi_neighbor=rank + 1 if rank < n_ranks - 1 else None,
+                lo_neighbor=rank_ids[i - 1] if i > 0 else None,
+                hi_neighbor=rank_ids[i + 1] if i < n_ranks - 1 else None,
             )
         )
     return slabs

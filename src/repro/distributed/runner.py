@@ -16,6 +16,25 @@ The naive scheme exchanges width-R halos every time step; temporal blocking
 sends the *same total volume* in ``1/dim_T`` as many messages — the
 latency-term reduction that distributed temporal blocking exists for
 (Wittmann et al., Section II), which `transfer_time` makes quantitative.
+
+The driver is also **rank-failure tolerant** (``recover=True``).  Each
+round starts with a buddy checkpoint — every rank replicates its
+round-start slab in-memory to the next live rank — and a heartbeat probe
+per rank (the ``rank.crash`` fault site).  A rank that dies is detected at
+the next halo exchange (:class:`RankDeadError` from ``SimComm.recv``, not
+a hang), and the run recovers instead of aborting:
+
+    detect -> re-decompose -> buddy-restore -> replay
+
+The surviving ranks rebuild the slab map over themselves
+(:func:`decompose_z` with explicit rank ids), restore every round-start
+slab from the :class:`~repro.resilience.rankrecovery.BuddyStore` (the dead
+rank's from its buddy replica), purge the half-exchanged mail, and replay
+the interrupted round — at most one blocked round of work is lost, and the
+final field is bit-identical to a fault-free run because each round reads
+only the full grid state of the previous one.  Every recovery is recorded
+in :attr:`DistributedJacobi.recovery`, the ``resilience.*`` counters, and
+a ``rank_recovery`` trace span.
 """
 
 from __future__ import annotations
@@ -27,9 +46,17 @@ from ..core.naive import naive_sweep
 from ..core.traffic import TrafficStats
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACE
+from ..resilience.rankrecovery import (
+    BuddySnapshot,
+    BuddyStore,
+    RankDeadError,
+    RecoveryReport,
+    UnrecoverableRankFailureError,
+    buddy_of,
+)
 from ..stencils.base import PlaneKernel
 from ..stencils.grid import Field3D, copy_shell
-from .comm import CommStats, SimComm
+from .comm import SimComm
 from .decompose import Slab, decompose_z
 
 __all__ = ["DistributedJacobi"]
@@ -55,6 +82,10 @@ class DistributedJacobi:
         ``"35d"`` runs a 3.5D round per exchange; ``"naive"`` runs plain
         sweeps (still ``dim_t`` per exchange — set ``dim_t=1`` for the
         classic baseline).
+    recover:
+        When True (default), rank failures are survived via buddy
+        checkpoints and elastic re-decomposition; when False, the first
+        dead rank surfaces as :class:`RankDeadError`.
     """
 
     def __init__(
@@ -69,6 +100,7 @@ class DistributedJacobi:
         corruption: float = 0.0,
         comm_seed: int = 0,
         max_retries: int = 3,
+        recover: bool = True,
     ) -> None:
         if scheme not in ("35d", "naive"):
             raise ValueError(f"unknown scheme {scheme!r}")
@@ -86,6 +118,9 @@ class DistributedJacobi:
         self.corruption = corruption
         self.comm_seed = comm_seed
         self.max_retries = max_retries
+        self.recover = recover
+        self.recovery = RecoveryReport(initial_ranks=n_ranks,
+                                       final_ranks=n_ranks)
 
     # ------------------------------------------------------------------
     def run(
@@ -96,13 +131,15 @@ class DistributedJacobi:
     ) -> tuple[Field3D, SimComm]:
         """Advance ``field`` by ``steps``; returns (result, communicator).
 
-        The communicator carries the per-rank message/byte statistics.
+        The communicator carries the per-rank message/byte statistics;
+        :attr:`recovery` carries the rank-failure record of this run.
         """
         if steps < 0:
             raise ValueError("steps must be >= 0")
         r = self.kernel.radius
         halo = r * self.dim_t
-        slabs = decompose_z(field.nz, self.n_ranks, halo)
+        live = list(range(self.n_ranks))
+        slabs = decompose_z(field.nz, len(live), halo, ranks=live)
         comm = SimComm(
             self.n_ranks,
             loss=self.loss,
@@ -110,7 +147,11 @@ class DistributedJacobi:
             seed=self.comm_seed,
             max_retries=self.max_retries,
         )
-        local = [field.data[:, s.z0 : s.z1].copy() for s in slabs]
+        local = {s.rank: field.data[:, s.z0 : s.z1].copy() for s in slabs}
+        buddies = BuddyStore()
+        report = RecoveryReport(initial_ranks=self.n_ranks,
+                                final_ranks=self.n_ranks)
+        self.recovery = report
 
         with TRACE.span("sweep", executor="distributed", steps=steps,
                         ranks=self.n_ranks, scheme=self.scheme):
@@ -118,42 +159,158 @@ class DistributedJacobi:
             round_index = 0
             while remaining > 0:
                 round_t = min(self.dim_t, remaining)
-                with TRACE.span("round", index=round_index, round_t=round_t):
-                    self._exchange_and_compute(
-                        field, slabs, local, comm, round_t, traffic
+                if self.recover and len(live) > 1:
+                    self._buddy_checkpoint(
+                        live, slabs, local, buddies, round_index
                     )
+                for rank in live:
+                    comm.heartbeat(rank)
+                if all(not comm.alive(rank) for rank in live):
+                    raise UnrecoverableRankFailureError(
+                        f"all {len(live)} remaining rank(s) crashed at round "
+                        f"{round_index}"
+                    )
+                try:
+                    with TRACE.span("round", index=round_index,
+                                    round_t=round_t, ranks=len(live)):
+                        self._exchange_and_compute(
+                            slabs, local, comm, round_t, traffic
+                        )
+                except RankDeadError:
+                    if not self.recover:
+                        raise
+                    live, slabs, local = self._recover(
+                        field, live, slabs, comm, buddies, report,
+                        round_index, halo,
+                    )
+                    continue  # replay the interrupted round
                 remaining -= round_t
                 round_index += 1
 
-        gathered = Field3D(np.concatenate(local, axis=1))
+        report.buddy_bytes = buddies.bytes_replicated
+        report.buddy_snapshots = buddies.snapshots
+        report.final_ranks = len(live)
+        gathered = Field3D(
+            np.concatenate([local[s.rank] for s in slabs], axis=1)
+        )
         assert comm.pending() == 0
         if METRICS.armed:
             METRICS.merge_comm(comm)
+            METRICS.merge_recovery(report)
         return gathered, comm
+
+    # ------------------------------------------------------------------
+    def _buddy_checkpoint(
+        self,
+        live: list[int],
+        slabs: list[Slab],
+        local: dict[int, np.ndarray],
+        buddies: BuddyStore,
+        round_index: int,
+    ) -> None:
+        """Replicate every rank's round-start slab to its buddy (in memory).
+
+        The slab arrays are never mutated in place by the round (each round
+        rebinds ``local[rank]`` to a fresh array), so the owner's own copy
+        can alias the live slab; only the buddy replica costs a copy —
+        that copy is the modeled inter-rank transfer, counted in
+        ``buddy_bytes`` rather than in the halo-exchange comm stats.
+        """
+        for s in slabs:
+            buddies.checkpoint(
+                BuddySnapshot(
+                    owner=s.rank,
+                    round_index=round_index,
+                    z0=s.z0,
+                    z1=s.z1,
+                    data=local[s.rank],
+                    meta={"scheme": self.scheme, "dim_t": self.dim_t},
+                ),
+                holder=buddy_of(s.rank, live),
+            )
+
+    def _recover(
+        self,
+        field: Field3D,
+        live: list[int],
+        slabs: list[Slab],
+        comm: SimComm,
+        buddies: BuddyStore,
+        report: RecoveryReport,
+        round_index: int,
+        halo: int,
+    ) -> tuple[list[int], list[Slab], dict[int, np.ndarray]]:
+        """The recovery path: re-decompose, buddy-restore, ready to replay.
+
+        Reconstructs the *round-start* global state from the buddy
+        snapshots (survivors serve their own copies; each dead rank's slab
+        comes from its buddy replica), rebuilds the slab map over the
+        surviving rank ids, and purges the half-exchanged mail of the
+        aborted round.  The caller then replays the round — at most one
+        blocked round of compute is lost per failure.
+        """
+        dead_now = [rank for rank in live if not comm.alive(rank)]
+        survivors = [rank for rank in live if comm.alive(rank)]
+        with TRACE.span("rank_recovery", round=round_index,
+                        dead=",".join(map(str, dead_now)),
+                        survivors=len(survivors)):
+            if not survivors:
+                raise UnrecoverableRankFailureError(
+                    f"no rank survived round {round_index}"
+                )
+            # round-start global state, slab by slab from the buddy store
+            restored = np.empty_like(field.data)
+            for s in slabs:
+                snap = buddies.restore(s.rank, comm.alive)
+                restored[:, s.z0 : s.z1] = snap.data
+            try:
+                new_slabs = decompose_z(
+                    field.nz, len(survivors), halo, ranks=survivors
+                )
+            except ValueError as exc:
+                raise UnrecoverableRankFailureError(
+                    f"cannot re-decompose over {len(survivors)} surviving "
+                    f"rank(s): {exc}"
+                ) from exc
+            new_local = {
+                s.rank: restored[:, s.z0 : s.z1].copy() for s in new_slabs
+            }
+            purged = comm.purge()
+            report.failed_ranks.extend((round_index, r) for r in dead_now)
+            report.recoveries += 1
+            report.replayed_rounds += 1
+            report.purged_messages += purged
+            report.final_ranks = len(survivors)
+        return survivors, new_slabs, new_local
 
     # ------------------------------------------------------------------
     def _exchange_and_compute(
         self,
-        field: Field3D,
         slabs: list[Slab],
-        local: list[np.ndarray],
+        local: dict[int, np.ndarray],
         comm: SimComm,
         round_t: int,
         traffic: TrafficStats | None,
     ) -> None:
         r = self.kernel.radius
         h = r * round_t
-        # phase A: every rank posts its boundary planes
+        # phase A: every live rank posts its boundary planes (a dead rank
+        # posts nothing — that silence is what its neighbors detect)
         with TRACE.span("halo_exchange", phase="send", halo=h):
             for s in slabs:
+                if not comm.alive(s.rank):
+                    continue
                 if s.hi_neighbor is not None:
                     comm.send(s.rank, s.hi_neighbor, _TAG_UP,
                               local[s.rank][:, -h:])
                 if s.lo_neighbor is not None:
                     comm.send(s.rank, s.lo_neighbor, _TAG_DOWN,
                               local[s.rank][:, :h])
-        # phase B: every rank assembles its augmented slab and computes
+        # phase B: every rank assembles its augmented slab and computes;
+        # a receive from a dead neighbor raises RankDeadError (detection)
         for s in slabs:
+            if not comm.alive(s.rank):
+                continue
             parts = []
             zlo = s.z0
             with TRACE.span("halo_exchange", phase="recv", rank=s.rank):

@@ -28,9 +28,12 @@ Counter catalog (see docs/observability.md for the full list):
 ``barrier.wait_ns`` / ``barrier.spmd_ns``           thread idle vs launch wall
 ``barrier.launches``                                run_spmd calls
 ``comm.messages`` / ``comm.bytes`` / ``comm.dropped`` / ``comm.corrupted`` /
-``comm.retries``                                    SimComm totals
+``comm.delayed`` / ``comm.retries``                 SimComm totals
 ``resilience.retries`` / ``resilience.repairs`` /
 ``resilience.degradations`` / ``resilience.checkpoint_bytes``
+``resilience.recoveries`` / ``resilience.replayed_rounds`` /
+``resilience.rank_failures`` / ``resilience.buddy_bytes``
+                                                    rank-failure recovery
 """
 
 from __future__ import annotations
@@ -168,7 +171,17 @@ class MetricsRegistry:
         self.inc(f"{prefix}.bytes", total.bytes_sent)
         self.inc(f"{prefix}.dropped", total.dropped)
         self.inc(f"{prefix}.corrupted", total.corrupted)
+        self.inc(f"{prefix}.delayed", getattr(total, "delayed", 0))
         self.inc(f"{prefix}.retries", total.retries)
+
+    def merge_recovery(self, report: Any, prefix: str = "resilience") -> None:
+        """Fold a rank-failure RecoveryReport into the counters."""
+        if not self.armed:
+            return
+        self.inc(f"{prefix}.recoveries", report.recoveries)
+        self.inc(f"{prefix}.replayed_rounds", report.replayed_rounds)
+        self.inc(f"{prefix}.rank_failures", len(report.failed_ranks))
+        self.inc(f"{prefix}.buddy_bytes", report.buddy_bytes)
 
     # -- derived -------------------------------------------------------
     def barrier_wait_fraction(self) -> float | None:

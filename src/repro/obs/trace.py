@@ -155,9 +155,16 @@ class SpanTracer:
 
     # -- lifecycle -----------------------------------------------------
     def arm(self, capacity: int | None = None) -> None:
-        """Start recording spans (clears any previous recording)."""
+        """Start recording spans (clears any previous recording).
+
+        ``capacity`` sizes the per-thread ring buffers for *this* recording
+        only; omitting it restores :data:`DEFAULT_CAPACITY` rather than
+        inheriting whatever a previous caller picked.
+        """
         self.reset()
-        if capacity is not None:
+        if capacity is None:
+            self._capacity = self.DEFAULT_CAPACITY
+        else:
             if capacity < 1:
                 raise ValueError("capacity must be >= 1")
             self._capacity = capacity

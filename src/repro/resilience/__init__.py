@@ -15,6 +15,11 @@ drops that assumption:
   last good state;
 * :mod:`~repro.resilience.checkpoint` — atomic grid+step snapshots and
   bit-exact restart;
+* :mod:`~repro.resilience.rankrecovery` — rank-failure tolerance for the
+  distributed driver: in-memory buddy checkpoints, elastic
+  re-decomposition over the survivors, at most one replayed round;
+* :mod:`~repro.resilience.chaos` — the seeded chaos soak harness
+  (randomized crash/loss/corruption/delay schedules, bit-exact oracle);
 * :mod:`~repro.resilience.report` — the structured record of every
   degradation, mapped to the CLI's exit codes (0 clean, 3 degraded-but-
   correct, 4 failed).
@@ -22,7 +27,21 @@ drops that assumption:
 See ``docs/robustness.md`` for the full contract.
 """
 
-from .checkpoint import Checkpoint, CheckpointError, CheckpointStore
+from .chaos import (
+    SCHEDULES,
+    ChaosCase,
+    ChaosResult,
+    make_case,
+    run_case,
+    run_soak,
+    write_bundle,
+)
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+)
 from .fallback import (
     FALLBACK_ORDER,
     BoundBackend,
@@ -41,6 +60,14 @@ from .faultinject import (
     InjectedFault,
     ResilienceError,
 )
+from .rankrecovery import (
+    BuddySnapshot,
+    BuddyStore,
+    RankDeadError,
+    RecoveryReport,
+    UnrecoverableRankFailureError,
+    buddy_of,
+)
 from .report import RunReport
 from .watchdog import (
     GuardedSweep,
@@ -51,11 +78,17 @@ from .watchdog import (
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
     "FAULTS",
     "REPRO_FAULTS_ENV",
+    "SCHEDULES",
     "SITES",
     "FALLBACK_ORDER",
     "BoundBackend",
+    "BuddySnapshot",
+    "BuddyStore",
+    "ChaosCase",
+    "ChaosResult",
     "Checkpoint",
     "CheckpointError",
     "CheckpointStore",
@@ -68,10 +101,18 @@ __all__ = [
     "HealthCheckError",
     "HealthWarning",
     "InjectedFault",
+    "RankDeadError",
+    "RecoveryReport",
     "ResilienceError",
     "RunReport",
     "SweepRetriesExhaustedError",
+    "UnrecoverableRankFailureError",
     "bind_with_fallback",
+    "buddy_of",
     "fallback_chain",
     "grid_is_finite",
+    "make_case",
+    "run_case",
+    "run_soak",
+    "write_bundle",
 ]

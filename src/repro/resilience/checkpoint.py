@@ -12,6 +12,14 @@ load time is quarantined (renamed to ``*.corrupt``), never trusted.
 Restart is bit-exact: re-running the remaining rounds from a snapshot
 produces the same bits as the uninterrupted run, because each round reads
 only the full grid state of the previous one (the test suite asserts this).
+
+Snapshots are **versioned and self-describing**: ``save`` stamps a
+``schema_version`` plus the grid's shape and dtype alongside the caller's
+metadata, and ``load`` validates all three — an unknown version, an
+internally inconsistent snapshot, or a geometry/dtype change between write
+and resume (``expected_shape``/``expected_dtype``) raises a clear
+:class:`CheckpointError` up front instead of surfacing later as a numpy
+broadcast error halfway into the resumed sweep.
 """
 
 from __future__ import annotations
@@ -26,7 +34,18 @@ import numpy as np
 
 from .faultinject import ResilienceError
 
-__all__ = ["Checkpoint", "CheckpointError", "CheckpointStore"]
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+]
+
+#: version stamped into every snapshot; bumped on layout changes
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: reserved key carrying the schema stamp inside the stored metadata JSON
+_SCHEMA_KEY = "_checkpoint"
 
 
 class CheckpointError(ResilienceError):
@@ -40,6 +59,7 @@ class Checkpoint:
     data: np.ndarray  # (ncomp, nz, ny, nx), as Field3D stores it
     step: int
     meta: dict = field(default_factory=dict)
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
 
 
 class CheckpointStore:
@@ -52,7 +72,18 @@ class CheckpointStore:
         return self.path.exists()
 
     def save(self, data: np.ndarray, step: int, meta: dict | None = None) -> None:
-        """Atomically replace the snapshot with (``data``, ``step``)."""
+        """Atomically replace the snapshot with (``data``, ``step``).
+
+        The stored metadata is stamped with the schema version and the
+        grid's shape/dtype so :meth:`load` can refuse a stale or foreign
+        snapshot with a typed error.
+        """
+        meta_doc = dict(meta or {})
+        meta_doc[_SCHEMA_KEY] = {
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "shape": list(data.shape),
+            "dtype": str(data.dtype),
+        }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
         try:
@@ -62,7 +93,7 @@ class CheckpointStore:
                     data=np.ascontiguousarray(data),
                     step=np.int64(step),
                     meta=np.frombuffer(
-                        json.dumps(meta or {}).encode(), dtype=np.uint8
+                        json.dumps(meta_doc).encode(), dtype=np.uint8
                     ),
                 )
                 fh.flush()
@@ -73,8 +104,24 @@ class CheckpointStore:
                 f"cannot write checkpoint {self.path}: {exc}"
             ) from exc
 
-    def load(self) -> Checkpoint | None:
-        """The stored snapshot, or ``None`` (missing or quarantined-corrupt)."""
+    def load(
+        self,
+        expected_shape: tuple[int, ...] | None = None,
+        expected_dtype=None,
+    ) -> Checkpoint | None:
+        """The stored snapshot, or ``None`` (missing or quarantined-corrupt).
+
+        A readable snapshot is *validated* before it is trusted:
+
+        * it must carry a known ``schema_version`` stamp (a pre-versioning
+          or future-version snapshot raises :class:`CheckpointError`);
+        * the stamped shape/dtype must match the stored payload (an
+          inconsistent snapshot raises rather than resuming garbage);
+        * when the caller states what geometry it is about to resume
+          (``expected_shape``/``expected_dtype``), a mismatch raises a
+          clear :class:`CheckpointError` instead of letting the geometry
+          change surface as a numpy broadcast error mid-resume.
+        """
         try:
             with np.load(self.path, allow_pickle=False) as npz:
                 data = npz["data"]
@@ -88,7 +135,43 @@ class CheckpointStore:
         if data.ndim != 4 or step < 0 or not isinstance(meta, dict):
             self._quarantine()
             return None
-        return Checkpoint(data=data, step=step, meta=meta)
+        stamp = meta.pop(_SCHEMA_KEY, None)
+        if not isinstance(stamp, dict) or "schema_version" not in stamp:
+            raise CheckpointError(
+                f"checkpoint {self.path} carries no schema_version stamp "
+                "(written by a pre-versioning build?); refusing to resume "
+                "from it — delete the file to start fresh"
+            )
+        version = stamp["schema_version"]
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has schema_version {version}; this "
+                f"build reads version {CHECKPOINT_SCHEMA_VERSION} — delete "
+                "the file or load it with a matching build"
+            )
+        if (
+            list(stamp.get("shape", [])) != list(data.shape)
+            or str(stamp.get("dtype", "")) != str(data.dtype)
+        ):
+            raise CheckpointError(
+                f"checkpoint {self.path} is internally inconsistent: stamped "
+                f"{stamp.get('shape')}/{stamp.get('dtype')} but stores "
+                f"{list(data.shape)}/{data.dtype}"
+            )
+        if expected_shape is not None and tuple(expected_shape) != data.shape:
+            raise CheckpointError(
+                f"checkpoint {self.path} holds a grid of shape "
+                f"{data.shape}, but this run uses {tuple(expected_shape)} — "
+                "the geometry changed since the snapshot was written"
+            )
+        if expected_dtype is not None and np.dtype(expected_dtype) != data.dtype:
+            raise CheckpointError(
+                f"checkpoint {self.path} holds dtype {data.dtype}, but this "
+                f"run uses {np.dtype(expected_dtype)} — the precision "
+                "changed since the snapshot was written"
+            )
+        return Checkpoint(data=data, step=step, meta=meta,
+                          schema_version=version)
 
     def _quarantine(self) -> None:
         """Move a corrupt snapshot aside (``*.corrupt``) instead of trusting it."""

@@ -60,6 +60,10 @@ SITES = {
     "flight)",
     "comm.corrupt": "repro.distributed.comm transmission (payload corrupted "
     "in flight)",
+    "comm.delay": "repro.distributed.comm receive (ack delayed past the "
+    "timeout; the receiver requests a redundant retransmission)",
+    "rank.crash": "repro.distributed.comm heartbeat (rank dies between "
+    "rounds; arg = rank id, @after = rounds survived)",
     "cache.corrupt": "repro.core.autotune TuningCache.put (crash leaves a "
     "half-written JSON file)",
     "grid.nan": "repro.resilience.watchdog GuardedSweep (a plane is poisoned "

@@ -32,7 +32,7 @@ import numpy as np
 
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACE
-from .checkpoint import CheckpointStore
+from .checkpoint import CheckpointError, CheckpointStore
 from .faultinject import FAULTS, ResilienceError
 from .report import RunReport
 
@@ -185,7 +185,17 @@ class GuardedSweep:
         """State/step to restart from, validated against this run's identity."""
         if self.checkpoint is None:
             return field, 0
-        snap = self.checkpoint.load()
+        try:
+            snap = self.checkpoint.load(
+                expected_shape=field.data.shape,
+                expected_dtype=field.data.dtype,
+            )
+        except CheckpointError as exc:
+            # a versioned/geometry refusal is actionable but not fatal to a
+            # guarded run: say why and start from scratch
+            warnings.warn(HealthWarning(str(exc)), stacklevel=3)
+            self.report.warnings.append(str(exc))
+            return field, 0
         if snap is None:
             return field, 0
         if (

@@ -319,3 +319,115 @@ class TestDistributedCLI:
         assert rc == 0
         mdoc = json.loads(open(mx).read())
         assert mdoc["counters"]["comm.messages"] > 0
+
+
+class TestFaultsCommand:
+    def test_lists_every_site(self, capsys):
+        from repro.resilience import SITES
+
+        rc = main(["faults", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for site in SITES:
+            assert site in out
+        assert "site[=arg][:times][@after]" in out
+        assert "REPRO_FAULTS" in out
+
+    def test_list_flag_optional(self, capsys):
+        assert main(["faults"]) == 0
+        assert "rank.crash" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    _base = ["chaos", "--ranks", "4", "--grid", "16", "--steps", "4",
+             "--dim-t", "2"]
+
+    def test_soak_all_green(self, capsys):
+        rc = main(self._base + ["--seeds", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all 2 seed(s) bit-exact" in out
+        assert "seed 0" in out and "seed 1" in out
+
+    def test_schedule_subset(self, capsys):
+        rc = main(self._base + ["--seeds", "1", "--schedules", "loss"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "schedules    : loss" in out
+
+    def test_unknown_schedule_is_usage_error(self, capsys):
+        rc = main(self._base + ["--schedules", "crash,meteor"])
+        assert rc == 2
+        assert "meteor" in capsys.readouterr().err
+
+    def test_zero_seeds_is_usage_error(self, capsys):
+        rc = main(self._base + ["--seeds", "0"])
+        assert rc == 2
+
+    def test_seed_base_shifts_seeds(self, capsys):
+        rc = main(self._base + ["--seeds", "1", "--seed-base", "7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "seed 7" in out
+
+
+class TestRankRecoveryCLI:
+    _base = ["run", "--grid", "24", "--steps", "8", "--tile", "12",
+             "--dim-t", "2", "--ranks", "4"]
+
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        from repro.resilience import FAULTS
+
+        yield
+        FAULTS.disarm()
+
+    def _crashing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "rank.crash=2@2")
+        from repro.resilience import FAULTS
+
+        FAULTS.load_env()
+
+    def test_recovered_run_is_degraded_but_correct(self, monkeypatch, capsys):
+        self._crashing(monkeypatch)
+        rc = main(self._base)
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "rank crashes : rank 2 at round 2" in out
+        assert "recoveries   : 1" in out
+        assert "bit-identical" in out
+
+    def test_no_recovery_fails_with_4(self, monkeypatch, capsys):
+        self._crashing(monkeypatch)
+        rc = main(self._base + ["--no-recovery"])
+        assert rc == 4
+        assert "RankDeadError" in capsys.readouterr().err
+
+    def test_recovery_spans_reach_trace_summary(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        self._crashing(monkeypatch)
+        tr = str(tmp_path / "trace.json")
+        rc = main(self._base + ["--trace", tr])
+        assert rc == 3
+        capsys.readouterr()
+        assert main(["trace", tr]) == 0
+        assert "rank_recovery" in capsys.readouterr().out
+
+    def test_recovery_counters_in_metrics(self, monkeypatch, tmp_path, capsys):
+        import json
+
+        self._crashing(monkeypatch)
+        mx = str(tmp_path / "metrics.json")
+        rc = main(self._base + ["--metrics", mx])
+        assert rc == 3
+        counters = json.loads(open(mx).read())["counters"]
+        assert counters["resilience.recoveries"] == 1
+        assert counters["resilience.replayed_rounds"] == 1
+        assert counters["resilience.buddy_bytes"] > 0
+
+    def test_clean_run_stays_exit_0(self, capsys):
+        rc = main(self._base)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rank crashes" not in out

@@ -1,0 +1,317 @@
+"""Tests for rank-failure tolerance: liveness, buddy store, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_naive
+from repro.distributed import (
+    DistributedJacobi,
+    RankDeadError,
+    SimComm,
+    UnrecoverableRankFailureError,
+    decompose_z,
+)
+from repro.obs import METRICS, TRACE
+from repro.resilience import (
+    FAULTS,
+    BuddySnapshot,
+    BuddyStore,
+    buddy_of,
+)
+from repro.stencils import Field3D, SevenPointStencil
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    FAULTS.disarm()
+    TRACE.disarm()
+    METRICS.disarm()
+
+
+class TestLiveness:
+    def test_all_alive_initially(self):
+        comm = SimComm(3)
+        assert comm.live_ranks() == [0, 1, 2]
+        assert comm.dead == frozenset()
+        assert all(comm.alive(r) for r in range(3))
+
+    def test_kill_marks_dead(self):
+        comm = SimComm(3)
+        comm.kill(1)
+        assert not comm.alive(1)
+        assert comm.live_ranks() == [0, 2]
+        assert comm.dead == frozenset({1})
+
+    def test_send_from_dead_rank_raises(self):
+        comm = SimComm(2)
+        comm.kill(0)
+        with pytest.raises(RankDeadError):
+            comm.send(0, 1, 0, np.zeros(1))
+
+    def test_recv_from_dead_rank_raises_not_hangs(self):
+        comm = SimComm(2)
+        comm.kill(0)
+        with pytest.raises(RankDeadError) as exc:
+            comm.recv(0, 1, 0)
+        assert exc.value.rank == 0
+        assert "halo exchange" in str(exc.value)
+
+    def test_buffered_message_from_now_dead_rank_is_unreachable(self):
+        # death invalidates in-flight mail: the round will be replayed
+        comm = SimComm(2)
+        comm.send(0, 1, 0, np.ones(3))
+        comm.kill(0)
+        with pytest.raises(RankDeadError):
+            comm.recv(0, 1, 0)
+
+    def test_purge_clears_mail(self):
+        comm = SimComm(3)
+        comm.send(0, 1, 0, np.ones(2))
+        comm.send(1, 2, 0, np.ones(2))
+        assert comm.purge() == 2
+        assert comm.pending() == 0
+
+    def test_heartbeat_kills_via_fault_site(self):
+        comm = SimComm(3)
+        with FAULTS.injected("rank.crash=1"):
+            assert comm.heartbeat(0) is True
+            assert comm.heartbeat(1) is False
+            assert comm.heartbeat(2) is True
+        assert comm.live_ranks() == [0, 2]
+
+    def test_heartbeat_after_budget(self):
+        # @after counts survived probes of that same rank
+        comm = SimComm(2)
+        with FAULTS.injected("rank.crash=1@2"):
+            assert comm.heartbeat(1)
+            assert comm.heartbeat(1)
+            assert not comm.heartbeat(1)
+
+    def test_delay_fault_counted_and_recovered(self):
+        comm = SimComm(2, seed=0)
+        payload = np.arange(4.0)
+        with FAULTS.injected("comm.delay"):
+            comm.send(0, 1, 0, payload)
+            out = comm.recv(0, 1, 0)
+        assert np.array_equal(out, payload)
+        assert comm.stats[1].delayed == 1
+        assert comm.stats[1].retries == 1
+
+
+class TestBuddyStore:
+    def _snap(self, owner, data=None):
+        return BuddySnapshot(
+            owner=owner, round_index=0, z0=0, z1=2,
+            data=np.full((1, 2, 2, 2), float(owner)) if data is None else data,
+        )
+
+    def test_live_owner_serves_own_copy(self):
+        store = BuddyStore()
+        snap = self._snap(0)
+        store.checkpoint(snap, holder=1)
+        got = store.restore(0, alive=lambda r: True)
+        assert got is snap
+
+    def test_dead_owner_restored_from_replica(self):
+        store = BuddyStore()
+        snap = self._snap(0)
+        store.checkpoint(snap, holder=1)
+        got = store.restore(0, alive=lambda r: r != 0)
+        assert got is not snap  # the replica, not the lost copy
+        assert np.array_equal(got.data, snap.data)
+        assert store.holder_of(0) == 1
+
+    def test_replica_is_a_deep_copy(self):
+        store = BuddyStore()
+        snap = self._snap(0)
+        store.checkpoint(snap, holder=1)
+        snap.data[:] = -1.0  # owner's memory is lost/garbage after a crash
+        got = store.restore(0, alive=lambda r: r != 0)
+        assert (got.data == 0.0).all()
+
+    def test_owner_and_buddy_both_dead_is_unrecoverable(self):
+        store = BuddyStore()
+        store.checkpoint(self._snap(0), holder=1)
+        with pytest.raises(UnrecoverableRankFailureError, match="both died"):
+            store.restore(0, alive=lambda r: r not in (0, 1))
+
+    def test_no_replica_is_unrecoverable(self):
+        store = BuddyStore()
+        store.checkpoint(self._snap(0), holder=None)
+        with pytest.raises(UnrecoverableRankFailureError, match="no buddy"):
+            store.restore(0, alive=lambda r: False)
+
+    def test_self_buddy_rejected(self):
+        store = BuddyStore()
+        with pytest.raises(ValueError):
+            store.checkpoint(self._snap(0), holder=0)
+
+    def test_byte_accounting(self):
+        store = BuddyStore()
+        snap = self._snap(0)
+        store.checkpoint(snap, holder=1)
+        store.checkpoint(self._snap(1), holder=None)
+        assert store.snapshots == 2
+        assert store.bytes_replicated == snap.data.nbytes  # replicas only
+
+    def test_buddy_of_ring(self):
+        assert buddy_of(0, [0, 1, 2]) == 1
+        assert buddy_of(2, [0, 1, 2]) == 0  # cyclic wrap
+        assert buddy_of(3, [1, 3]) == 1
+        assert buddy_of(0, [0]) is None
+
+
+class TestElasticDecompose:
+    def test_explicit_rank_ids(self):
+        slabs = decompose_z(24, 3, halo=2, ranks=[0, 2, 5])
+        assert [s.rank for s in slabs] == [0, 2, 5]
+        assert slabs[0].hi_neighbor == 2
+        assert slabs[1].lo_neighbor == 0
+        assert slabs[1].hi_neighbor == 5
+        assert slabs[2].lo_neighbor == 2
+        assert slabs[2].hi_neighbor is None
+
+    def test_covers_axis_like_default(self):
+        default = decompose_z(30, 4, halo=2)
+        renamed = decompose_z(30, 4, halo=2, ranks=[9, 7, 3, 1])
+        assert [(s.z0, s.z1) for s in default] == [
+            (s.z0, s.z1) for s in renamed
+        ]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_z(24, 3, halo=2, ranks=[0, 1])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_z(24, 3, halo=2, ranks=[0, 1, 1])
+
+
+class TestRankRecovery:
+    """The acceptance scenario: crash one of 4 ranks mid-run."""
+
+    def _run(self, spec, *, ranks=4, steps=8, dim_t=2, recover=True, **kw):
+        kernel = SevenPointStencil()
+        field = Field3D.random((24, 24, 24), dtype=np.float32, seed=7)
+        ref = run_naive(kernel, field, steps)
+        runner = DistributedJacobi(kernel, ranks, dim_t=dim_t,
+                                   recover=recover, **kw)
+        with FAULTS.injected(*([spec] if spec else [])):
+            out, comm = runner.run(field, steps)
+        return out, ref, runner, comm
+
+    def test_crash_mid_run_is_bit_exact(self):
+        out, ref, runner, _ = self._run("rank.crash=2@2")
+        assert np.array_equal(out.data, ref.data)
+        rep = runner.recovery
+        assert rep.recoveries == 1
+        assert rep.replayed_rounds <= 1
+        assert rep.failed_ranks == [(2, 2)]
+        assert rep.final_ranks == 3 and rep.initial_ranks == 4
+        assert rep.degraded
+
+    @pytest.mark.parametrize("victim", [0, 1, 3])
+    def test_any_single_victim_recovers(self, victim):
+        out, ref, runner, _ = self._run(f"rank.crash={victim}@1")
+        assert np.array_equal(out.data, ref.data)
+        assert runner.recovery.recoveries == 1
+
+    def test_crash_at_round_zero(self):
+        out, ref, runner, _ = self._run("rank.crash=1")
+        assert np.array_equal(out.data, ref.data)
+        assert runner.recovery.failed_ranks == [(0, 1)]
+
+    def test_two_sequential_crashes_recover(self):
+        # different rounds -> each is a survivable single failure
+        kernel = SevenPointStencil()
+        field = Field3D.random((24, 24, 24), dtype=np.float32, seed=3)
+        ref = run_naive(kernel, field, 8)
+        runner = DistributedJacobi(kernel, 4, dim_t=2)
+        with FAULTS.injected("rank.crash=3@1", "rank.crash=0@2"):
+            out, _ = runner.run(field, 8)
+        assert np.array_equal(out.data, ref.data)
+        assert runner.recovery.recoveries == 2
+        assert runner.recovery.final_ranks == 2
+
+    def test_failure_free_run_reports_clean(self):
+        out, ref, runner, comm = self._run(None)
+        assert np.array_equal(out.data, ref.data)
+        rep = runner.recovery
+        assert not rep.degraded
+        assert rep.lines() == []
+        assert rep.buddy_snapshots > 0  # checkpoints still taken
+
+    def test_recover_false_propagates_rank_death(self):
+        with pytest.raises(RankDeadError):
+            self._run("rank.crash=2@1", recover=False)
+
+    def test_comm_accounting_excludes_buddy_traffic(self):
+        # buddy replication is full slabs every round — far more volume
+        # than the halo planes; none of it may leak into the comm stats
+        kernel = SevenPointStencil()
+        field = Field3D.random((24, 24, 24), dtype=np.float32, seed=7)
+        runner = DistributedJacobi(kernel, 4, dim_t=2)
+        with FAULTS.injected("rank.crash=2@2"):
+            out, comm = runner.run(field, 8)
+        total = comm.total_stats()
+        assert runner.recovery.buddy_bytes > total.bytes_sent
+        # halo volume stays bounded by one aborted round's extra sends
+        assert total.bytes_sent <= runner.expected_bytes(field, 8 + 2)
+
+    def test_crash_with_lossy_transport(self):
+        out, ref, runner, comm = self._run(
+            "rank.crash=1@1", loss=0.1, comm_seed=5, max_retries=64,
+        )
+        assert np.array_equal(out.data, ref.data)
+        assert runner.recovery.recoveries == 1
+
+    def test_naive_scheme_recovers_too(self):
+        out, ref, runner, _ = self._run("rank.crash=1@1", scheme="naive")
+        assert np.array_equal(out.data, ref.data)
+        assert runner.recovery.recoveries == 1
+
+    def test_all_ranks_dead_is_unrecoverable(self):
+        with pytest.raises(UnrecoverableRankFailureError):
+            self._run("rank.crash:*")  # every heartbeat fails
+
+    def test_recovery_down_to_single_rank(self):
+        # losing 1 of 2 ranks degenerates to a serial run — still bit-exact
+        kernel = SevenPointStencil()
+        field = Field3D.random((16, 12, 12), dtype=np.float32, seed=0)
+        ref = run_naive(kernel, field, 8)
+        runner = DistributedJacobi(kernel, 2, dim_t=2)
+        with FAULTS.injected("rank.crash=1@1"):
+            out, comm = runner.run(field, 8)
+        assert np.array_equal(out.data, ref.data)
+        assert runner.recovery.final_ranks == 1
+        assert comm.pending() == 0
+
+
+class TestRecoveryObservability:
+    def test_recovery_span_and_counters(self):
+        kernel = SevenPointStencil()
+        field = Field3D.random((24, 24, 24), dtype=np.float32, seed=7)
+        runner = DistributedJacobi(kernel, 4, dim_t=2)
+        TRACE.arm()
+        METRICS.arm()
+        with FAULTS.injected("rank.crash=2@2"):
+            out, comm = runner.run(field, 8)
+        spans = [e for e in TRACE.events() if e.name == "rank_recovery"]
+        assert len(spans) == 1
+        assert spans[0].attrs["dead"] == "2"
+        assert spans[0].attrs["survivors"] == 3
+        counters = METRICS.to_dict()["counters"]
+        assert counters["resilience.recoveries"] == 1
+        assert counters["resilience.replayed_rounds"] == 1
+        assert counters["resilience.rank_failures"] == 1
+        assert counters["resilience.buddy_bytes"] > 0
+
+    def test_no_counters_when_clean(self):
+        kernel = SevenPointStencil()
+        field = Field3D.random((16, 12, 12), dtype=np.float32, seed=0)
+        runner = DistributedJacobi(kernel, 2, dim_t=2)
+        METRICS.arm()
+        runner.run(field, 4)
+        counters = METRICS.to_dict()["counters"]
+        assert counters.get("resilience.recoveries", 0) == 0

@@ -14,7 +14,9 @@ import pytest
 
 from repro.core import Blocking35D, run_naive
 from repro.resilience import (
+    CHECKPOINT_SCHEMA_VERSION,
     FALLBACK_ORDER,
+    CheckpointError,
     CheckpointStore,
     DegradedExecutionWarning,
     FallbackExhaustedError,
@@ -367,6 +369,93 @@ class TestCheckpoint:
             checkpoint=store, meta={"kernel": "7pt"},
         )
         with pytest.warns(HealthWarning, match="does not match"):
+            out = guard.run(small_field, 4, resume=True)
+        assert guard.report.resumed_from is None
+        assert_fields_equal(out, run_naive(seven_point, small_field, 4))
+
+
+# ======================================================================
+# checkpoint schema validation
+# ======================================================================
+class TestCheckpointSchema:
+    def _restamp(self, path, mutate):
+        """Rewrite the snapshot with its schema stamp altered by ``mutate``."""
+        import json
+
+        with np.load(path, allow_pickle=False) as npz:
+            data, step = npz["data"], int(npz["step"])
+            meta = json.loads(bytes(npz["meta"]).decode())
+        mutate(meta)
+        np.savez(path, data=data, step=np.int64(step),
+                 meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8))
+
+    def test_version_stamp_roundtrips(self, tmp_path, small_field):
+        store = CheckpointStore(tmp_path / "snap.npz")
+        store.save(small_field.data, 3, {"kernel": "7pt"})
+        snap = store.load()
+        assert snap.schema_version == CHECKPOINT_SCHEMA_VERSION
+        assert snap.meta == {"kernel": "7pt"}  # stamp is not leaked to meta
+
+    def test_missing_stamp_raises(self, tmp_path, small_field):
+        store = CheckpointStore(tmp_path / "snap.npz")
+        store.save(small_field.data, 3, {})
+        self._restamp(store.path, lambda m: m.pop("_checkpoint"))
+        with pytest.raises(CheckpointError, match="no schema_version stamp"):
+            store.load()
+
+    def test_future_version_raises(self, tmp_path, small_field):
+        store = CheckpointStore(tmp_path / "snap.npz")
+        store.save(small_field.data, 3, {})
+        self._restamp(
+            store.path,
+            lambda m: m["_checkpoint"].update(schema_version=99),
+        )
+        with pytest.raises(CheckpointError, match="schema_version 99"):
+            store.load()
+
+    def test_inconsistent_stamp_raises(self, tmp_path, small_field):
+        store = CheckpointStore(tmp_path / "snap.npz")
+        store.save(small_field.data, 3, {})
+        self._restamp(
+            store.path,
+            lambda m: m["_checkpoint"].update(shape=[1, 2, 3, 4]),
+        )
+        with pytest.raises(CheckpointError, match="internally inconsistent"):
+            store.load()
+
+    def test_shape_change_raises_clearly(self, tmp_path, small_field):
+        store = CheckpointStore(tmp_path / "snap.npz")
+        store.save(small_field.data, 3, {})
+        wrong = tuple(d + 2 for d in small_field.data.shape)
+        with pytest.raises(CheckpointError, match="geometry changed"):
+            store.load(expected_shape=wrong)
+
+    def test_dtype_change_raises_clearly(self, tmp_path, small_field):
+        store = CheckpointStore(tmp_path / "snap.npz")
+        store.save(small_field.data.astype(np.float32), 3, {})
+        with pytest.raises(CheckpointError, match="precision"):
+            store.load(expected_dtype=np.float64)
+
+    def test_matching_expectations_load(self, tmp_path, small_field):
+        store = CheckpointStore(tmp_path / "snap.npz")
+        store.save(small_field.data, 3, {})
+        snap = store.load(
+            expected_shape=small_field.data.shape,
+            expected_dtype=small_field.data.dtype,
+        )
+        assert snap.step == 3
+
+    def test_guarded_resume_survives_bad_snapshot(
+        self, seven_point, small_field, tmp_path
+    ):
+        # a refused snapshot degrades --resume to a scratch run, not exit 4
+        store = CheckpointStore(tmp_path / "snap.npz")
+        store.save(small_field.data, 2, {})
+        self._restamp(store.path, lambda m: m.pop("_checkpoint"))
+        guard = GuardedSweep(
+            Blocking35D(seven_point, 2, 8, 8), checkpoint=store, meta={}
+        )
+        with pytest.warns(HealthWarning, match="schema_version"):
             out = guard.run(small_field, 4, resume=True)
         assert guard.report.resumed_from is None
         assert_fields_equal(out, run_naive(seven_point, small_field, 4))

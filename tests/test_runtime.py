@@ -268,3 +268,56 @@ class TestParallel35D:
     def test_invalid_thread_count(self):
         with pytest.raises(ValueError):
             ParallelBlocking35D(SevenPointStencil(), 2, 10, 10, 0)
+
+
+class TestWorkerDeathMidIteration:
+    """A worker dying mid z-iteration must poison the shared barrier:
+    survivors get BarrierBrokenError (never a hang) and run_spmd surfaces
+    the dead worker with its ``<dead>`` stack marker."""
+
+    @pytest.mark.timeout(30)
+    def test_survivors_released_and_death_reported(self):
+        from repro.resilience import FAULTS
+        from repro.runtime import BarrierBrokenError, WorkerTimeoutError
+
+        n = 3
+        barrier = SenseReversingBarrier(n)
+        survivor_errors = []
+
+        def z_sweep(tid):
+            # two "z-iterations"; worker 1 never even starts (it is killed
+            # by the worker.death site before running its task)
+            for _ in range(2):
+                try:
+                    barrier.wait(timeout=2.0)
+                except BarrierBrokenError as exc:
+                    survivor_errors.append((tid, exc))
+                    raise
+
+        with WorkerPool(n) as pool:
+            with FAULTS.injected("worker.death=1"):
+                with pytest.raises(WorkerTimeoutError) as err:
+                    pool.run_spmd(z_sweep)
+
+        # the launch names the dead worker and carries its <dead> stack
+        assert "died" in str(err.value)
+        assert "[1]" in str(err.value)
+        dead_stacks = [s for s in err.value.stacks.values() if s == "<dead>"]
+        assert len(dead_stacks) == 1
+        # both survivors were released by barrier poisoning, not a hang
+        assert sorted(tid for tid, _ in survivor_errors) == [0, 2]
+        assert barrier.broken
+
+    @pytest.mark.timeout(30)
+    def test_pool_reusable_after_death(self):
+        from repro.resilience import FAULTS
+        from repro.runtime import WorkerTimeoutError
+
+        with WorkerPool(2) as pool:
+            with FAULTS.injected("worker.death=0"):
+                with pytest.raises(WorkerTimeoutError):
+                    pool.run_spmd(lambda tid: None)
+            # the dead thread stays dead, so later launches keep failing
+            # loudly instead of hanging
+            with pytest.raises(WorkerTimeoutError):
+                pool.run_spmd(lambda tid: None)
