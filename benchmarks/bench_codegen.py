@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Codegen benchmark: whole-sweep compiled kernels vs the ladder below.
+
+Times the 3.5D executor with the ``codegen`` backend — one generated kernel
+per (stencil kind, parallel) that executes a whole round (tile loop, ring
+rotation, seam writes, all dim_T z-iterations) in a single call — against
+``numpy`` and ``fused-numpy`` on the 7-point kernel, single thread.  Every
+configuration is cross-checked bit-exactly against the naive reference
+before it is timed.
+
+The acceptance bar for this layer: ``codegen`` reaches at least **4x** the
+single-thread GUPS of the per-plane ``numpy`` backend on the 7-point kernel
+at 128^3 (run without ``--quick``).  The bar is enforced only when the
+generated kernel really compiles (numba installed, ``REPRO_CODEGEN_MODE``
+not forced to ``python``); the warm-up run populates the on-disk kernel
+cache first, so cold JIT cost is excluded from the timed repeats — and the
+warm-start section demonstrates that a fresh process would regenerate
+nothing.
+
+Alongside GUPS the benchmark reports achieved external bandwidth (measured
+traffic bytes over the best wall time) against a STREAM-like measured copy
+bandwidth and the Core i7 model's achievable/peak numbers, DaCe-style.
+
+Results are also written as machine-readable JSON (``--json``, default
+``BENCH_codegen.json`` next to this script) for CI artifact upload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py          # full (128^3)
+    PYTHONPATH=src python benchmarks/bench_codegen.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core import Blocking35D, run_naive
+from repro.core.traffic import TrafficStats
+from repro.machine import CORE_I7
+from repro.perf.backends import bound_rung
+from repro.perf.codegen import (
+    CODEGEN_STATS,
+    CodegenCache,
+    codegen_available,
+    codegen_mode,
+    clear_module_cache,
+)
+from repro.resilience import bind_with_fallback
+from repro.stencils import Field3D, SevenPointStencil
+
+BACKENDS = ["numpy", "fused-numpy", "codegen"]
+
+
+def _timed(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def _stream_copy_bandwidth(nbytes: int, repeats: int = 3) -> float:
+    """Measured large-array copy bandwidth (bytes moved per second).
+
+    A ``np.copyto`` streams one read + one write per element — the same
+    kind of traffic the stencil sweep's achieved bandwidth is made of.
+    """
+    n = max(1, nbytes // 4)
+    a = np.zeros(n, dtype=np.float32)
+    b = np.ones(n, dtype=np.float32)
+    np.copyto(a, b)  # touch pages
+    best = min(_timed(np.copyto, a, b) for _ in range(repeats))
+    return 2 * n * 4 / best
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small grid / fewer repeats (CI smoke mode)")
+    ap.add_argument("--grid", type=int, default=None,
+                    help="override the grid side (default 128; 32 quick)")
+    ap.add_argument("--steps", type=int, default=4)
+    ap.add_argument("--dim-t", type=int, default=4)
+    ap.add_argument("--tile", type=int, default=None,
+                    help="square XY tile side (default min(grid, 64))")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--no-check", action="store_true",
+                    help="skip the naive bit-exactness cross-check")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="machine-readable output path "
+                    "(default BENCH_codegen.json next to this script)")
+    args = ap.parse_args(argv)
+
+    grid = args.grid or (32 if args.quick else 128)
+    repeats = args.repeats or (1 if args.quick else 4)
+    dim_t = args.dim_t
+    tile = args.tile or min(grid, 64)
+    n_updates = grid**3 * args.steps
+
+    ok, reason = codegen_available()
+    mode = codegen_mode()
+    print(f"codegen: available={ok} mode={mode}"
+          + (f" ({reason})" if reason else ""))
+
+    kernel = SevenPointStencil()
+    field = Field3D.random((grid, grid, grid), dtype=np.float32, seed=17)
+    ref = run_naive(kernel, field, args.steps) if not args.no_check else None
+
+    print(f"\n== 7pt  grid={grid}^3  steps={args.steps}  dim_T={dim_t}  "
+          f"tile={tile}  threads=1 ==")
+    print(f"{'backend':<14} {'rung':<14} {'ms/run':>9} {'GUPS':>8} {'vs numpy':>9}")
+
+    CODEGEN_STATS.reset()
+    executors = {}
+    rungs = {}
+    for bname in BACKENDS:
+        bound = bind_with_fallback(kernel, bname)
+        if bound.used != bname:
+            print(f"{bname:<14} degraded to {bound.used}; skipped")
+            continue
+        ex = Blocking35D(bound.kernel, dim_t, tile, tile)
+        out = ex.run(field, args.steps)  # warm-up: JIT + disk cache + arenas
+        if ref is not None and not np.array_equal(out.data, ref.data):
+            print(f"{bname:<14} BIT-EXACTNESS FAILURE vs naive reference")
+            raise SystemExit(1)
+        executors[bname] = ex
+        rungs[bname] = bound_rung(ex.kernel)
+    cold_stats = CODEGEN_STATS.snapshot()
+
+    # Warm-start check: simulate a fresh process against the now-populated
+    # disk cache — a rebind must load the generated module, compiling and
+    # generating nothing.
+    warm_stats = None
+    if "codegen" in executors:
+        clear_module_cache()
+        CODEGEN_STATS.reset()
+        rebound = bind_with_fallback(kernel, "codegen")
+        Blocking35D(rebound.kernel, dim_t, tile, tile).run(field, args.steps)
+        warm_stats = CODEGEN_STATS.snapshot()
+
+    best = {bname: float("inf") for bname in executors}
+    for _ in range(repeats):
+        for bname, ex in executors.items():
+            best[bname] = min(best[bname], _timed(ex.run, field, args.steps))
+    gups = {bname: n_updates / t / 1e9 for bname, t in best.items()}
+    for bname in executors:
+        ratio = gups[bname] / gups["numpy"]
+        print(f"{bname:<14} {rungs[bname]:<14} {best[bname] * 1e3:>9.2f} "
+              f"{gups[bname]:>8.4f} {ratio:>8.2f}x")
+
+    # Achieved-vs-peak bandwidth, DaCe style: one metered sweep yields the
+    # external byte count; achieved = bytes / best wall time.
+    bandwidth = None
+    if "codegen" in executors:
+        traffic = TrafficStats()
+        executors["codegen"].run(field, args.steps, traffic)
+        moved = traffic.bytes_read + traffic.bytes_written
+        achieved = moved / best["codegen"]
+        stream = _stream_copy_bandwidth(field.data.nbytes)
+        bandwidth = {
+            "traffic_bytes": moved,
+            "achieved_GBs": achieved / 1e9,
+            "stream_copy_GBs": stream / 1e9,
+            "model_achievable_GBs": CORE_I7.achievable_bandwidth / 1e9,
+            "model_peak_GBs": CORE_I7.peak_bandwidth / 1e9,
+            "fraction_of_stream": achieved / stream,
+            "fraction_of_model_achievable":
+                achieved / CORE_I7.achievable_bandwidth,
+        }
+        print(f"\nbandwidth: achieved {bandwidth['achieved_GBs']:.2f} GB/s"
+              f" = {100 * bandwidth['fraction_of_stream']:.0f}% of measured"
+              f" copy ({bandwidth['stream_copy_GBs']:.2f} GB/s),"
+              f" {100 * bandwidth['fraction_of_model_achievable']:.0f}% of the"
+              f" Core i7 model's achievable"
+              f" {bandwidth['model_achievable_GBs']:.0f} GB/s")
+
+    cache = CodegenCache()
+    entries = []
+    try:
+        entries = [os.path.basename(p) for p in cache.entries()]
+    except OSError:
+        pass
+    print(f"codegen cache: dir={cache.dir()}")
+    print(f"  cold run : {cold_stats}")
+    if warm_stats is not None:
+        print(f"  warm run : {warm_stats}"
+              + (" (zero regeneration)" if warm_stats["generated"] == 0
+                 else " (UNEXPECTED regeneration)"))
+    print(f"  entries  : {entries}")
+
+    rc = 0
+    bar = 4.0
+    speedup = None
+    gate = "codegen" in gups and rungs.get("codegen") == "codegen" and ok
+    if "codegen" in gups:
+        speedup = gups["codegen"] / gups["numpy"]
+        if not gate:
+            verdict = "n/a (codegen did not bind)"
+        elif mode != "numba":
+            verdict = "n/a (interpreted REPRO_CODEGEN_MODE=python)"
+        elif args.quick:
+            verdict = "n/a (quick)"
+        else:
+            verdict = "PASS" if speedup >= bar else "FAIL"
+            if speedup < bar:
+                rc = 1
+        print(f"\n7pt codegen vs numpy (dim_T={dim_t}): {speedup:.2f}x "
+              f"(acceptance >= {bar}x at 128^3: {verdict})")
+    else:
+        verdict = f"skipped (codegen unavailable: {reason})"
+        print(f"\nacceptance: {verdict}")
+
+    if warm_stats is not None and warm_stats["generated"] != 0:
+        print("error: warm start regenerated kernels (disk cache miss)",
+              file=sys.stderr)
+        rc = rc or 1
+
+    json_path = args.json or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_codegen.json"
+    )
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "benchmark": "codegen",
+                "grid": grid,
+                "steps": args.steps,
+                "dim_t": dim_t,
+                "tile": tile,
+                "quick": args.quick,
+                "repeats": repeats,
+                "mode": mode,
+                "available": ok,
+                "unavailable_reason": reason,
+                "backends": list(executors),
+                "bound_rungs": rungs,
+                "gups": gups,
+                "bandwidth": bandwidth,
+                "cache": {
+                    "dir": str(cache.dir()),
+                    "entries": entries,
+                    "cold_stats": cold_stats,
+                    "warm_stats": warm_stats,
+                },
+                "acceptance": {
+                    "bar": bar,
+                    "speedup": speedup,
+                    "verdict": verdict,
+                },
+            },
+            fh, indent=2,
+        )
+        fh.write("\n")
+    print(f"wrote {json_path}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,7 @@ import time
 import numpy as np
 
 from repro.core import Blocking35D, run_naive
-from repro.perf.backends import available_backends, wrap_kernel
+from repro.perf.backends import available_backends, bound_rung, wrap_kernel
 from repro.resilience import GuardedSweep, bind_with_fallback
 from repro.runtime import ParallelBlocking35D
 from repro.stencils import (
@@ -42,7 +42,7 @@ from repro.stencils import (
     VariableCoefficientStencil,
 )
 
-DEFAULT_BACKENDS = ["numpy", "numpy-inplace", "fused-numpy", "fused-numba"]
+DEFAULT_BACKENDS = ["numpy", "numpy-inplace", "fused-numpy", "fused-numba", "codegen"]
 
 
 def _make_case(name: str, grid: int):
@@ -79,6 +79,7 @@ def bench_case(
     threads: int,
     repeats: int,
     check: bool,
+    rungs: dict[str, str] | None = None,
 ) -> dict[str, float]:
     kernel, field = _make_case(name, grid)
     n_updates = grid**3 * steps
@@ -96,6 +97,11 @@ def bench_case(
             print(f"{bname:<16} degraded to {bound.used}; skipped")
             continue
         wrapped = bound.kernel
+        if rungs is not None:
+            # the ladder rung the wrapped kernel actually executes on — a
+            # codegen/fused-numba request can silently serve the fused numpy
+            # plan for unsupported kernels, and CI wants to see that
+            rungs[bname] = bound_rung(wrapped)
         if threads > 1:
             inner = ParallelBlocking35D(wrapped, dim_t, tile, tile, threads)
         else:
@@ -160,13 +166,15 @@ def main(argv: list[str] | None = None) -> int:
     dim_t = max(2, args.dim_t) if not args.quick else args.dim_t
     tile = min(grid, 128)
     results: dict[str, dict[str, dict[str, float]]] = {}
+    bound_rungs: dict[str, dict[str, str]] = {}
     for threads in args.threads:
         tkey = f"threads={threads}"
         results[tkey] = {}
         for name in args.kernels:
+            rungs = bound_rungs.setdefault(name, {})
             results[tkey][name] = bench_case(
                 name, grid, args.steps, dim_t, tile, backends, threads,
-                repeats, not args.no_check,
+                repeats, not args.no_check, rungs=rungs,
             )
 
     rc = 0
@@ -200,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     metrics_block["kernel"] = "7pt"
     metrics_block["backend"] = mbackend
+    metrics_block["bound_rung"] = bound_rungs.get("7pt", {}).get(mbackend, mbackend)
     print(f"\nmetrics (7pt, {mbackend}, threads={mthreads}): "
           f"kappa {metrics_block['kappa_measured']:.4f} vs predicted "
           f"{metrics_block['kappa_predicted']:.4f}"
@@ -220,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
                 "quick": args.quick,
                 "repeats": repeats,
                 "backends": backends,
+                "bound_rungs": bound_rungs,
                 "gups": results,
                 "metrics": metrics_block,
                 "acceptance": acceptance,

@@ -53,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default=None,
         help="kernel backend (default: $REPRO_BACKEND or 'numpy'); "
+        "'codegen' compiles whole sweeps to cached parallel kernels; "
         "see 'repro info' for the registry",
     )
     run.add_argument(
@@ -793,7 +794,12 @@ def _cmd_chaos(args) -> int:
 def _cmd_info() -> int:
     import repro
     from repro.machine import CORE_I7, GTX_285
-    from repro.perf.backends import backend_names, default_backend_name, get_backend
+    from repro.perf.backends import (
+        backend_availability,
+        backend_names,
+        default_backend_name,
+        get_backend,
+    )
 
     print(f"repro {repro.__version__} — 3.5D blocking (Nguyen et al., SC 2010)")
     print("machines:")
@@ -807,7 +813,8 @@ def _cmd_info() -> int:
     print("backends:")
     for name in backend_names():
         b = get_backend(name)
-        status = "" if b.available else f" [unavailable: {b.unavailable_reason}]"
+        ok, reason = backend_availability(name)
+        status = "" if ok else f" [unavailable: {reason}]"
         marker = " (default)" if name == default else ""
         print(f"  {name}{marker}: {b.description}{status}")
     print("packages: core stencils lbm machine gpu runtime distributed perf")

@@ -175,6 +175,17 @@ def machine_fingerprint() -> str:
         numba_version = numba.__version__
     except Exception:
         numba_version = "none"
+    try:
+        # lazy import: repro.core must not depend on repro.perf at module
+        # level.  The compiled-kernel cache location is part of the
+        # fingerprint so retargeting the codegen cache (or a toolchain
+        # change relocating it) invalidates tuning entries that were
+        # measured against differently-cached compiled kernels.
+        from ..perf.codegen import codegen_cache_dir
+
+        codegen_dir = str(codegen_cache_dir())
+    except Exception:  # pragma: no cover - defensive
+        codegen_dir = "none"
     blob = "|".join(
         (
             platform.machine(),
@@ -183,6 +194,7 @@ def machine_fingerprint() -> str:
             str(os.cpu_count() or 0),
             np.__version__,
             numba_version,
+            codegen_dir,
         )
     )
     return hashlib.sha256(blob.encode()).hexdigest()[:16]

@@ -212,6 +212,20 @@ class Blocking35D:
             # actual steps executed this round (may be < dim_t on the final
             # partial round), so traffic-model comparisons are not skewed
             traffic.notes.setdefault("round_t", []).append(round_t)
+        # Whole-sweep codegen backends (repro.perf.codegen) replace the
+        # entire tile loop — shell loading, ring rotation, seam writes and
+        # every z-iteration — with one generated-kernel call per round.
+        sweep_runner = getattr(self.kernel, "sweep_runner", None)
+        if sweep_runner is not None:
+            runner = sweep_runner(self, src, dst, round_t)
+            if runner is not None:
+                if TRACE.armed:
+                    with TRACE.span("codegen_round", tiles=len(tiles),
+                                    round_t=round_t):
+                        runner.run(token, traffic)
+                else:
+                    runner.run(token, traffic)
+                return
         if TRACE.armed:
             for tile in tiles:
                 with TRACE.span("tile", y0=tile.y.core[0], y1=tile.y.core[1],

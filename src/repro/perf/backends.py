@@ -46,7 +46,9 @@ __all__ = [
     "InplaceKernel",
     "ScratchArena",
     "available_backends",
+    "backend_availability",
     "backend_names",
+    "bound_rung",
     "default_backend_name",
     "get_backend",
     "register_backend",
@@ -461,13 +463,21 @@ def _wrap_numba(kernel: PlaneKernel) -> PlaneKernel:  # pragma: no cover
 
 @dataclass(frozen=True)
 class Backend:
-    """A named kernel-execution strategy."""
+    """A named kernel-execution strategy.
+
+    ``available``/``unavailable_reason`` describe availability decided at
+    import time; backends whose availability depends on mutable environment
+    state (e.g. ``codegen``, whose ``REPRO_CODEGEN_MODE=python`` fallback
+    can be enabled at any point) supply ``probe``, a callable re-evaluated
+    on every availability query.
+    """
 
     name: str
     description: str
     wrap: Callable[[PlaneKernel], PlaneKernel]
     available: bool = True
     unavailable_reason: str | None = None
+    probe: Callable[[], tuple[bool, str | None]] | None = None
 
 
 _REGISTRY: dict[str, Backend] = {}
@@ -483,9 +493,17 @@ def backend_names() -> list[str]:
     return list(_REGISTRY)
 
 
+def backend_availability(name: str) -> tuple[bool, str | None]:
+    """Current ``(available, reason)`` for a backend, probing dynamic ones."""
+    b = get_backend(name)
+    if b.probe is not None:
+        return b.probe()
+    return b.available, b.unavailable_reason
+
+
 def available_backends() -> list[str]:
     """Names of the backends that can run in this environment."""
-    return [name for name, b in _REGISTRY.items() if b.available]
+    return [name for name in _REGISTRY if backend_availability(name)[0]]
 
 
 def get_backend(name: str) -> Backend:
@@ -512,9 +530,10 @@ def wrap_kernel(kernel: PlaneKernel, backend: str | None = None) -> PlaneKernel:
     fallback chain's bind-failure path is testable on any machine.
     """
     b = get_backend(backend if backend is not None else default_backend_name())
-    if not b.available:
+    ok, reason = backend_availability(b.name)
+    if not ok:
         raise BackendUnavailableError(
-            f"backend {b.name!r} unavailable: {b.unavailable_reason}"
+            f"backend {b.name!r} unavailable: {reason}"
         )
     FAULTS.fire("backend.bind", detail=b.name)
     return b.wrap(kernel)
@@ -583,3 +602,50 @@ register_backend(
         unavailable_reason=_NUMBA_REASON,
     )
 )
+
+
+def _wrap_codegen(kernel: PlaneKernel) -> PlaneKernel:
+    from .codegen import CodegenSweepKernel, codegen_available
+
+    ok, reason = codegen_available()
+    if not ok:
+        raise BackendUnavailableError(f"backend 'codegen' unavailable: {reason}")
+    return CodegenSweepKernel(kernel)
+
+
+def _codegen_probe() -> tuple[bool, str | None]:
+    from .codegen import codegen_available
+
+    return codegen_available()
+
+
+register_backend(
+    Backend(
+        name="codegen",
+        description="whole-sweep generated kernels, disk-cached per machine "
+        "fingerprint + plan hash, prange over tiles (7pt/27pt/generic/varco; "
+        "other kernels use the fused numpy plan)",
+        wrap=_wrap_codegen,
+        probe=_codegen_probe,
+    )
+)
+
+
+def bound_rung(kernel: PlaneKernel) -> str:
+    """The fallback-ladder rung a wrapped kernel actually executes on.
+
+    Benchmarks record this next to the *requested* backend so trajectory
+    plots attribute speedups to the rung that really ran.
+    """
+    engine = getattr(kernel, "engine", None)
+    if engine == "codegen":
+        return "codegen"
+    if engine == "numba":
+        return "fused-numba"
+    if engine == "numpy":
+        return "fused-numpy"
+    if isinstance(kernel, _NumbaPlaneKernel):
+        return "numba"
+    if isinstance(kernel, InplaceKernel):
+        return "numpy-inplace"
+    return "numpy"

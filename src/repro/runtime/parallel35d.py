@@ -142,6 +142,21 @@ class ParallelBlocking35D:
             traffic.notes.setdefault("tiles_per_round", len(tiles))
             traffic.notes.setdefault("threads", self.n_threads)
             traffic.notes.setdefault("round_t", []).append(round_t)
+        # Whole-sweep codegen backends (repro.perf.codegen) execute the
+        # entire round in one generated call whose tile loop is a numba
+        # ``prange`` — the compiled threads replace the WorkerPool here, and
+        # the aggregate traffic lands on thread 0's counters.
+        sweep_runner = getattr(self.kernel, "sweep_runner", None)
+        if sweep_runner is not None:
+            runner = sweep_runner(inner, src, dst, round_t, parallel=True)
+            if runner is not None:
+                if TRACE.armed:
+                    with TRACE.span("codegen_round", tiles=len(tiles),
+                                    round_t=round_t, threads=self.n_threads):
+                        runner.run(shell_token, thread_stats[0])
+                else:
+                    runner.run(shell_token, thread_stats[0])
+                return
         iterations = schedule.iterations()
         tile_runner = getattr(self.kernel, "tile_runner", None)
         armed = TRACE.armed

@@ -136,7 +136,10 @@ class TestFaultInjector:
 # ======================================================================
 class TestFallbackChain:
     def test_order(self):
-        assert fallback_chain("fused-numba") == list(FALLBACK_ORDER)
+        assert fallback_chain("codegen") == list(FALLBACK_ORDER)
+        assert fallback_chain("fused-numba") == [
+            "fused-numba", "fused-numpy", "numpy-inplace", "numpy",
+        ]
         assert fallback_chain("fused-numpy") == [
             "fused-numpy", "numpy-inplace", "numpy",
         ]
