@@ -129,6 +129,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable rank-failure tolerance (--ranks > 1): no buddy "
         "checkpoints, a dead rank aborts the run instead of recovering",
     )
+    run.add_argument(
+        "--overlap", action=argparse.BooleanOptionalAction, default=True,
+        help="hide halo-exchange latency behind the interior sweep "
+        "(post -> interior -> wait -> boundary; --ranks > 1, default on); "
+        "--no-overlap restores exchange-then-compute",
+    )
+    run.add_argument(
+        "--comm-latency", type=float, default=0.0, metavar="SECONDS",
+        help="simulated per-message latency of the distributed transport "
+        "(--ranks > 1); arms the hidden-vs-exposed comm accounting",
+    )
+    run.add_argument(
+        "--comm-bandwidth", type=float, default=None, metavar="BYTES_PER_S",
+        help="simulated transport bandwidth (--ranks > 1, default infinite)",
+    )
 
     tune = sub.add_parser("tune", help="Section VI parameter selection")
     tune.add_argument("--kernel", choices=["7pt", "27pt", "lbm"], default="7pt")
@@ -352,6 +367,10 @@ def _cmd_run(args) -> int:
     if args.loss or args.corruption:
         print("error: --loss/--corruption require --ranks > 1", file=sys.stderr)
         return 2
+    if args.comm_latency or args.comm_bandwidth:
+        print("error: --comm-latency/--comm-bandwidth require --ranks > 1",
+              file=sys.stderr)
+        return 2
 
     backend_name = args.backend if args.backend is not None else default_backend_name()
     report = RunReport(requested_backend=backend_name)
@@ -503,6 +522,9 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
         corruption=args.corruption,
         comm_seed=args.seed,
         recover=not args.no_recovery,
+        overlap=args.overlap,
+        latency_s=args.comm_latency,
+        bandwidth_bytes_s=args.comm_bandwidth,
     )
     traffic = TrafficStats()
     _arm_obs(args)
@@ -528,6 +550,12 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
         print(f"comm faults  : {total.dropped} dropped, "
               f"{total.corrupted} corrupted, {total.retries} retries"
               + (" (all recovered)" if total.retries else ""))
+        frac = total.overlap_fraction()
+        if frac is not None:
+            mode = "overlap" if args.overlap else "no overlap"
+            print(f"comm overlap : {frac:.1%} of simulated transfer time "
+                  f"hidden behind compute ({mode}, "
+                  f"{total.exposed_ns / 1e6:.2f} ms exposed)")
         recovery = runner.recovery
         for line in recovery.lines():
             print(line)
@@ -548,6 +576,7 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
             "dim_t": args.dim_t, "tile": args.tile,
             "precision": args.precision, "elapsed_s": elapsed,
             "loss": args.loss, "corruption": args.corruption,
+            "overlap": args.overlap,
         })
         # a run that survived rank failures is degraded-but-correct
         return 3 if recovery.degraded else 0

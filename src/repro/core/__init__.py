@@ -44,7 +44,16 @@ from .params import (
     min_dim_t,
     select_params,
 )
-from .regions import AxisTile, Tile2D, axis_tiles, compute_range, loaded_extent, plan_tiles_2d
+from .regions import (
+    AxisTile,
+    SlabSplit,
+    Tile2D,
+    axis_tiles,
+    compute_range,
+    loaded_extent,
+    plan_tiles_2d,
+    split_slab,
+)
 from .schedule import Schedule, Step, StepKind, build_schedule, lag_for
 from .temporal import advance_tile_trapezoid
 from .tuner import TuningResult, tune
@@ -96,11 +105,13 @@ __all__ = [
     "min_dim_t",
     "select_params",
     "AxisTile",
+    "SlabSplit",
     "Tile2D",
     "axis_tiles",
     "compute_range",
     "loaded_extent",
     "plan_tiles_2d",
+    "split_slab",
     "Schedule",
     "Step",
     "StepKind",

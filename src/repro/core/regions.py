@@ -16,7 +16,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["AxisTile", "axis_tiles", "compute_range", "loaded_extent", "Tile2D", "plan_tiles_2d"]
+__all__ = [
+    "AxisTile",
+    "axis_tiles",
+    "compute_range",
+    "loaded_extent",
+    "Tile2D",
+    "plan_tiles_2d",
+    "SlabSplit",
+    "split_slab",
+]
 
 
 @dataclass(frozen=True)
@@ -131,3 +140,104 @@ def plan_tiles_2d(
         for ty in axis_tiles(ny, radius, dim_t, tile_y)
         for tx in axis_tiles(nx, radius, dim_t, tile_x)
     ]
+
+
+@dataclass(frozen=True)
+class SlabSplit:
+    """A rank's Z slab split for comm/compute overlap.
+
+    ``interior`` is the part of the owned range ``[z0, z1)`` that sits at
+    least ``halo = R * dim_T`` planes from every *cut* edge, so a blocked
+    round over it depends only on owned planes — it can run while halo
+    messages are in flight.  ``lo_strip`` / ``hi_strip`` are the remaining
+    boundary strips (``None`` at a physical boundary), each blocked on the
+    matching ghost planes.  All three are :class:`AxisTile`\\ s along Z:
+    ``core`` is the output planes the region owns, ``extent`` the source
+    planes its blocked round must read.
+
+    When the slab is too thin to leave any interior (``interior is None``)
+    the split degenerates and the caller must fall back to the fused
+    exchange-then-compute schedule for that rank.
+    """
+
+    z0: int
+    z1: int
+    halo: int
+    interior: AxisTile | None
+    lo_strip: AxisTile | None
+    hi_strip: AxisTile | None
+
+    @property
+    def owned(self) -> int:
+        return self.z1 - self.z0
+
+    def split_extent_planes(self) -> int:
+        """Plane-sweeps the split schedule performs (its working set in Z)."""
+        return sum(
+            r.extent_size
+            for r in (self.interior, self.lo_strip, self.hi_strip)
+            if r is not None
+        )
+
+    def fused_extent_planes(self) -> int:
+        """Plane-sweeps of the fused exchange-then-compute schedule."""
+        lo = self.halo if self.lo_strip is not None or self.interior is None else 0
+        hi = self.halo if self.hi_strip is not None or self.interior is None else 0
+        return self.owned + lo + hi
+
+    def redundant_planes(self) -> int:
+        """Extra plane-sweeps the split pays to decouple interior from halos.
+
+        Each boundary strip re-reads ~``2*halo`` planes that the fused
+        schedule would have swept once, the classic overlap overestimation
+        (analogous to the ghost-cell overhead of Equation 2).  Zero when the
+        split degenerated to the fused fallback.
+        """
+        if self.interior is None:
+            return 0
+        return self.split_extent_planes() - self.fused_extent_planes()
+
+    def overestimation(self) -> float:
+        """Redundant work as a fraction of the fused schedule's sweeps."""
+        return self.redundant_planes() / self.fused_extent_planes()
+
+
+def split_slab(
+    z0: int,
+    z1: int,
+    nz: int,
+    halo: int,
+    lo_cut: bool,
+    hi_cut: bool,
+) -> SlabSplit:
+    """Split an owned Z range into overlap interior plus boundary strips.
+
+    ``halo = R * dim_T`` is the depth a blocked round's dependence cone
+    reaches past a cut edge.  The interior core pulls in by ``halo`` per cut
+    side only — a physical boundary (``lo_cut``/``hi_cut`` False) does not
+    shrink, because the constant Dirichlet shell makes every plane next to
+    it exact (the same no-shrink property :func:`compute_range` encodes).
+    The interior's extent is exactly the owned planes: it never reads a
+    ghost.  Strip extents are the usual core ± ``halo``, clipped to the
+    grid, and land entirely inside owned ∪ ghost planes.
+    """
+    if z1 <= z0:
+        raise ValueError(f"empty slab [{z0}, {z1})")
+    if halo < 1:
+        raise ValueError("halo must be >= 1")
+    ilo = z0 + (halo if lo_cut else 0)
+    ihi = z1 - (halo if hi_cut else 0)
+    if ilo >= ihi:  # too thin: nothing computable before the halos arrive
+        return SlabSplit(z0, z1, halo, None, None, None)
+    interior = AxisTile(core=(ilo, ihi), extent=(z0, z1))
+    lo_strip = (
+        AxisTile(core=(z0, ilo), extent=loaded_extent((z0, ilo), nz, halo))
+        if lo_cut
+        else None
+    )
+    hi_strip = (
+        AxisTile(core=(ihi, z1), extent=loaded_extent((ihi, z1), nz, halo))
+        if hi_cut
+        else None
+    )
+    return SlabSplit(z0, z1, halo, interior, lo_strip, hi_strip)

@@ -6,13 +6,14 @@ from ..resilience.rankrecovery import (
     RecoveryReport,
     UnrecoverableRankFailureError,
 )
-from .comm import CommFailedError, CommStats, SimComm, transfer_time
+from .comm import CommFailedError, CommRequest, CommStats, SimComm, transfer_time
 from .decompose import Slab, decompose_z
 from .runner import DistributedJacobi
 
 __all__ = [
     "SimComm",
     "CommFailedError",
+    "CommRequest",
     "CommStats",
     "RankDeadError",
     "RecoveryReport",

@@ -33,6 +33,29 @@ by) a dead rank raises :class:`~repro.resilience.rankrecovery.RankDeadError`
 immediately, so failure detection happens at the next halo exchange and
 the driver's buddy-checkpoint recovery path takes over (see
 :mod:`repro.resilience.rankrecovery`).
+
+Nonblocking operations and the in-flight latency model
+------------------------------------------------------
+:meth:`SimComm.isend` / :meth:`SimComm.irecv` return :class:`CommRequest`
+handles completed by :meth:`SimComm.wait` / :meth:`SimComm.waitall` (or
+polled with :meth:`SimComm.test`), mirroring MPI's
+``Isend``/``Irecv``/``Wait``.  What makes overlap *measurable* rather than
+assumed is the communicator's simulated clock: each rank owns a clock
+(nanoseconds), every message posted at sender-time ``t`` becomes ready at
+``t + latency + nbytes/bandwidth``, and the compute a rank performs while
+messages are in flight is reported via :meth:`SimComm.advance`.  When the
+receiver finally waits, the part of the transfer that its own clock has
+already moved past is **overlapped** (hidden) time and the remainder —
+plus every retransmission the ack/retry protocol needs — is **exposed**
+stall time; both are accumulated per rank in
+:attr:`CommStats.overlapped_ns` / :attr:`CommStats.exposed_ns`.  A
+blocking :meth:`SimComm.recv` is an ``irecv`` waited on immediately, so
+its transfer time is fully exposed — exactly the baseline an
+exchange-then-compute schedule pays.  The model composes with the fault
+sites: a ``comm.delay``-forced redundant retransmission, or a
+drop/corruption retry, each costs one more latency+bandwidth term of
+exposed time.  With the default ``latency_s=0`` the clock never moves and
+every timing counter stays zero.
 """
 
 from __future__ import annotations
@@ -48,6 +71,7 @@ from ..resilience.rankrecovery import RankDeadError
 
 __all__ = [
     "CommFailedError",
+    "CommRequest",
     "CommStats",
     "RankDeadError",
     "SimComm",
@@ -71,6 +95,12 @@ class CommStats:
     corrupted: int = 0
     delayed: int = 0
     retries: int = 0
+    #: nonblocking requests posted (isend + irecv) and completed
+    posted: int = 0
+    completed: int = 0
+    #: simulated transfer time hidden behind compute vs exposed as stalls
+    overlapped_ns: int = 0
+    exposed_ns: int = 0
 
     def merge(self, other: "CommStats") -> None:
         self.messages_sent += other.messages_sent
@@ -81,18 +111,62 @@ class CommStats:
         self.corrupted += other.corrupted
         self.delayed += other.delayed
         self.retries += other.retries
+        self.posted += other.posted
+        self.completed += other.completed
+        self.overlapped_ns += other.overlapped_ns
+        self.exposed_ns += other.exposed_ns
+
+    def overlap_fraction(self) -> float | None:
+        """Hidden share of the simulated comm time (``None`` if untimed)."""
+        total = self.overlapped_ns + self.exposed_ns
+        if total == 0:
+            return None
+        return self.overlapped_ns / total
 
 
 class _Message:
     """One in-flight message: pristine retransmit copy plus the wire state."""
 
-    __slots__ = ("pristine", "wire", "checksum")
+    __slots__ = ("pristine", "wire", "checksum", "ready_ns", "transfer_ns")
 
     def __init__(self, pristine: np.ndarray, wire: np.ndarray | None,
-                 checksum: int) -> None:
+                 checksum: int, ready_ns: int = 0, transfer_ns: int = 0) -> None:
         self.pristine = pristine
         self.wire = wire  # None = lost in flight
         self.checksum = checksum
+        #: simulated-clock instant the first wire copy arrives at the receiver
+        self.ready_ns = ready_ns
+        #: latency + bytes/bandwidth cost of one transmission of this payload
+        self.transfer_ns = transfer_ns
+
+
+class CommRequest:
+    """Handle for one nonblocking operation (mpi4py ``Request`` stand-in).
+
+    Returned by :meth:`SimComm.isend` / :meth:`SimComm.irecv`; completed by
+    :meth:`SimComm.wait` (which returns the payload for receives, ``None``
+    for sends) or polled by :meth:`SimComm.test`.  A recovery
+    :meth:`SimComm.purge` *cancels* every outstanding request so a crashed
+    round can never be hung on — waiting on a cancelled handle raises
+    :class:`CommFailedError` instead of blocking forever.
+    """
+
+    __slots__ = ("kind", "src", "dst", "tag", "done", "cancelled", "result")
+
+    def __init__(self, kind: str, src: int, dst: int, tag: int) -> None:
+        self.kind = kind  # "send" | "recv"
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.done = False
+        self.cancelled = False
+        self.result: np.ndarray | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("cancelled" if self.cancelled
+                 else "done" if self.done else "pending")
+        return (f"<CommRequest {self.kind} {self.src}->{self.dst} "
+                f"tag={self.tag} {state}>")
 
 
 def _checksum(array: np.ndarray) -> int:
@@ -107,6 +181,13 @@ class SimComm:
     ``comm.drop``/``comm.corrupt`` fault sites force the same fates
     regardless of the probabilities.  ``max_retries`` bounds the
     retransmissions the ack/retry protocol attempts per message.
+
+    ``latency_s`` / ``bandwidth_bytes_s`` arm the in-flight cost model:
+    one transmission of ``n`` bytes occupies the simulated wire for
+    ``latency_s + n / bandwidth_bytes_s`` seconds (``bandwidth_bytes_s=None``
+    means infinitely fast, so only the per-message latency counts).  With
+    the default ``latency_s=0`` every transfer is instantaneous and the
+    overlap accounting stays silent.
     """
 
     def __init__(
@@ -117,6 +198,8 @@ class SimComm:
         corruption: float = 0.0,
         seed: int = 0,
         max_retries: int = 3,
+        latency_s: float = 0.0,
+        bandwidth_bytes_s: float | None = None,
     ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
@@ -124,18 +207,56 @@ class SimComm:
             raise ValueError("loss/corruption must be probabilities in [0, 1)")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        if bandwidth_bytes_s is not None and bandwidth_bytes_s <= 0:
+            raise ValueError("bandwidth_bytes_s must be > 0 (or None)")
         self.size = size
         self.loss = loss
         self.corruption = corruption
         self.max_retries = max_retries
+        self.latency_s = latency_s
+        self.bandwidth_bytes_s = bandwidth_bytes_s
+        self._latency_ns = int(round(latency_s * 1e9))
+        self._ns_per_byte = (1e9 / bandwidth_bytes_s) if bandwidth_bytes_s else 0.0
         self._rng = np.random.default_rng(seed)
         self._mail: dict[tuple[int, int, int], deque[_Message]] = {}
         self._dead: set[int] = set()
+        self._clock_ns = [0] * size
+        self._requests: list[CommRequest] = []
         self.stats = [CommStats() for _ in range(size)]
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} outside [0, {self.size})")
+
+    # -- simulated clock -----------------------------------------------
+    def transfer_ns(self, nbytes: int) -> int:
+        """Simulated wire time of one transmission of ``nbytes``."""
+        return self._latency_ns + int(round(nbytes * self._ns_per_byte))
+
+    def now_ns(self, rank: int) -> int:
+        """The rank's simulated-clock reading."""
+        self._check_rank(rank)
+        return self._clock_ns[rank]
+
+    def advance(self, rank: int, dur_ns: int) -> None:
+        """Move a rank's clock forward by ``dur_ns`` of local compute.
+
+        This is how overlap becomes measurable: the driver reports the wall
+        time of the interior sweep it ran between posting receives and
+        waiting on them, and any transfer time the clock has moved past is
+        counted as hidden when the wait happens.
+        """
+        self._check_rank(rank)
+        if dur_ns < 0:
+            raise ValueError("dur_ns must be >= 0")
+        self._clock_ns[rank] += dur_ns
+
+    def sync_clocks(self) -> None:
+        """Round barrier: align every rank's clock to the furthest one."""
+        top = max(self._clock_ns)
+        self._clock_ns = [top] * self.size
 
     # -- liveness ------------------------------------------------------
     @property
@@ -176,9 +297,18 @@ class SimComm:
 
     def purge(self) -> int:
         """Drop all undelivered mail (recovery abandons the broken round);
-        returns the number of messages discarded."""
+        returns the number of messages discarded.
+
+        Every outstanding nonblocking request is *cancelled* at the same
+        time, so no handle posted before the crash can ever be hung on:
+        waiting on a cancelled request raises :class:`CommFailedError`.
+        """
         count = sum(len(q) for q in self._mail.values())
         self._mail.clear()
+        for req in self._requests:
+            if not req.done:
+                req.cancelled = True
+        self._requests.clear()
         return count
 
     # -- transport -----------------------------------------------------
@@ -225,7 +355,9 @@ class SimComm:
             raise RankDeadError(src, f"dead rank {src} cannot send")
         payload = np.ascontiguousarray(array).copy()
         wire = self._transmit(src, payload)
-        msg = _Message(payload, wire, _checksum(payload))
+        cost = self.transfer_ns(payload.nbytes)
+        msg = _Message(payload, wire, _checksum(payload),
+                       ready_ns=self._clock_ns[src] + cost, transfer_ns=cost)
         self._mail.setdefault((src, dst, tag), deque()).append(msg)
         self.stats[src].messages_sent += 1
         self.stats[src].bytes_sent += payload.nbytes
@@ -244,7 +376,14 @@ class SimComm:
         on.  The ``comm.delay`` fault site fires here too: the ack timer
         expires on a healthy payload and a redundant retransmission is
         requested (counted as ``delayed`` + one retry).
+
+        A blocking receive performs no compute between post and completion,
+        so its whole simulated transfer time lands in ``exposed_ns``.
         """
+        return self._deliver(src, dst, tag)
+
+    def _deliver(self, src: int, dst: int, tag: int) -> np.ndarray:
+        """Complete one receive: retries, byte accounting, clock movement."""
         self._check_rank(src)
         self._check_rank(dst)
         if src in self._dead:
@@ -278,9 +417,114 @@ class SimComm:
             self.stats[src].messages_sent += 1
             self.stats[src].bytes_sent += msg.pristine.nbytes
             wire = self._transmit(src, msg.pristine)
+        # -- simulated-clock accounting --------------------------------
+        # Stall until the first copy arrives; whatever share of the wire
+        # time the receiver's clock already moved past was hidden behind
+        # its compute.  Every retransmission is a synchronous round trip
+        # discovered only at delivery, so retries are always exposed.
+        now = self._clock_ns[dst]
+        stall = max(0, msg.ready_ns - now)
+        hidden = min(max(msg.transfer_ns - stall, 0), msg.transfer_ns)
+        retry_ns = attempts * msg.transfer_ns
+        self._clock_ns[dst] = max(now, msg.ready_ns) + retry_ns
+        self.stats[dst].exposed_ns += stall + retry_ns
+        self.stats[dst].overlapped_ns += hidden
         self.stats[dst].messages_received += 1
         self.stats[dst].bytes_received += wire.nbytes
         return wire
+
+    # -- nonblocking operations ----------------------------------------
+    def isend(self, src: int, dst: int, tag: int,
+              array: np.ndarray) -> CommRequest:
+        """Nonblocking send; completes locally at once (buffered semantics).
+
+        The payload is copied into the outbox immediately — like MPI's
+        buffered mode, the send-side request is already complete and
+        :meth:`wait` on it is free.  The *transfer* still takes simulated
+        time: the message becomes ready at the receiver only
+        ``transfer_ns`` after the sender's clock at post time.
+        """
+        self.send(src, dst, tag, array)
+        req = CommRequest("send", src, dst, tag)
+        req.done = True
+        self.stats[src].posted += 1
+        self.stats[src].completed += 1
+        return req
+
+    def irecv(self, src: int, dst: int, tag: int) -> CommRequest:
+        """Post a nonblocking receive; match and deliver at :meth:`wait`.
+
+        Nothing is checked against the mailbox yet — like a real
+        ``MPI_Irecv``, the request only records the envelope.  Rank death
+        is therefore detected at the *wait*, which is exactly where the
+        overlapped driver's recovery path expects it.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        req = CommRequest("recv", src, dst, tag)
+        self._requests.append(req)
+        self.stats[dst].posted += 1
+        return req
+
+    def wait(self, req: CommRequest) -> np.ndarray | None:
+        """Block until ``req`` completes; returns the payload for receives.
+
+        Raises :class:`RankDeadError` when the peer died since the post
+        (the overlap path's failure-detection point),
+        :class:`CommFailedError` when the request was cancelled by a
+        recovery :meth:`purge` or retries are exhausted, and
+        :class:`LookupError` when no matching message was ever posted.
+        """
+        if req.cancelled:
+            raise CommFailedError(
+                f"request {req.kind} {req.src}->{req.dst} (tag {req.tag}) "
+                "was cancelled by a recovery purge"
+            )
+        if req.done:
+            return req.result
+        req.result = self._deliver(req.src, req.dst, req.tag)
+        req.done = True
+        try:
+            self._requests.remove(req)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self.stats[req.dst].completed += 1
+        return req.result
+
+    def waitall(self, reqs) -> list[np.ndarray | None]:
+        """Complete every request, in order; returns their payloads."""
+        return [self.wait(r) for r in reqs]
+
+    def test(self, req: CommRequest) -> tuple[bool, np.ndarray | None]:
+        """Poll a request: ``(done, payload|None)`` without blocking.
+
+        A receive whose message has not been posted, or whose wire copy
+        has not *arrived* on the simulated clock yet, reports ``False``
+        without advancing time.  A testable-complete request is delivered
+        exactly as :meth:`wait` would.
+        """
+        if req.cancelled:
+            raise CommFailedError(
+                f"request {req.kind} {req.src}->{req.dst} (tag {req.tag}) "
+                "was cancelled by a recovery purge"
+            )
+        if req.done:
+            return True, req.result
+        if req.src in self._dead:
+            raise RankDeadError(
+                req.src,
+                f"rank {req.src} died; detected by rank {req.dst} at test",
+            )
+        box = self._mail.get((req.src, req.dst, req.tag))
+        if not box:
+            return False, None
+        if box[0].ready_ns > self._clock_ns[req.dst]:
+            return False, None
+        return True, self.wait(req)
+
+    def outstanding(self) -> int:
+        """Nonblocking requests posted but neither completed nor cancelled."""
+        return sum(1 for r in self._requests if not r.done and not r.cancelled)
 
     def sendrecv(
         self,

@@ -30,6 +30,16 @@ class Slab:
     def owned(self) -> int:
         return self.z1 - self.z0
 
+    @property
+    def lo_cut(self) -> bool:
+        """Whether the low edge is a cut (a neighbor exists below)."""
+        return self.lo_neighbor is not None
+
+    @property
+    def hi_cut(self) -> bool:
+        """Whether the high edge is a cut (a neighbor exists above)."""
+        return self.hi_neighbor is not None
+
 
 def decompose_z(
     nz: int, n_ranks: int, halo: int, *, ranks: Sequence[int] | None = None

@@ -17,6 +17,23 @@ sends the *same total volume* in ``1/dim_T`` as many messages — the
 latency-term reduction that distributed temporal blocking exists for
 (Wittmann et al., Section II), which `transfer_time` makes quantitative.
 
+**Comm/compute overlap** (``overlap=True``, the default) takes the rest of
+the win: the round becomes *post → interior → wait → boundary*.  Every
+rank posts its halo sends and receives up front (``isend``/``irecv``),
+then immediately runs the blocked round on the *interior* of its slab —
+the part :func:`repro.core.regions.split_slab` proves computable from
+owned planes alone (pulled in by ``h`` per cut side; physical boundaries
+don't shrink).  Only then does it ``wait`` on the ghost planes and finish
+the two boundary strips.  The interior sweep's wall time is reported to
+the communicator's simulated clock, so the transfer time it covers is
+counted as *hidden* (``CommStats.overlapped_ns``) and only the remainder
+as an exposed stall — measured, not assumed.  Results are bit-identical
+to the exchange-then-compute schedule (and hence to the naive oracle): the
+interior planes satisfy the same depth induction, and each strip's extent
+lands entirely inside owned ∪ ghost planes.  A slab too thin to leave an
+interior falls back to the fused schedule for that rank, still through
+the nonblocking handles.
+
 The driver is also **rank-failure tolerant** (``recover=True``).  Each
 round starts with a buddy checkpoint — every rank replicates its
 round-start slab in-memory to the next live rank — and a heartbeat probe
@@ -39,10 +56,13 @@ a ``rank_recovery`` trace span.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.blocking35d import Blocking35D
 from ..core.naive import naive_sweep
+from ..core.regions import split_slab
 from ..core.traffic import TrafficStats
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACE
@@ -86,6 +106,15 @@ class DistributedJacobi:
         When True (default), rank failures are survived via buddy
         checkpoints and elastic re-decomposition; when False, the first
         dead rank surfaces as :class:`RankDeadError`.
+    overlap:
+        When True (default), each round runs post → interior → wait →
+        boundary, hiding in-flight transfer time behind the interior
+        sweep; when False, the classic exchange-then-compute schedule.
+        Both produce bit-identical results.
+    latency_s / bandwidth_bytes_s:
+        The communicator's in-flight cost model (see :class:`SimComm`);
+        with the default ``latency_s=0`` transfers are instantaneous and
+        the hidden/exposed accounting stays zero.
     """
 
     def __init__(
@@ -101,6 +130,9 @@ class DistributedJacobi:
         comm_seed: int = 0,
         max_retries: int = 3,
         recover: bool = True,
+        overlap: bool = True,
+        latency_s: float = 0.0,
+        bandwidth_bytes_s: float | None = None,
     ) -> None:
         if scheme not in ("35d", "naive"):
             raise ValueError(f"unknown scheme {scheme!r}")
@@ -119,6 +151,9 @@ class DistributedJacobi:
         self.comm_seed = comm_seed
         self.max_retries = max_retries
         self.recover = recover
+        self.overlap = overlap
+        self.latency_s = latency_s
+        self.bandwidth_bytes_s = bandwidth_bytes_s
         self.recovery = RecoveryReport(initial_ranks=n_ranks,
                                        final_ranks=n_ranks)
 
@@ -146,6 +181,8 @@ class DistributedJacobi:
             corruption=self.corruption,
             seed=self.comm_seed,
             max_retries=self.max_retries,
+            latency_s=self.latency_s,
+            bandwidth_bytes_s=self.bandwidth_bytes_s,
         )
         local = {s.rank: field.data[:, s.z0 : s.z1].copy() for s in slabs}
         buddies = BuddyStore()
@@ -173,9 +210,15 @@ class DistributedJacobi:
                 try:
                     with TRACE.span("round", index=round_index,
                                     round_t=round_t, ranks=len(live)):
-                        self._exchange_and_compute(
-                            slabs, local, comm, round_t, traffic
-                        )
+                        if self.overlap:
+                            self._exchange_and_compute_overlap(
+                                slabs, local, comm, round_t, traffic,
+                                field.nz,
+                            )
+                        else:
+                            self._exchange_and_compute(
+                                slabs, local, comm, round_t, traffic
+                            )
                 except RankDeadError:
                     if not self.recover:
                         raise
@@ -327,6 +370,141 @@ class DistributedJacobi:
                 out = self._advance_local(aug, zlo, zhi, round_t, traffic)
                 lo_off = s.z0 - zlo
                 local[s.rank] = out.data[:, lo_off : lo_off + s.owned].copy()
+
+    # ------------------------------------------------------------------
+    def _exchange_and_compute_overlap(
+        self,
+        slabs: list[Slab],
+        local: dict[int, np.ndarray],
+        comm: SimComm,
+        round_t: int,
+        traffic: TrafficStats | None,
+        nz: int,
+    ) -> None:
+        """One overlapped round: post → interior → wait → boundary.
+
+        Every live rank posts its halo sends *and* receives before anyone
+        computes, then each rank runs the blocked round on its slab
+        interior (owned planes only, so no ghost needed), reports that
+        sweep's wall time to the communicator's clock, waits on the ghost
+        planes (``halo_wait`` — the failure-detection point of the overlap
+        path), and finishes the two boundary strips.  A slab too thin to
+        leave an interior falls back to the fused schedule through the
+        same handles.
+        """
+        r = self.kernel.radius
+        h = r * round_t
+        comm.sync_clocks()  # round barrier: in-flight time starts here
+        with TRACE.span("halo_exchange", phase="post", halo=h):
+            for s in slabs:
+                if not comm.alive(s.rank):
+                    continue
+                if s.hi_neighbor is not None:
+                    comm.isend(s.rank, s.hi_neighbor, _TAG_UP,
+                               local[s.rank][:, -h:])
+                if s.lo_neighbor is not None:
+                    comm.isend(s.rank, s.lo_neighbor, _TAG_DOWN,
+                               local[s.rank][:, :h])
+            recvs: dict[int, tuple] = {}
+            for s in slabs:
+                if not comm.alive(s.rank):
+                    continue
+                lo_req = (comm.irecv(s.lo_neighbor, s.rank, _TAG_UP)
+                          if s.lo_neighbor is not None else None)
+                hi_req = (comm.irecv(s.hi_neighbor, s.rank, _TAG_DOWN)
+                          if s.hi_neighbor is not None else None)
+                recvs[s.rank] = (lo_req, hi_req)
+        for s in slabs:
+            if not comm.alive(s.rank):
+                continue
+            lo_req, hi_req = recvs[s.rank]
+            split = split_slab(s.z0, s.z1, nz, h, s.lo_cut, s.hi_cut)
+            if split.interior is None or s.owned < 2 * r + 1:
+                self._compute_fused_from_handles(
+                    s, local, comm, lo_req, hi_req, h, round_t, traffic
+                )
+                continue
+            out = np.empty_like(local[s.rank])
+            with TRACE.span("rank_compute", rank=s.rank, phase="interior"):
+                t0 = time.perf_counter_ns()
+                res = self._advance_local(
+                    Field3D(local[s.rank]), s.z0, s.z1, round_t, traffic
+                )
+                comm.advance(s.rank, time.perf_counter_ns() - t0)
+            ilo, ihi = split.interior.core
+            out[:, ilo - s.z0 : ihi - s.z0] = \
+                res.data[:, ilo - s.z0 : ihi - s.z0]
+            with TRACE.span("halo_wait", rank=s.rank):
+                lo_ghost = comm.wait(lo_req) if lo_req is not None else None
+                hi_ghost = comm.wait(hi_req) if hi_req is not None else None
+            with TRACE.span("rank_compute", rank=s.rank, phase="boundary"):
+                if split.lo_strip is not None:
+                    self._compute_strip(out, split.lo_strip, s, local,
+                                        lo_ghost, None, round_t, traffic)
+                if split.hi_strip is not None:
+                    self._compute_strip(out, split.hi_strip, s, local,
+                                        None, hi_ghost, round_t, traffic)
+            local[s.rank] = out
+
+    def _compute_strip(
+        self,
+        out: np.ndarray,
+        strip,
+        s: Slab,
+        local: dict[int, np.ndarray],
+        lo_ghost: np.ndarray | None,
+        hi_ghost: np.ndarray | None,
+        round_t: int,
+        traffic: TrafficStats | None,
+    ) -> None:
+        """Run one boundary strip and write its core planes into ``out``.
+
+        The strip extent lies entirely inside owned ∪ ghost planes (see
+        :func:`split_slab`), so the augmented strip field is a ghost +
+        owned-slice concatenation and its blocked round is exact on the
+        core by the usual depth induction.
+        """
+        (c0, c1), (e0, e1) = strip.core, strip.extent
+        if lo_ghost is not None:  # low strip: ghost below + owned planes
+            parts = [lo_ghost, local[s.rank][:, : e1 - s.z0]]
+        else:  # high strip: owned planes + ghost above
+            parts = [local[s.rank][:, e0 - s.z0 :], hi_ghost]
+        aug = Field3D(np.concatenate(parts, axis=1))
+        res = self._advance_local(aug, e0, e1, round_t, traffic)
+        out[:, c0 - s.z0 : c1 - s.z0] = res.data[:, c0 - e0 : c1 - e0]
+
+    def _compute_fused_from_handles(
+        self,
+        s: Slab,
+        local: dict[int, np.ndarray],
+        comm: SimComm,
+        lo_req,
+        hi_req,
+        h: int,
+        round_t: int,
+        traffic: TrafficStats | None,
+    ) -> None:
+        """Fused fallback for slabs with no interior: wait, then compute.
+
+        No compute ran between post and wait, so the transfer time of
+        these ghosts is fully exposed — correctly so, nothing was hidden.
+        """
+        parts = []
+        zlo = s.z0
+        with TRACE.span("halo_wait", rank=s.rank, fallback="thin-slab"):
+            if lo_req is not None:
+                parts.append(comm.wait(lo_req))
+                zlo = s.z0 - h
+            parts.append(local[s.rank])
+            zhi = s.z1
+            if hi_req is not None:
+                parts.append(comm.wait(hi_req))
+                zhi = s.z1 + h
+        with TRACE.span("rank_compute", rank=s.rank, phase="fused"):
+            aug = Field3D(np.concatenate(parts, axis=1))
+            res = self._advance_local(aug, zlo, zhi, round_t, traffic)
+            lo_off = s.z0 - zlo
+            local[s.rank] = res.data[:, lo_off : lo_off + s.owned].copy()
 
     def _advance_local(
         self,

@@ -29,6 +29,9 @@ Counter catalog (see docs/observability.md for the full list):
 ``barrier.launches``                                run_spmd calls
 ``comm.messages`` / ``comm.bytes`` / ``comm.dropped`` / ``comm.corrupted`` /
 ``comm.delayed`` / ``comm.retries``                 SimComm totals
+``comm.posted`` / ``comm.completed``                nonblocking requests
+``comm.overlapped_ns`` / ``comm.exposed_ns``        transfer time hidden
+                                                    behind compute vs stalled
 ``resilience.retries`` / ``resilience.repairs`` /
 ``resilience.degradations`` / ``resilience.checkpoint_bytes``
 ``resilience.recoveries`` / ``resilience.replayed_rounds`` /
@@ -173,6 +176,10 @@ class MetricsRegistry:
         self.inc(f"{prefix}.corrupted", total.corrupted)
         self.inc(f"{prefix}.delayed", getattr(total, "delayed", 0))
         self.inc(f"{prefix}.retries", total.retries)
+        self.inc(f"{prefix}.posted", getattr(total, "posted", 0))
+        self.inc(f"{prefix}.completed", getattr(total, "completed", 0))
+        self.inc(f"{prefix}.overlapped_ns", getattr(total, "overlapped_ns", 0))
+        self.inc(f"{prefix}.exposed_ns", getattr(total, "exposed_ns", 0))
 
     def merge_recovery(self, report: Any, prefix: str = "resilience") -> None:
         """Fold a rank-failure RecoveryReport into the counters."""

@@ -27,6 +27,8 @@ Span taxonomy (see docs/observability.md):
 ``guarded_run``  one GuardedSweep.run (wraps all rounds + checkpoints)
 ``guard_round``  one guarded round incl. retries/health checks
 ``halo_exchange``/``rank_compute``  distributed phases per round
+``halo_wait``    one rank's wait on in-flight ghost planes (overlap path);
+                 also the failure-detection point for rank crashes
 ``spmd``         one WorkerPool.run_spmd launch (threaded executors)
 """
 

@@ -56,13 +56,19 @@ class ChaosCase:
     specs: list[str] = field(default_factory=list)
     loss: float = 0.0
     corruption: float = 0.0
+    #: run the overlapped (post -> interior -> wait -> boundary) schedule,
+    #: so crashes land mid-``wait`` and soak the pending-handle purge path
+    overlap: bool = True
+    latency_s: float = 0.0
 
     def describe(self) -> str:
         faults = ", ".join(self.specs) if self.specs else "no injected faults"
         return (
             f"seed {self.seed}: {self.ranks} ranks, {self.grid}^3 x "
             f"{self.steps} steps (dim_T={self.dim_t}); {faults}; "
-            f"loss={self.loss} corruption={self.corruption}"
+            f"loss={self.loss} corruption={self.corruption}; "
+            f"{'overlap' if self.overlap else 'no overlap'}"
+            f" latency={self.latency_s}"
         )
 
 
@@ -128,9 +134,14 @@ def make_case(
         times = int(rng.integers(1, 4))
         after = int(rng.integers(0, 6))
         specs.append(f"comm.delay:{times}" + (f"@{after}" if after else ""))
+    # mostly soak the overlapped schedule (crashes detected mid-wait, with
+    # handles pending); 1-in-5 cases keep the fused path covered too
+    overlap = bool(rng.random() < 0.8)
+    latency_s = round(float(rng.uniform(1e-6, 1e-4)), 9)
     return ChaosCase(
         seed=seed, ranks=ranks, grid=grid, steps=steps, dim_t=dim_t,
         specs=specs, loss=loss, corruption=corruption,
+        overlap=overlap, latency_s=latency_s,
     )
 
 
@@ -161,6 +172,8 @@ def run_case(case: ChaosCase, *, trace: bool = False) -> ChaosResult:
         corruption=case.corruption,
         comm_seed=case.seed,
         max_retries=64,  # lossy links must exhaust probabilistically never
+        overlap=case.overlap,
+        latency_s=case.latency_s,
     )
     error = None
     out = comm = None

@@ -5,7 +5,9 @@ import pytest
 
 from repro.core import run_naive
 from repro.distributed import (
+    CommFailedError,
     DistributedJacobi,
+    RankDeadError,
     SimComm,
     decompose_z,
     transfer_time,
@@ -252,3 +254,272 @@ class TestLossyTransport:
         total = comm.total_stats()
         assert total.retries > 0
         assert total.dropped + total.corrupted > 0
+
+
+class TestNonblocking:
+    def test_isend_irecv_wait_roundtrip(self):
+        comm = SimComm(2)
+        payload = np.arange(6.0).reshape(2, 3)
+        sreq = comm.isend(0, 1, 7, payload)
+        rreq = comm.irecv(0, 1, 7)
+        assert sreq.done  # buffered send completes locally at once
+        assert not rreq.done
+        got = comm.wait(rreq)
+        assert np.array_equal(got, payload)
+        assert rreq.done
+        assert comm.wait(rreq) is got  # waiting again returns the cache
+        assert comm.pending() == 0 and comm.outstanding() == 0
+
+    def test_posted_completed_accounting(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, 0, np.zeros(3))
+        req = comm.irecv(0, 1, 0)
+        assert comm.stats[0].posted == comm.stats[0].completed == 1
+        assert comm.stats[1].posted == 1 and comm.stats[1].completed == 0
+        comm.wait(req)
+        assert comm.stats[1].completed == 1
+
+    def test_waitall_preserves_order(self):
+        comm = SimComm(2)
+        for v in (1.0, 2.0, 3.0):
+            comm.isend(0, 1, 0, np.array([v]))
+        reqs = [comm.irecv(0, 1, 0) for _ in range(3)]
+        got = comm.waitall(reqs)
+        assert [g[0] for g in got] == [1.0, 2.0, 3.0]
+
+    def test_test_polls_without_blocking(self):
+        comm = SimComm(2, latency_s=1e-6)
+        req = comm.irecv(0, 1, 0)
+        assert comm.test(req) == (False, None)  # nothing posted yet
+        comm.isend(0, 1, 0, np.array([5.0]))
+        done, _ = comm.test(req)
+        assert not done  # posted, but not arrived on the simulated clock
+        comm.advance(1, comm.transfer_ns(8))
+        done, got = comm.test(req)
+        assert done and got[0] == 5.0
+        assert comm.test(req) == (True, got)
+
+    def test_wait_detects_dead_rank(self):
+        comm = SimComm(2)
+        req = comm.irecv(0, 1, 0)  # posting against a live rank is fine
+        comm.kill(0)
+        with pytest.raises(RankDeadError):
+            comm.wait(req)
+
+    def test_purge_cancels_pending_handles(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, 0, np.zeros(2))
+        req = comm.irecv(0, 1, 0)
+        assert comm.outstanding() == 1
+        comm.purge()
+        assert comm.outstanding() == 0
+        with pytest.raises(CommFailedError):
+            comm.wait(req)  # a purged round can never be hung on
+        with pytest.raises(CommFailedError):
+            comm.test(req)
+
+    def test_blocking_recv_still_works_alongside(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, 0, np.array([1.0]))
+        assert comm.recv(0, 1, 0)[0] == 1.0
+
+
+class TestOverlapTiming:
+    def test_untimed_comm_keeps_counters_silent(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, 0, np.zeros(4))
+        comm.wait(comm.irecv(0, 1, 0))
+        total = comm.total_stats()
+        assert total.overlapped_ns == total.exposed_ns == 0
+        assert total.overlap_fraction() is None
+
+    def test_transfer_cost_model(self):
+        comm = SimComm(2, latency_s=1e-6, bandwidth_bytes_s=1e9)
+        assert comm.transfer_ns(0) == 1000  # latency only
+        assert comm.transfer_ns(1000) == 2000  # + bytes/bandwidth
+        assert SimComm(2, latency_s=1e-6).transfer_ns(10**9) == 1000
+
+    def test_blocking_recv_is_fully_exposed(self):
+        comm = SimComm(2, latency_s=1e-6)
+        comm.send(0, 1, 0, np.zeros(4))
+        comm.recv(0, 1, 0)
+        cost = comm.transfer_ns(32)
+        assert comm.stats[1].exposed_ns == cost
+        assert comm.stats[1].overlapped_ns == 0
+        assert comm.total_stats().overlap_fraction() == 0.0
+
+    def test_compute_past_transfer_hides_everything(self):
+        comm = SimComm(2, latency_s=1e-6)
+        comm.isend(0, 1, 0, np.zeros(4))
+        req = comm.irecv(0, 1, 0)
+        cost = comm.transfer_ns(32)
+        comm.advance(1, cost + 500)  # interior compute outlasts the wire
+        comm.wait(req)
+        assert comm.stats[1].overlapped_ns == cost
+        assert comm.stats[1].exposed_ns == 0
+        assert comm.total_stats().overlap_fraction() == 1.0
+
+    def test_partial_overlap_splits_the_transfer(self):
+        comm = SimComm(2, latency_s=1e-6)
+        comm.isend(0, 1, 0, np.zeros(4))
+        req = comm.irecv(0, 1, 0)
+        cost = comm.transfer_ns(32)
+        comm.advance(1, cost // 4)
+        comm.wait(req)
+        assert comm.stats[1].overlapped_ns == cost // 4
+        assert comm.stats[1].exposed_ns == cost - cost // 4
+
+    def test_retries_are_always_exposed(self):
+        from repro.resilience.faultinject import FAULTS
+
+        comm = SimComm(2, latency_s=1e-6)
+        comm.isend(0, 1, 0, np.zeros(4))
+        req = comm.irecv(0, 1, 0)
+        cost = comm.transfer_ns(32)
+        comm.advance(1, 10 * cost)  # transfer fully hidden...
+        with FAULTS.injected("comm.delay:1"):
+            comm.wait(req)
+        # ...but the delayed-ack retransmission is a synchronous round trip
+        assert comm.stats[1].overlapped_ns == cost
+        assert comm.stats[1].exposed_ns == cost
+        assert comm.stats[1].delayed == 1
+
+    def test_sync_clocks_aligns_ranks(self):
+        comm = SimComm(3, latency_s=1e-6)
+        comm.advance(1, 700)
+        comm.sync_clocks()
+        assert [comm.now_ns(r) for r in range(3)] == [700, 700, 700]
+
+    def test_invalid_timing_config_rejected(self):
+        with pytest.raises(ValueError):
+            SimComm(2, latency_s=-1.0)
+        with pytest.raises(ValueError):
+            SimComm(2, bandwidth_bytes_s=0)
+        with pytest.raises(ValueError):
+            SimComm(2).advance(0, -5)
+
+
+class TestDecomposeEdgeCases:
+    def test_nz_barely_above_ranks_times_halo(self):
+        # 13 planes, 4 ranks, halo 3: min slab owns exactly halo planes
+        slabs = decompose_z(13, 4, halo=3)
+        assert sum(s.owned for s in slabs) == 13
+        assert min(s.owned for s in slabs) == 3
+        assert slabs[0].z0 == 0 and slabs[-1].z1 == 13
+
+    def test_exactly_ranks_times_halo(self):
+        slabs = decompose_z(12, 4, halo=3)
+        assert all(s.owned == 3 for s in slabs)
+
+    def test_one_plane_short_is_rejected(self):
+        with pytest.raises(ValueError, match="fewer ranks"):
+            decompose_z(11, 4, halo=3)
+
+    def test_maximally_uneven_slabs(self):
+        # partition_span spreads the remainder: sizes differ by at most 1
+        slabs = decompose_z(17, 5, halo=3)
+        sizes = sorted(s.owned for s in slabs)
+        assert sizes == [3, 3, 3, 4, 4]
+        for a, b in zip(slabs, slabs[1:]):
+            assert a.z1 == b.z0  # still contiguous
+
+    def test_cut_flags_match_neighbors(self):
+        slabs = decompose_z(30, 3, halo=2)
+        assert not slabs[0].lo_cut and slabs[0].hi_cut
+        assert slabs[1].lo_cut and slabs[1].hi_cut
+        assert slabs[2].lo_cut and not slabs[2].hi_cut
+
+    def test_single_rank_never_too_thin(self):
+        (slab,) = decompose_z(2, 1, halo=5)
+        assert slab.owned == 2 and not slab.lo_cut and not slab.hi_cut
+
+
+class TestOverlapCorrectness:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5])
+    @pytest.mark.parametrize("scheme,dim_t", [("naive", 1), ("35d", 2), ("35d", 3)])
+    def test_overlap_matches_serial_and_fused(self, n_ranks, scheme, dim_t):
+        k = SevenPointStencil()
+        f = Field3D.random((24, 12, 14), seed=n_ranks * 10 + dim_t)
+        ref = run_naive(k, f, 6)
+        on, comm = DistributedJacobi(
+            k, n_ranks, dim_t=dim_t, scheme=scheme,
+            overlap=True, latency_s=1e-6,
+        ).run(f, 6)
+        off, _ = DistributedJacobi(
+            k, n_ranks, dim_t=dim_t, scheme=scheme, overlap=False,
+        ).run(f, 6)
+        assert np.array_equal(on.data, ref.data)
+        assert np.array_equal(on.data, off.data)
+        assert comm.pending() == 0 and comm.outstanding() == 0
+
+    def test_thin_slabs_fall_back_bit_exactly(self):
+        # owned == halo on every rank: no interior anywhere, fused fallback
+        k = SevenPointStencil()
+        f = Field3D.random((8, 10, 10), seed=5)
+        ref = run_naive(k, f, 4)
+        out, comm = DistributedJacobi(
+            k, 4, dim_t=2, overlap=True, latency_s=1e-6
+        ).run(f, 4)
+        assert np.array_equal(out.data, ref.data)
+        assert comm.outstanding() == 0
+
+    def test_overlap_radius2(self):
+        k = star_stencil(2)
+        f = Field3D.random((24, 10, 10), seed=3)
+        ref = run_naive(k, f, 4)
+        out, _ = DistributedJacobi(
+            k, 3, dim_t=2, overlap=True, latency_s=1e-6
+        ).run(f, 4)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_overlap_hides_transfer_time(self):
+        k = SevenPointStencil()
+        f = Field3D.random((24, 12, 12), seed=1)
+        _, comm = DistributedJacobi(
+            k, 3, dim_t=2, overlap=True, latency_s=1e-9,
+        ).run(f, 6)
+        total = comm.total_stats()
+        assert total.posted == total.completed > 0
+        # 1 ns of latency vs real interior sweeps: always fully hidden
+        assert total.overlap_fraction() == 1.0
+
+    def test_overlap_survives_lossy_transport(self):
+        k = SevenPointStencil()
+        f = Field3D.random((20, 10, 10), seed=11)
+        ref = run_naive(k, f, 6)
+        out, comm = DistributedJacobi(
+            k, 3, dim_t=2, overlap=True, latency_s=1e-6,
+            loss=0.2, corruption=0.1, comm_seed=4, max_retries=64,
+        ).run(f, 6)
+        assert np.array_equal(out.data, ref.data)
+        assert comm.total_stats().retries > 0
+
+    def test_overlap_rank_crash_recovers_bit_exactly(self):
+        from repro.resilience.faultinject import FAULTS
+
+        k = SevenPointStencil()
+        f = Field3D.random((24, 10, 10), seed=9)
+        ref = run_naive(k, f, 8)
+        dj = DistributedJacobi(k, 4, dim_t=2, overlap=True, latency_s=1e-6)
+        with FAULTS.injected("rank.crash=2@2"):
+            out, comm = dj.run(f, 8)
+        assert np.array_equal(out.data, ref.data)
+        assert dj.recovery.recoveries == 1
+        assert dj.recovery.replayed_rounds == 1
+        assert comm.pending() == 0 and comm.outstanding() == 0
+
+    def test_overlap_emits_halo_wait_spans(self):
+        from repro.obs.trace import TRACE
+
+        k = SevenPointStencil()
+        f = Field3D.random((24, 10, 10), seed=2)
+        TRACE.arm()
+        try:
+            DistributedJacobi(
+                k, 3, dim_t=2, overlap=True, latency_s=1e-6
+            ).run(f, 4)
+            names = {e.name for e in TRACE.events()}
+        finally:
+            TRACE.disarm()
+        assert "halo_wait" in names
+        assert "halo_exchange" in names and "rank_compute" in names

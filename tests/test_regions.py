@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import axis_tiles, compute_range, loaded_extent, plan_tiles_2d
+from repro.core import axis_tiles, compute_range, loaded_extent, plan_tiles_2d, split_slab
 
 
 class TestLoadedExtent:
@@ -98,3 +98,62 @@ class TestPlanTiles2D:
         tiles = plan_tiles_2d(60, 60, 1, 3, 30, 30)
         for t in tiles:
             assert t.extent_points >= t.core_points
+
+
+class TestSplitSlab:
+    def test_two_cut_sides(self):
+        s = split_slab(10, 20, 40, halo=2, lo_cut=True, hi_cut=True)
+        assert s.interior.core == (12, 18)
+        assert s.interior.extent == (10, 20)  # owned planes only, no ghosts
+        assert s.lo_strip.core == (10, 12)
+        assert s.lo_strip.extent == (8, 14)
+        assert s.hi_strip.core == (18, 20)
+        assert s.hi_strip.extent == (16, 22)
+
+    def test_cores_tile_the_owned_range(self):
+        s = split_slab(10, 20, 40, halo=3, lo_cut=True, hi_cut=True)
+        assert s.lo_strip.core[1] == s.interior.core[0]
+        assert s.interior.core[1] == s.hi_strip.core[0]
+        assert (s.lo_strip.core[0], s.hi_strip.core[1]) == (10, 20)
+
+    def test_physical_boundary_does_not_shrink(self):
+        lo = split_slab(0, 10, 40, halo=2, lo_cut=False, hi_cut=True)
+        assert lo.interior.core == (0, 8)
+        assert lo.lo_strip is None
+        hi = split_slab(30, 40, 40, halo=2, lo_cut=True, hi_cut=False)
+        assert hi.interior.core == (32, 40)
+        assert hi.hi_strip is None
+
+    def test_single_rank_no_cuts(self):
+        s = split_slab(0, 40, 40, halo=2, lo_cut=False, hi_cut=False)
+        assert s.interior.core == (0, 40)
+        assert s.lo_strip is None and s.hi_strip is None
+        assert s.redundant_planes() == 0
+
+    def test_strip_extent_clipped_at_grid(self):
+        # slab thinner than 2*halo but thicker than halo: the strip's far
+        # side clips at the physical boundary instead of reading past it
+        s = split_slab(37, 40, 40, halo=2, lo_cut=True, hi_cut=False)
+        assert s.interior.core == (39, 40)
+        assert s.lo_strip.core == (37, 39)
+        assert s.lo_strip.extent == (35, 40)
+
+    def test_too_thin_degenerates(self):
+        s = split_slab(10, 14, 40, halo=2, lo_cut=True, hi_cut=True)
+        assert s.interior is None
+        assert s.lo_strip is None and s.hi_strip is None
+        assert s.redundant_planes() == 0
+
+    def test_redundancy_accounting(self):
+        s = split_slab(10, 20, 40, halo=2, lo_cut=True, hi_cut=True)
+        # split sweeps 10 + 6 + 6 planes; fused sweeps 10 + 2 + 2
+        assert s.split_extent_planes() == 22
+        assert s.fused_extent_planes() == 14
+        assert s.redundant_planes() == 8  # 2 * 2*halo
+        assert s.overestimation() == pytest.approx(8 / 14)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            split_slab(10, 10, 40, halo=2, lo_cut=True, hi_cut=True)
+        with pytest.raises(ValueError):
+            split_slab(10, 20, 40, halo=0, lo_cut=True, hi_cut=True)
