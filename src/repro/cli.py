@@ -10,8 +10,16 @@ Subcommands
 ``repro trace``      summarize a chrome-trace JSON written by ``run --trace``.
 ``repro faults``     list the deterministic fault-injection sites and grammar.
 ``repro chaos``      seeded chaos soak: randomized fault schedules against the
-                     distributed driver, asserting bit-exactness (exit 4 on a
-                     red seed, with an optional repro bundle).
+                     distributed driver (``--target distributed``, default) or
+                     the serve daemon (``--target serve``), asserting
+                     bit-exactness (exit 4 on a red seed, with an optional
+                     repro bundle).
+``repro serve``      run the long-lived sweep daemon on a unix socket:
+                     admission control, deadlines, graceful degradation,
+                     journaled crash-safe lifecycle.
+``repro submit``     submit one job to a running daemon (optionally wait for
+                     its verdict; the exit code mirrors the job's 0/2/3/4).
+``repro jobs``       list a running daemon's jobs or print its stats.
 ``repro info``       version, machine table, package inventory.
 """
 
@@ -170,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--refresh", action="store_true",
         help="ignore cached wallclock winners and re-measure",
     )
+    tune.add_argument(
+        "--prune", action="store_true",
+        help="LRU-prune the on-disk tuning cache down to the entry cap "
+        "($REPRO_TUNE_CACHE_MAX_ENTRIES or --cache-max) and exit",
+    )
+    tune.add_argument(
+        "--cache-max", type=int, default=None, metavar="N",
+        help="entry cap used by --prune (default: the env var, else 256)",
+    )
 
     rep = sub.add_parser("reproduce", help="regenerate paper artifacts")
     rep.add_argument(
@@ -203,31 +220,104 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser(
         "chaos",
-        help="seeded chaos soak against the distributed driver",
-        description="Run randomized-but-reproducible fault schedules (rank "
-        "crashes, message loss, corruption, delayed acks) against the "
-        "distributed 3.5D driver and assert the result is bit-identical to "
-        "a fault-free reference. Exit 0 when every seed passes, 4 when any "
-        "seed fails.",
+        help="seeded chaos soak (distributed driver or serve daemon)",
+        description="Run randomized-but-reproducible fault schedules against "
+        "the distributed 3.5D driver (rank crashes, message loss, corruption, "
+        "delayed acks) or the serve daemon (accept drops, worker stalls, "
+        "journal tears, deadline storms, hard kills) and assert results are "
+        "bit-identical to a fault-free reference. Exit 0 when every seed "
+        "passes, 4 when any seed fails.",
+    )
+    chaos.add_argument(
+        "--target", choices=["distributed", "serve"], default="distributed",
+        help="what to soak (default: the distributed driver)",
     )
     chaos.add_argument("--seeds", type=int, default=3, metavar="N",
                        help="number of seeds to soak (default 3)")
     chaos.add_argument("--seed-base", type=int, default=0, metavar="S",
                        help="first seed; seeds are S..S+N-1 (default 0)")
     chaos.add_argument("--ranks", type=int, default=4)
-    chaos.add_argument("--grid", type=int, default=24, help="cubic grid side")
+    chaos.add_argument("--grid", type=int, default=None,
+                       help="cubic grid side (default: 24 distributed, "
+                       "12 serve)")
     chaos.add_argument("--steps", type=int, default=6)
     chaos.add_argument("--dim-t", type=int, default=2)
+    chaos.add_argument("--jobs", type=int, default=12, metavar="N",
+                       help="jobs per seed (--target serve, default 12)")
     chaos.add_argument(
-        "--schedules", default="crash,loss,corruption,delay",
-        help="comma-separated fault families to draw from "
-        "(default: crash,loss,corruption,delay)",
+        "--schedules", default=None,
+        help="comma-separated fault families to draw from (default: all "
+        "families of the chosen target)",
     )
     chaos.add_argument(
         "--bundle", default=None, metavar="DIR",
         help="write a repro bundle (fault specs, case JSON, recovery trace) "
         "for every failing seed under DIR",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived sweep daemon on a unix socket",
+        description="Accept stencil jobs over a unix socket with token-bucket "
+        "admission control, per-tenant quotas, a bounded priority queue, "
+        "per-job deadlines, and a journaled crash-safe lifecycle. SIGTERM "
+        "drains with zero accepted-job loss; restart after a hard kill "
+        "recovers from the journal plus per-job checkpoints.",
+    )
+    serve.add_argument("--socket", default="repro-serve.sock", metavar="PATH",
+                       help="unix socket path (default repro-serve.sock)")
+    serve.add_argument("--state-dir", default=".repro-serve", metavar="DIR",
+                       help="journal + checkpoint directory "
+                       "(default .repro-serve)")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--rate", type=float, default=100.0,
+                       help="sustained accepts/second (token bucket)")
+    serve.add_argument("--burst", type=float, default=200.0,
+                       help="token-bucket burst capacity")
+    serve.add_argument("--queue-cap", type=int, default=16,
+                       help="bounded queue capacity (default 16)")
+    serve.add_argument("--tenant-quota", type=int, default=8,
+                       help="max inflight jobs per tenant (default 8)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job deadline when the job sets none")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip journal fsyncs (tests only; weakens the "
+                       "zero-loss guarantee)")
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running serve daemon"
+    )
+    submit.add_argument("--socket", default="repro-serve.sock", metavar="PATH")
+    submit.add_argument("--kernel", choices=["7pt", "27pt"], default="7pt")
+    submit.add_argument("--grid", type=int, default=16)
+    submit.add_argument("--steps", type=int, default=4)
+    submit.add_argument("--dim-t", type=int, default=2)
+    submit.add_argument("--tile", type=int, default=8)
+    submit.add_argument("--precision", choices=["sp", "dp"], default="sp")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--backend", default=None)
+    submit.add_argument("--priority", type=int, default=1,
+                        help="0 = highest; larger numbers shed first")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS")
+    submit.add_argument("--no-verify", action="store_true",
+                        help="skip the naive cross-check on the daemon")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job is terminal; the exit code "
+                        "mirrors the job's verdict (0/2/3/4)")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait poll budget in seconds (default 300)")
+
+    jobs = sub.add_parser(
+        "jobs", help="list a running serve daemon's jobs or stats"
+    )
+    jobs.add_argument("--socket", default="repro-serve.sock", metavar="PATH")
+    jobs.add_argument("--stats", action="store_true",
+                      help="print daemon stats instead of the job table")
+    jobs.add_argument("--drain", action="store_true",
+                      help="ask the daemon to drain and shut down")
 
     sub.add_parser("info", help="version and machine inventory")
     return parser
@@ -325,6 +415,8 @@ class _FnExecutor:
 
 def _cmd_run(args) -> int:
     """Exit codes: 0 clean, 2 usage error, 3 degraded-but-correct, 4 failed."""
+    import signal
+    import threading
     import time
 
     from repro.core import (
@@ -347,6 +439,7 @@ def _cmd_run(args) -> int:
         GuardedSweep,
         ResilienceError,
         RunReport,
+        SweepInterruptedError,
         bind_with_fallback,
     )
     from repro.runtime import ParallelBlocking35D
@@ -430,6 +523,23 @@ def _cmd_run(args) -> int:
         ex = Blocking35D(kernel, args.dim_t, args.tile, args.tile)
 
     checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
+    # SIGINT/SIGTERM request a *graceful* stop: the sweep halts at the next
+    # round boundary, writes a final checkpoint (when --checkpoint is set),
+    # flushes --trace/--metrics exporters, and exits 4
+    stop = threading.Event()
+    got_signal: list[int] = []
+
+    def _on_signal(signum, frame):
+        got_signal.append(signum)
+        stop.set()
+
+    old_handlers: dict = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            old_handlers[signum] = signal.signal(signum, _on_signal)
+        except ValueError:  # not the main thread (embedded use)
+            pass
+
     guard = GuardedSweep(
         ex,
         health=args.health,
@@ -441,6 +551,7 @@ def _cmd_run(args) -> int:
             "precision": args.precision, "seed": args.seed,
         },
         report=report,
+        stop=stop,
     )
 
     traffic = TrafficStats()
@@ -449,6 +560,15 @@ def _cmd_run(args) -> int:
         t0 = time.perf_counter()
         try:
             out = guard.run(field, args.steps, traffic, resume=args.resume)
+        except SweepInterruptedError as exc:
+            name = (signal.Signals(got_signal[0]).name if got_signal
+                    else "stop request")
+            ck = ("final checkpoint written; re-run with --resume to continue"
+                  if exc.checkpointed else "no --checkpoint, progress lost")
+            print(f"interrupted  : {name} after {exc.step}/{args.steps} "
+                  f"steps; {ck}", file=sys.stderr)
+            _emit_obs_outputs(args)
+            return 4
         except ResilienceError as exc:
             print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 4
@@ -494,6 +614,8 @@ def _cmd_run(args) -> int:
         return 3 if report.degraded else 0
     finally:
         _disarm_obs()
+        for signum, handler in old_handlers.items():
+            signal.signal(signum, handler)
 
 
 def _cmd_run_distributed(args, ref_kernel, field) -> int:
@@ -625,6 +747,15 @@ def _cmd_tune(args) -> int:
     from repro.core import tune
     from repro.machine import CORE_I7, GTX_285
 
+    if args.prune:
+        from repro.core.autotune import TuningCache
+
+        cache = TuningCache(max_entries=args.cache_max)
+        removed, remaining = cache.prune()
+        print(f"tuning cache : {cache.path}")
+        print(f"pruned       : {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"removed, {remaining} remaining (cap {cache.max_entries})")
+        return 0
     machine = CORE_I7 if args.machine == "corei7" else GTX_285
     if args.mode == "wallclock":
         return _cmd_tune_wallclock(args, machine)
@@ -732,32 +863,52 @@ def _cmd_reproduce(artifact: str) -> int:
     return 0 if did else 1
 
 
+#: fault-site prefix -> human subsystem heading for ``repro faults``
+_FAULT_SUBSYSTEMS = {
+    "backend": "backends (bind/compute failures)",
+    "worker": "runtime (threaded sweep workers)",
+    "comm": "distributed transport (drop/corrupt/delay)",
+    "rank": "distributed ranks (crash/recovery)",
+    "cache": "tuning cache (crash-safety)",
+    "grid": "grid health (NaN/Inf poisoning)",
+    "serve": "serve daemon (admission/journal/deadlines)",
+}
+
+
 def _cmd_faults() -> int:
     from repro.resilience import REPRO_FAULTS_ENV, SITES
 
+    # the grammar once, up top; then sites grouped by subsystem prefix
     print("fault spec grammar: site[=arg][:times][@after]")
     print("  arg    restrict to probes whose detail matches (backend name,")
-    print("         rank id, ...)")
+    print("         rank id, journal event, ...)")
     print("  times  probes that fire before the spec exhausts (default 1,")
     print("         '*' = forever)")
     print("  after  matching probes skipped before the first firing")
     print(f"arm via ${REPRO_FAULTS_ENV} (comma-separated specs) or "
           "FAULTS.injected(...)")
-    print()
-    print("sites:")
     width = max(len(site) for site in SITES)
+    groups: dict[str, list[str]] = {}
     for site in sorted(SITES):
-        print(f"  {site:<{width}}  {SITES[site]}")
+        groups.setdefault(site.split(".", 1)[0], []).append(site)
+    for prefix in sorted(groups):
+        print()
+        print(f"{_FAULT_SUBSYSTEMS.get(prefix, prefix)}:")
+        for site in groups[prefix]:
+            print(f"  {site:<{width}}  {SITES[site]}")
     print()
     print("examples:")
     print("  rank.crash=2@1   kill rank 2 after it survives 1 round")
     print("  comm.drop:3      drop the next 3 transported messages")
+    print("  serve.journal=done   tear the next terminal journal record")
     print("  backend.compute=fused-numba:*   every fused-numba compute raises")
     return 0
 
 
 def _cmd_chaos(args) -> int:
     """Exit codes: 0 all seeds green, 2 usage error, 4 any seed red."""
+    if args.target == "serve":
+        return _cmd_chaos_serve(args)
     from repro.resilience.chaos import (
         SCHEDULES,
         make_case,
@@ -765,8 +916,12 @@ def _cmd_chaos(args) -> int:
         write_bundle,
     )
 
+    if args.grid is None:
+        args.grid = 24
     schedules = tuple(
-        s.strip() for s in args.schedules.split(",") if s.strip()
+        s.strip()
+        for s in (args.schedules or ",".join(SCHEDULES)).split(",")
+        if s.strip()
     )
     unknown = set(schedules) - set(SCHEDULES)
     if unknown:
@@ -817,6 +972,216 @@ def _cmd_chaos(args) -> int:
         print(f"verdict      : {failures}/{args.seeds} seed(s) FAILED")
         return 4
     print(f"verdict      : all {args.seeds} seed(s) bit-exact")
+    return 0
+
+
+def _cmd_chaos_serve(args) -> int:
+    """Serve-daemon soak: accepted jobs terminal, completed jobs bit-exact."""
+    import json
+
+    from pathlib import Path
+
+    from repro.serve.chaos import (
+        SERVE_SCHEDULES,
+        make_serve_case,
+        run_serve_case,
+    )
+
+    if args.grid is None:
+        args.grid = 12
+    schedules = tuple(
+        s.strip()
+        for s in (args.schedules or ",".join(SERVE_SCHEDULES)).split(",")
+        if s.strip()
+    )
+    unknown = set(schedules) - set(SERVE_SCHEDULES)
+    if unknown:
+        print(
+            f"error: unknown schedule(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(SERVE_SCHEDULES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    print(f"serve soak   : {args.seeds} seed(s), {args.jobs} jobs of "
+          f"{args.grid}^3 x {args.steps} steps (dim_T={args.dim_t})")
+    print(f"schedules    : {', '.join(schedules)}")
+    failures = 0
+    for seed in seeds:
+        case = make_serve_case(
+            seed, jobs=args.jobs, grid=args.grid, steps=args.steps,
+            dim_t=args.dim_t, schedules=schedules,
+        )
+        result = run_serve_case(case)
+        status = "ok" if result.ok else "FAIL"
+        detail = (
+            f"{result.accepted} accepted, {result.refused} refused, "
+            f"{result.completed} done, {result.degraded} degraded, "
+            f"{result.failed} failed, {result.recovered} recovered, "
+            f"{result.quarantined_records} quarantined"
+        )
+        print(f"seed {seed:<4}    : {status} ({detail}) [{case.describe()}]")
+        if not result.ok:
+            failures += 1
+            if result.error:
+                print(f"             ! {result.error}")
+            if result.hash_mismatches:
+                print(f"             ! {result.hash_mismatches} completed "
+                      "job(s) differ from the fault-free reference")
+            if result.non_terminal:
+                print(f"             ! {result.non_terminal} accepted job(s) "
+                      "never reached a terminal status")
+            if args.bundle:
+                bundle = Path(args.bundle) / f"serve-seed-{seed}"
+                bundle.mkdir(parents=True, exist_ok=True)
+                with open(bundle / "case.json", "w", encoding="utf-8") as fh:
+                    json.dump(result.to_dict(), fh, indent=2)
+                    fh.write("\n")
+                with open(bundle / "faults.txt", "w", encoding="utf-8") as fh:
+                    fh.write(",".join(case.specs) + "\n")
+                print(f"             ! repro bundle: {bundle}")
+    if failures:
+        print(f"verdict      : {failures}/{args.seeds} seed(s) FAILED")
+        return 4
+    print(f"verdict      : all {args.seeds} seed(s) clean "
+          "(no silent loss, completed jobs bit-exact)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Foreground daemon; SIGTERM/SIGINT drain (exit 0 clean, 4 dirty)."""
+    import signal
+    import threading
+
+    from repro.serve import JobServer, ServeCore
+
+    core = ServeCore(
+        args.state_dir,
+        workers=args.workers,
+        rate=args.rate,
+        burst=args.burst,
+        queue_cap=args.queue_cap,
+        tenant_quota=args.tenant_quota,
+        default_deadline_s=args.deadline,
+        fsync=not args.no_fsync,
+    )
+    core.start()
+    server = JobServer(core, args.socket)
+    server.start()
+    replay = core.replay_info
+    print(f"serve        : listening on {args.socket}")
+    print(f"state        : {args.state_dir} "
+          f"({replay.get('records', 0)} journal records replayed, "
+          f"{core.counters['recovered']} job(s) recovered)")
+    print(f"admission    : {args.rate:g} jobs/s (burst {args.burst:g}), "
+          f"queue {args.queue_cap}, {args.tenant_quota}/tenant, "
+          f"{args.workers} worker(s)")
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _on_signal)
+        except ValueError:
+            pass
+    stop.wait()
+    print("serve        : draining (no new jobs; finishing accepted work)")
+    server.stop()
+    clean = core.drain()
+    c = core.counters
+    print(f"serve        : drained; {c['accepted']} accepted, "
+          f"{c['completed']} completed, {c['degraded']} degraded, "
+          f"{c['failed']} failed, {c['shed']} shed, {c['rejected']} rejected")
+    if not clean:
+        print("serve        : DRAIN INCOMPLETE — accepted jobs left "
+              "non-terminal (they will recover on restart)", file=sys.stderr)
+        return 4
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Exit codes mirror the job verdict under --wait; else 0/2."""
+    from repro.serve import JobSpec, ServeClient, ServeUnavailable
+
+    spec = JobSpec(
+        kernel=args.kernel, grid=args.grid, steps=args.steps,
+        dim_t=args.dim_t, tile=args.tile, precision=args.precision,
+        seed=args.seed, backend=args.backend, priority=args.priority,
+        tenant=args.tenant, deadline_s=args.deadline,
+        verify=not args.no_verify,
+    )
+    client = ServeClient(args.socket)
+    try:
+        reply = client.submit(spec.to_dict())
+        if not reply.get("ok"):
+            print(f"rejected     : {reply.get('reason', reply.get('error'))}",
+                  file=sys.stderr)
+            return 2
+        jid = reply["id"]
+        print(f"accepted     : {jid} (priority {spec.priority}, "
+              f"tenant {spec.tenant})")
+        if reply.get("shed"):
+            print(f"displaced    : {reply['shed']} was shed to make room")
+        if not args.wait:
+            return 0
+        reply = client.wait(jid, timeout=args.timeout)
+    except ServeUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    job = reply.get("job", {})
+    print(f"status       : {job.get('status')} "
+          f"(backend {job.get('backend_used') or '?'}, "
+          f"{job.get('done_steps')} steps)")
+    if job.get("sha256"):
+        print(f"result sha   : {job['sha256']}")
+    for d in job.get("degradations") or []:
+        print(f"degraded     : {d}")
+    if job.get("reason"):
+        print(f"reason       : {job['reason']}")
+    code = job.get("code")
+    return int(code) if code is not None else 4
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeUnavailable
+
+    client = ServeClient(args.socket)
+    try:
+        if args.drain:
+            client.drain()
+            print("drain requested; the daemon exits once accepted work "
+                  "finishes")
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats().get("stats", {}), indent=2))
+            return 0
+        reply = client.jobs()
+    except ServeUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    jobs = reply.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'id':<9} {'status':<10} {'code':<5} {'prio':<5} {'tenant':<10} "
+          f"{'steps':<11} reason")
+    for job in jobs:
+        spec = job.get("spec", {})
+        code = job.get("code")
+        steps = f"{job.get('done_steps', 0)}/{spec.get('steps', '?')}"
+        print(f"{job.get('id', ''):<9} {job.get('status', ''):<10} "
+              f"{'' if code is None else code:<5} "
+              f"{spec.get('priority', ''):<5} {spec.get('tenant', ''):<10} "
+              f"{steps:<11} {job.get('reason', '')}")
     return 0
 
 
@@ -890,6 +1255,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_faults()
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     if args.command == "info":
         return _cmd_info()
     return 2  # pragma: no cover

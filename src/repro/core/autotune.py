@@ -33,7 +33,9 @@ from .traffic import TrafficStats
 
 __all__ = [
     "Candidate",
+    "DEFAULT_TUNE_CACHE_MAX_ENTRIES",
     "REPRO_TUNE_CACHE_ENV",
+    "REPRO_TUNE_CACHE_MAX_ENV",
     "TuningCache",
     "WallClockCandidate",
     "WallClockResult",
@@ -46,6 +48,12 @@ __all__ = [
 
 #: environment variable overriding the on-disk tuning-cache location
 REPRO_TUNE_CACHE_ENV = "REPRO_TUNE_CACHE"
+
+#: environment variable capping the number of cached tuning entries
+REPRO_TUNE_CACHE_MAX_ENV = "REPRO_TUNE_CACHE_MAX_ENTRIES"
+
+#: default entry cap — generous for interactive use, finite for a daemon
+DEFAULT_TUNE_CACHE_MAX_ENTRIES = 256
 
 
 def validate_probe_shape(
@@ -220,9 +228,21 @@ class TuningCache:
     Entries are keyed by ``kernel|backend|dtype|shape-class`` and carry the
     :func:`machine_fingerprint` of the measuring host; a lookup with a
     different fingerprint is a miss, so stale entries self-invalidate.
+
+    The store is **bounded**: every :meth:`put` stamps a monotonic ``seq``
+    and evicts the least-recently-written entries beyond ``max_entries``
+    (``$REPRO_TUNE_CACHE_MAX_ENTRIES``, default
+    :data:`DEFAULT_TUNE_CACHE_MAX_ENTRIES`), so a long-lived daemon that
+    tunes many job shapes cannot grow the file without bound.
+    :meth:`prune` applies the same policy on demand (``repro tune
+    --prune``).
     """
 
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        max_entries: int | None = None,
+    ) -> None:
         if path is None:
             path = os.environ.get(REPRO_TUNE_CACHE_ENV)
         if path is None:
@@ -231,6 +251,15 @@ class TuningCache:
             )
             path = os.path.join(base, "repro", "tuning.json")
         self.path = Path(path)
+        if max_entries is None:
+            try:
+                max_entries = int(
+                    os.environ.get(REPRO_TUNE_CACHE_MAX_ENV, "")
+                    or DEFAULT_TUNE_CACHE_MAX_ENTRIES
+                )
+            except ValueError:
+                max_entries = DEFAULT_TUNE_CACHE_MAX_ENTRIES
+        self.max_entries = max(1, max_entries)
 
     @staticmethod
     def key(
@@ -278,7 +307,8 @@ class TuningCache:
             return None
         if entry.get("fingerprint") != fingerprint:
             return None
-        return entry
+        # ``seq`` is the LRU bookkeeping stamp, not part of the entry
+        return {k: v for k, v in entry.items() if k != "seq"}
 
     def put(self, key: str, entry: dict) -> None:
         """Insert/replace ``key``; crash-safe via write-to-temp + rename.
@@ -292,7 +322,17 @@ class TuningCache:
         from ..resilience.faultinject import FAULTS
 
         data = self._load()
+        entry = dict(entry)
+        entry["seq"] = 1 + max(
+            (
+                int(e.get("seq", 0))
+                for e in data.values()
+                if isinstance(e, dict)
+            ),
+            default=0,
+        )
         data[key] = entry
+        self._evict(data)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         serialized = json.dumps(data, indent=2, sort_keys=True) + "\n"
         if FAULTS.should("cache.corrupt"):
@@ -306,6 +346,42 @@ class TuningCache:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+
+    def _evict(self, data: dict) -> int:
+        """Drop least-recently-written entries beyond ``max_entries``."""
+        evicted = 0
+        while len(data) > self.max_entries:
+            victim = min(
+                data,
+                key=lambda k: int(data[k].get("seq", 0))
+                if isinstance(data[k], dict)
+                else -1,
+            )
+            del data[victim]
+            evicted += 1
+        return evicted
+
+    def prune(self, max_entries: int | None = None) -> tuple[int, int]:
+        """Apply the entry cap now; returns ``(removed, remaining)``.
+
+        ``max_entries`` overrides the configured cap for this call (``repro
+        tune --prune --cache-max N``).  A no-op prune leaves the file
+        untouched.
+        """
+        if max_entries is not None:
+            self.max_entries = max(1, max_entries)
+        data = self._load()
+        removed = self._evict(data)
+        if removed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            serialized = json.dumps(data, indent=2, sort_keys=True) + "\n"
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(serialized)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        return removed, len(data)
 
     def clear(self) -> None:
         try:

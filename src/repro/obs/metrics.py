@@ -37,6 +37,12 @@ Counter catalog (see docs/observability.md for the full list):
 ``resilience.recoveries`` / ``resilience.replayed_rounds`` /
 ``resilience.rank_failures`` / ``resilience.buddy_bytes``
                                                     rank-failure recovery
+``serve.accepted`` / ``serve.rejected`` / ``serve.shed``
+                                                    admission outcomes
+``serve.completed`` / ``serve.degraded`` / ``serve.failed`` /
+``serve.cancelled``                                 terminal job statuses
+``serve.preemptions`` / ``serve.deadline_misses``   scheduler interventions
+``serve.queue_depth`` (gauge)                       current queued jobs
 """
 
 from __future__ import annotations

@@ -73,6 +73,7 @@ from .watchdog import (
     GuardedSweep,
     HealthCheckError,
     HealthWarning,
+    SweepInterruptedError,
     SweepRetriesExhaustedError,
     grid_is_finite,
 )
@@ -105,6 +106,7 @@ __all__ = [
     "RecoveryReport",
     "ResilienceError",
     "RunReport",
+    "SweepInterruptedError",
     "SweepRetriesExhaustedError",
     "UnrecoverableRankFailureError",
     "bind_with_fallback",

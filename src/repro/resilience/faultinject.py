@@ -68,6 +68,15 @@ SITES = {
     "half-written JSON file)",
     "grid.nan": "repro.resilience.watchdog GuardedSweep (a plane is poisoned "
     "with NaN after a round)",
+    "serve.accept": "repro.serve.server ServeCore.submit (an admitted job is "
+    "dropped before it reaches the journal; the client sees an explicit "
+    "retryable rejection, never a silent loss)",
+    "serve.stall": "repro.serve.server job worker (the worker stalls between "
+    "rounds, burning the job's deadline budget)",
+    "serve.journal": "repro.serve.journal JobJournal.append (crash mid-append "
+    "leaves a torn record at the journal tail)",
+    "serve.deadline": "repro.serve.server job start (the job's deadline is "
+    "forced to 'already expired', simulating a deadline storm)",
 }
 
 

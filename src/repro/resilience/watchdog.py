@@ -40,6 +40,7 @@ __all__ = [
     "GuardedSweep",
     "HealthCheckError",
     "HealthWarning",
+    "SweepInterruptedError",
     "SweepRetriesExhaustedError",
     "grid_is_finite",
 ]
@@ -56,6 +57,27 @@ class HealthWarning(UserWarning):
 
 class SweepRetriesExhaustedError(ResilienceError):
     """A round kept failing after every allowed retry."""
+
+
+class SweepInterruptedError(ResilienceError):
+    """The sweep stopped cooperatively at a round boundary (``stop`` set).
+
+    Raised only between rounds, so the carried ``state`` is a complete,
+    consistent grid at ``step`` applied time steps — resuming the remaining
+    ``steps - step`` rounds from it is bit-identical to the uninterrupted
+    run.  When the sweep has a checkpoint store, a final snapshot of that
+    state is written before this is raised.
+    """
+
+    def __init__(self, step: int, state=None, checkpointed: bool = False):
+        self.step = step
+        self.state = state
+        self.checkpointed = checkpointed
+        suffix = "; final checkpoint written" if checkpointed else ""
+        super().__init__(
+            f"sweep interrupted at a round boundary after {step} step(s)"
+            f"{suffix}"
+        )
 
 
 def grid_is_finite(data: np.ndarray) -> bool:
@@ -89,6 +111,14 @@ class GuardedSweep:
         whose metadata differs.
     report:
         A :class:`RunReport` accumulating degradations/retries/repairs.
+    stop:
+        Optional ``threading.Event``-like object (anything with
+        ``is_set()``).  Checked at every round boundary; when set, the
+        sweep writes a final checkpoint (if a store is configured) and
+        raises :class:`SweepInterruptedError` carrying the consistent
+        state — the cooperative-cancellation hook behind graceful
+        SIGINT/SIGTERM in ``repro run`` and job preemption in the serve
+        daemon.
     sleep:
         Injection point for the backoff clock (tests pass a no-op).
     """
@@ -106,6 +136,7 @@ class GuardedSweep:
         checkpoint_every: int = 1,
         meta: dict | None = None,
         report: RunReport | None = None,
+        stop=None,
         sleep=time.sleep,
     ) -> None:
         if health not in ("off", "raise", "warn", "repair"):
@@ -124,6 +155,7 @@ class GuardedSweep:
         self.checkpoint_every = checkpoint_every
         self.meta = dict(meta or {})
         self.report = report if report is not None else RunReport()
+        self.stop = stop
         self._sleep = sleep
 
     # ------------------------------------------------------------------
@@ -147,6 +179,8 @@ class GuardedSweep:
         repairs_before = self.report.repairs
         with TRACE.span("guarded_run", steps=steps, health=self.health):
             while done < steps:
+                if self.stop is not None and self.stop.is_set():
+                    self._interrupt(state, done)
                 round_t = min(self.round_steps, steps - done)
                 with TRACE.span("guard_round", done=done, round_t=round_t):
                     state = self._round_with_retry(state, round_t, traffic)
@@ -179,6 +213,18 @@ class GuardedSweep:
             METRICS.set_gauge("resilience.degradations",
                               len(self.report.degradations))
         return state.copy()
+
+    # ------------------------------------------------------------------
+    def _interrupt(self, state, done: int) -> None:
+        """Cooperative stop at a round boundary: final checkpoint, then raise."""
+        checkpointed = False
+        if self.checkpoint is not None:
+            self.checkpoint.save(state.data, done, self.meta)
+            self.report.checkpoints_written += 1
+            checkpointed = True
+        raise SweepInterruptedError(
+            done, state=state.copy(), checkpointed=checkpointed
+        )
 
     # ------------------------------------------------------------------
     def _try_resume(self, field, steps: int):

@@ -1,0 +1,51 @@
+"""Stencil-as-a-service: a long-lived, overload-safe sweep daemon.
+
+``repro serve`` turns the one-shot ``repro run`` contract into a service:
+jobs arrive over a unix socket, pass token-bucket + quota + bounded-queue
+admission control, execute round-by-round (checkpointable, preemptible,
+cancellable at every round boundary), and finish with the same
+exit-code-style verdicts the CLI uses (0 clean, 2 rejected/shed, 3
+degraded-but-correct, 4 failed).  The journal makes acceptance durable:
+SIGTERM drains with zero accepted-job loss and a SIGKILL mid-job recovers
+on restart from the journal plus per-job checkpoints.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    BoundedPriorityQueue,
+    TokenBucket,
+)
+from .client import ServeClient, ServeUnavailable
+from .journal import JobJournal, JournalReplay
+from .protocol import (
+    PROTOCOL_VERSION,
+    STATUS_CODES,
+    TERMINAL_STATUSES,
+    JobRecord,
+    JobSpec,
+    read_message,
+    write_message,
+)
+from .server import JobServer, PlanCache, ServeCore
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "STATUS_CODES",
+    "TERMINAL_STATUSES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "BoundedPriorityQueue",
+    "JobJournal",
+    "JobRecord",
+    "JobServer",
+    "JobSpec",
+    "JournalReplay",
+    "PlanCache",
+    "ServeClient",
+    "ServeCore",
+    "ServeUnavailable",
+    "TokenBucket",
+    "read_message",
+    "write_message",
+]

@@ -1,0 +1,603 @@
+"""Tests for the serve daemon: admission, journal, lifecycle, wire protocol.
+
+The serving layer's claims are behavioral, so the tests are scenario
+driven: overload sheds with reasons (never hangs or grows unbounded),
+deadlines and cancellation land at round boundaries with consistent
+state, preemption and crash recovery resume bit-exactly, SIGTERM-style
+drain loses zero accepted jobs, and a torn journal record — at *every*
+byte boundary — is quarantined, never trusted and never fatal.
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import run_naive
+from repro.resilience import FAULTS
+from repro.serve import (
+    AdmissionController,
+    BoundedPriorityQueue,
+    JobJournal,
+    JobRecord,
+    JobServer,
+    JobSpec,
+    ServeClient,
+    ServeCore,
+    ServeUnavailable,
+    TokenBucket,
+)
+from repro.serve.server import grid_sha256, make_field, make_kernel
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    FAULTS.disarm()
+    yield
+    FAULTS.disarm()
+
+
+def wait_terminal(core: ServeCore, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(r.terminal for r in core.jobs()):
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"jobs never drained: {[(r.id, r.status) for r in core.jobs()]}"
+    )
+
+
+def reference_sha(spec: JobSpec) -> str:
+    out = run_naive(make_kernel(spec), make_field(spec), spec.steps)
+    return grid_sha256(out.data)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: clock[0])
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        clock[0] = 1.0  # 2 tokens refilled
+        assert bucket.try_take() and bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=lambda: clock[0])
+        clock[0] = 60.0
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+
+
+class TestBoundedPriorityQueue:
+    def test_priority_then_fifo_order(self):
+        q = BoundedPriorityQueue(8)
+        q.push("low", 5)
+        q.push("hi-a", 1)
+        q.push("hi-b", 1)
+        assert [q.pop(0) for _ in range(3)] == ["hi-a", "hi-b", "low"]
+
+    def test_capacity_is_hard(self):
+        q = BoundedPriorityQueue(1)
+        q.push("a", 1)
+        with pytest.raises(OverflowError):
+            q.push("b", 1)
+
+    def test_force_push_bypasses_cap_for_requeues(self):
+        q = BoundedPriorityQueue(1)
+        q.push("a", 1)
+        q.push("requeued", 0, force=True)  # an accepted job is never lost
+        assert len(q) == 2
+        assert q.pop(0) == "requeued"
+
+    def test_shed_lowest_and_pop_timeout(self):
+        q = BoundedPriorityQueue(4)
+        q.push("a", 1)
+        q.push("b", 9)
+        assert q.shed_lowest() == "b"
+        assert q.pop(0) == "a"
+        assert q.pop(timeout=0.01) is None  # bounded wait, no hang
+
+    def test_remove_predicate(self):
+        q = BoundedPriorityQueue(4)
+        q.push("a", 1)
+        q.push("b", 2)
+        assert q.remove(lambda item: item == "a") == ["a"]
+        assert q.snapshot() == ["b"]
+
+
+class TestAdmission:
+    def _record(self, **kw):
+        return JobRecord(id="x", spec=JobSpec(**kw), submitted_s=0.0)
+
+    def test_rejects_with_stable_reasons(self):
+        clock = [0.0]
+        ctrl = AdmissionController(
+            rate=1.0, burst=1.0, tenant_quota=1, clock=lambda: clock[0]
+        )
+        q = BoundedPriorityQueue(2)
+        d = ctrl.admit(self._record(), q, 0, draining=True)
+        assert not d.ok and "draining" in d.reason
+        d = ctrl.admit(self._record(grid=1), q, 0)
+        assert not d.ok and "invalid job" in d.reason
+        d = ctrl.admit(self._record(), q, 5)
+        assert not d.ok and "tenant quota exceeded" in d.reason
+        assert ctrl.admit(self._record(), q, 0).ok
+        d = ctrl.admit(self._record(), q, 0)
+        assert not d.ok and "rate limit exceeded" in d.reason
+
+    def test_full_queue_displaces_strictly_better_only(self):
+        ctrl = AdmissionController(rate=100.0, burst=100.0)
+        q = BoundedPriorityQueue(1)
+        q.push("victim", 5)
+        d = ctrl.admit(self._record(priority=5), q, 0)  # equal: no shed
+        assert not d.ok and "queue full" in d.reason
+        d = ctrl.admit(self._record(priority=1), q, 0)
+        assert d.ok and d.shed == "victim"
+
+
+class TestJournal:
+    def test_roundtrip_and_seq_continuity(self, tmp_path):
+        j = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        j.append("accepted", id="j1")
+        j.append("done", id="j1", status="done")
+        j.close()
+        j2 = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        replay = j2.replay()
+        assert [r["ev"] for r in replay.records] == ["accepted", "done"]
+        assert replay.quarantined_records == 0
+        rec = j2.append("accepted", id="j2")
+        assert rec["seq"] == 3  # continues past the replayed records
+
+    def test_torn_tail_at_every_byte_boundary(self, tmp_path):
+        """Truncate the last record at every byte: always quarantined."""
+        path = tmp_path / "j.jsonl"
+        j = JobJournal(path, fsync=False)
+        j.append("accepted", id="j1", job={"grid": 16})
+        j.append("done", id="j1", status="done", sha256="ab" * 32)
+        j.close()
+        raw = path.read_bytes()
+        first_len = raw.find(b"\n") + 1
+        for cut in range(first_len, len(raw) - 1):
+            path.write_bytes(raw[:cut])
+            (path.with_name(path.name + ".corrupt")).unlink(missing_ok=True)
+            replay = JobJournal(path, fsync=False).replay()
+            assert [r["ev"] for r in replay.records] == ["accepted"], (
+                f"cut at byte {cut} leaked a partial record"
+            )
+            if cut > first_len:
+                assert replay.quarantined_records == 1
+                assert replay.truncated_tail
+            # quarantine-and-continue: the journal is compacted to the
+            # good prefix and appending afterwards works
+            j3 = JobJournal(path, fsync=False)
+            j3.replay()
+            j3.append("recovered", id="j1")
+            j3.close()
+            assert len(
+                JobJournal(path, fsync=False).replay().records
+            ) == (2 if cut > first_len else 2)
+
+    def test_midfile_damage_quarantined_once(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = JobJournal(path, fsync=False)
+        for i in range(3):
+            j.append("accepted", id=f"j{i}")
+        j.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"seq": 2, "ev": "accepted", "crc": 1}\n'  # bad crc
+        path.write_bytes(b"".join(lines))
+        replay = JobJournal(path, fsync=False).replay()
+        assert replay.quarantined_records == 1
+        assert len(replay.records) == 2
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.exists()
+        # the file was compacted: a second replay finds nothing to do
+        replay2 = JobJournal(path, fsync=False).replay()
+        assert replay2.quarantined_records == 0
+        assert len(replay2.records) == 2
+
+    def test_tear_fault_fires_but_never_on_accepted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = JobJournal(path, fsync=False)
+        with FAULTS.injected("serve.journal:*"):
+            j.append("accepted", id="j1")  # commit point: exempt
+            j.append("done", id="j1")  # torn
+        j.close()
+        replay = JobJournal(path, fsync=False).replay()
+        assert [r["ev"] for r in replay.records] == ["accepted"]
+        assert replay.truncated_tail
+
+
+class TestServeCore:
+    def test_completes_bit_exact_with_warm_plans(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=2, fsync=False)
+        core.start()
+        spec = JobSpec(grid=12, steps=6, dim_t=2, tile=8)
+        ids = [core.submit(spec.to_dict())["id"] for _ in range(3)]
+        wait_terminal(core)
+        ref = reference_sha(spec)
+        for jid in ids:
+            record = core.status(jid)
+            assert record.status == "done" and record.code == 0
+            assert record.sha256 == ref
+        assert core.plans.stats()["hits"] >= 1
+        assert core.drain()
+
+    def test_invalid_and_rate_limited_submits_rejected(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, rate=0.001, burst=1.0,
+                         fsync=False)
+        core.start()
+        bad = core.submit({"grid": 2})
+        assert not bad["ok"] and "invalid job" in bad["reason"]
+        assert core.submit(JobSpec(grid=8, steps=1).to_dict())["ok"]
+        limited = core.submit(JobSpec(grid=8, steps=1).to_dict())
+        assert not limited["ok"] and "rate limit" in limited["reason"]
+        wait_terminal(core)
+        assert core.drain()
+
+    def test_deadline_storm_fails_with_reason(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, fsync=False)
+        core.start()
+        with FAULTS.injected("serve.deadline"):
+            jid = core.submit(
+                JobSpec(grid=12, steps=4, deadline_s=60.0).to_dict()
+            )["id"]
+            wait_terminal(core)
+        record = core.status(jid)
+        assert record.status == "failed" and record.code == 4
+        assert "deadline exceeded" in record.reason
+        assert core.counters["deadline_misses"] == 1
+        assert core.drain()
+
+    def test_cancel_queued_and_running(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, fsync=False)
+        core.start()
+        running = core.submit(JobSpec(grid=16, steps=400, dim_t=2,
+                                      verify=False).to_dict())["id"]
+        queued = core.submit(JobSpec(grid=16, steps=400, dim_t=2, seed=1,
+                                     verify=False).to_dict())["id"]
+        time.sleep(0.1)
+        assert core.cancel(queued)["status"] == "cancelled"
+        core.cancel(running)
+        wait_terminal(core)
+        rec = core.status(running)
+        assert rec.status == "cancelled" and "cancelled by client" in rec.reason
+        assert 0 < rec.done_steps < 400  # stopped at a round boundary
+        assert core.drain()
+
+    def test_overload_displaces_lowest_priority_with_reason(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, queue_cap=2, fsync=False)
+        core.start()
+        # block the single worker with a long job, then fill the queue
+        blocker = core.submit(JobSpec(grid=16, steps=2000, priority=0,
+                                      verify=False).to_dict())["id"]
+        time.sleep(0.05)
+        low = [core.submit(JobSpec(grid=10, steps=2, priority=7, seed=s,
+                                   verify=False).to_dict())["id"]
+               for s in range(2)]
+        reject = core.submit(
+            JobSpec(grid=10, steps=2, priority=7, seed=9).to_dict()
+        )
+        assert not reject["ok"] and "queue full" in reject["reason"]
+        better = core.submit(
+            JobSpec(grid=10, steps=2, priority=1, verify=False).to_dict()
+        )
+        assert better["ok"] and better["shed"] in low
+        shed = core.status(better["shed"])
+        assert shed.status == "shed" and shed.code == 2
+        assert "displaced by a higher-priority job" in shed.reason
+        core.cancel(blocker)
+        wait_terminal(core)
+        assert core.drain()
+
+    def test_amber_overload_sheds_verification_as_degraded(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, queue_cap=2,
+                         degrade_at=0.0, fsync=False)
+        core.start()  # degrade_at=0: any queue depth counts as amber
+        jid = core.submit(JobSpec(grid=12, steps=4).to_dict())["id"]
+        core.submit(JobSpec(grid=12, steps=4, seed=1).to_dict())
+        wait_terminal(core)
+        record = core.status(jid)
+        assert record.status == "degraded" and record.code == 3
+        assert any("verification shed" in d for d in record.degradations)
+        assert record.sha256 == reference_sha(record.spec)  # still correct
+        assert core.drain()
+
+    def test_preemption_resumes_bit_exact(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, fsync=False)
+        core.start()
+        spec = JobSpec(grid=16, steps=60, dim_t=2, priority=5, verify=False)
+        victim = core.submit(spec.to_dict())["id"]
+        time.sleep(0.05)
+        hi = core.submit(JobSpec(grid=10, steps=2, priority=0,
+                                 verify=False).to_dict())["id"]
+        wait_terminal(core)
+        vrec, hrec = core.status(victim), core.status(hi)
+        assert hrec.status == "done"
+        assert vrec.status == "done"
+        assert vrec.preemptions >= 1
+        assert vrec.sha256 == reference_sha(spec)  # preempt/resume exact
+        assert core.drain()
+
+    def test_accept_drop_is_explicit_and_retryable(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, fsync=False)
+        core.start()
+        with FAULTS.injected("serve.accept"):
+            reply = core.submit(JobSpec(grid=10, steps=2).to_dict())
+        assert not reply["ok"] and reply["error"] == "dropped"
+        assert "safe to retry" in reply["reason"]
+        assert core.counters["dropped"] == 1
+        # nothing journaled, so a restart sees no ghost job
+        retry = core.submit(JobSpec(grid=10, steps=2).to_dict())
+        assert retry["ok"]
+        wait_terminal(core)
+        assert core.drain()
+
+    def test_drain_zero_accepted_job_loss(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=2, fsync=False)
+        core.start()
+        ids = [
+            core.submit(JobSpec(grid=12, steps=8, seed=s,
+                                verify=False).to_dict())["id"]
+            for s in range(6)
+        ]
+        assert core.drain(timeout=60.0)  # True == every accepted job terminal
+        for jid in ids:
+            assert core.status(jid).terminal
+        refused = core.submit(JobSpec(grid=10, steps=2).to_dict())
+        assert not refused["ok"] and "draining" in refused["reason"]
+
+    def test_kill_recovers_from_journal_and_checkpoint(self, tmp_path):
+        state = tmp_path / "s"
+        core = ServeCore(state, workers=1, checkpoint_every_rounds=1,
+                         fsync=False)
+        core.start()
+        spec = JobSpec(grid=16, steps=80, dim_t=2, verify=False)
+        jid = core.submit(spec.to_dict())["id"]
+        done_id = core.submit(JobSpec(grid=10, steps=2, priority=0,
+                                      verify=False).to_dict())["id"]
+        time.sleep(0.3)  # let rounds and checkpoints happen
+        core.kill()  # SIGKILL stand-in: no terminal records written
+
+        core2 = ServeCore(state, workers=1, fsync=False)
+        core2.start()
+        assert core2.counters["recovered"] >= 1
+        wait_terminal(core2, timeout=60.0)
+        rec = core2.status(jid)
+        assert rec.status == "done"
+        assert rec.sha256 == reference_sha(spec)  # crash/resume bit-exact
+        # the short job either finished pre-kill (replayed as done) or
+        # re-ran; both are terminal, neither is lost
+        assert core2.status(done_id).terminal
+        assert core2.drain()
+
+
+class TestWireProtocol:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, fsync=False)
+        core.start()
+        srv = JobServer(core, tmp_path / "sock")
+        srv.start()
+        yield srv
+        srv.stop()
+        core.drain(timeout=10.0)
+
+    def test_end_to_end_submit_wait_jobs(self, server, tmp_path):
+        client = ServeClient(tmp_path / "sock")
+        assert client.ping()["version"] == 1
+        spec = JobSpec(grid=12, steps=4)
+        reply = client.submit(spec.to_dict())
+        assert reply["ok"]
+        job = client.wait(reply["id"], timeout=30.0)["job"]
+        assert job["status"] == "done" and job["code"] == 0
+        assert job["sha256"] == reference_sha(spec)
+        listing = client.jobs()["jobs"]
+        assert [j["id"] for j in listing] == [reply["id"]]
+        stats = client.stats()["stats"]
+        assert stats["counters"]["accepted"] == 1
+
+    def test_unknown_op_and_missing_job(self, server, tmp_path):
+        client = ServeClient(tmp_path / "sock")
+        bad = client.request("frobnicate")
+        assert not bad["ok"] and "unknown op" in bad["reason"]
+        lost = client.status("j999999")
+        assert not lost["ok"] and lost["error"] == "not-found"
+
+    def test_daemon_gone_is_typed(self, tmp_path):
+        client = ServeClient(tmp_path / "nowhere.sock", timeout=1.0)
+        with pytest.raises(ServeUnavailable, match="repro serve"):
+            client.ping()
+
+
+class TestServeChaos:
+    def test_quick_soak_two_seeds(self):
+        from repro.serve.chaos import run_serve_soak
+
+        results = run_serve_soak(range(2), jobs=8, grid=10, steps=4)
+        for r in results:
+            assert r.ok, (
+                f"seed {r.case.seed}: {r.error}, "
+                f"{r.hash_mismatches} mismatches, "
+                f"{r.non_terminal} non-terminal"
+            )
+        # the seed range must actually exercise kill/recovery
+        assert any(r.recovered > 0 for r in results)
+
+
+class TestGuardedSweepStop:
+    def test_stop_event_interrupts_checkpoints_and_resumes(self, tmp_path):
+        from repro.core import Blocking35D
+        from repro.resilience import (
+            CheckpointStore,
+            GuardedSweep,
+            SweepInterruptedError,
+        )
+        from repro.stencils import Field3D, SevenPointStencil
+
+        kernel = SevenPointStencil()
+        field = Field3D.random((16, 16, 16), dtype=np.float32, seed=0)
+        store = CheckpointStore(tmp_path / "ck.npz")
+        stop = threading.Event()
+
+        class StopAfterTwo:
+            """Executor shim that trips the stop event mid-sweep."""
+
+            def __init__(self):
+                self.inner = Blocking35D(kernel, 2, 8, 8)
+                self.dim_t = 2
+                self.rounds = 0
+
+            def run(self, f, steps, traffic=None):
+                self.rounds += 1
+                if self.rounds == 2:
+                    stop.set()
+                return self.inner.run(f, steps, traffic)
+
+        guard = GuardedSweep(StopAfterTwo(), checkpoint=store, stop=stop)
+        with pytest.raises(SweepInterruptedError) as err:
+            guard.run(field, 10)
+        assert err.value.step == 4  # two dim_T=2 rounds ran
+        assert err.value.checkpointed
+
+        resumed = GuardedSweep(Blocking35D(kernel, 2, 8, 8), checkpoint=store)
+        out = resumed.run(field, 10, resume=True)
+        ref = run_naive(kernel, field, 10)
+        assert np.array_equal(out.data, ref.data)
+
+    def test_stop_without_checkpoint_reports_unsaved(self):
+        from repro.core import Blocking35D
+        from repro.resilience import GuardedSweep, SweepInterruptedError
+        from repro.stencils import Field3D, SevenPointStencil
+
+        stop = threading.Event()
+        stop.set()  # interrupt before the first round
+        guard = GuardedSweep(
+            Blocking35D(SevenPointStencil(), 2, 8, 8), stop=stop
+        )
+        field = Field3D.random((12, 12, 12), dtype=np.float32, seed=0)
+        with pytest.raises(SweepInterruptedError) as err:
+            guard.run(field, 4)
+        assert err.value.step == 0
+        assert not err.value.checkpointed
+
+
+class TestTuningCachePrune:
+    def _fill(self, cache, n):
+        for i in range(n):
+            cache.put(f"7pt|backend-{i}|float32|cube", {"dim_t": 2, "tile": 8})
+
+    def test_put_evicts_lru_beyond_cap(self, tmp_path):
+        from repro.core.autotune import TuningCache
+
+        cache = TuningCache(tmp_path / "t.json", max_entries=3)
+        self._fill(cache, 5)
+        data = json.loads((tmp_path / "t.json").read_text())
+        assert len(data) == 3
+        assert any("backend-4" in k for k in data)  # newest survives
+        assert not any("backend-0" in k for k in data)  # oldest evicted
+
+    def test_env_var_caps_entries(self, tmp_path, monkeypatch):
+        from repro.core.autotune import REPRO_TUNE_CACHE_MAX_ENV, TuningCache
+
+        monkeypatch.setenv(REPRO_TUNE_CACHE_MAX_ENV, "2")
+        cache = TuningCache(tmp_path / "t.json")
+        assert cache.max_entries == 2
+        self._fill(cache, 4)
+        assert len(json.loads((tmp_path / "t.json").read_text())) == 2
+
+    def test_prune_method_and_cli(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+        from repro.core.autotune import REPRO_TUNE_CACHE_ENV, TuningCache
+
+        path = tmp_path / "t.json"
+        cache = TuningCache(path, max_entries=100)
+        self._fill(cache, 6)
+        removed, remaining = TuningCache(path).prune(max_entries=2)
+        assert (removed, remaining) == (4, 2)
+        monkeypatch.setenv(REPRO_TUNE_CACHE_ENV, str(path))
+        rc = main(["tune", "--prune", "--cache-max", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 entry removed, 1 remaining" in out
+
+
+class TestCLI:
+    def test_faults_grouped_by_subsystem(self, capsys):
+        from repro.cli import main
+
+        rc = main(["faults"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.index("fault spec grammar") < out.index("serve daemon")
+        assert "serve daemon (admission/journal/deadlines):" in out
+        for site in ("serve.accept", "serve.stall", "serve.journal",
+                     "serve.deadline"):
+            assert site in out
+        # the grammar appears once, at the top, not per group
+        assert out.count("site[=arg][:times][@after]") == 1
+
+    def test_serve_chaos_cli(self, capsys):
+        from repro.cli import main
+
+        rc = main(["chaos", "--target", "serve", "--seeds", "1", "--jobs",
+                   "6", "--grid", "10", "--steps", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serve soak" in out and "clean" in out
+
+    def test_submit_against_in_process_daemon(self, tmp_path, capsys):
+        from repro.cli import main
+
+        core = ServeCore(tmp_path / "s", workers=1, fsync=False)
+        core.start()
+        server = JobServer(core, tmp_path / "sock")
+        server.start()
+        try:
+            rc = main(["submit", "--socket", str(tmp_path / "sock"),
+                       "--grid", "12", "--steps", "4", "--wait"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "accepted" in out and "result sha" in out
+            rc = main(["jobs", "--socket", str(tmp_path / "sock")])
+            out = capsys.readouterr().out
+            assert rc == 0 and "done" in out
+        finally:
+            server.stop()
+            core.drain(timeout=10.0)
+
+    def test_submit_daemon_gone_exits_4(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["submit", "--socket", str(tmp_path / "gone.sock")])
+        assert rc == 4
+        assert "repro serve" in capsys.readouterr().err
+
+    def test_run_sigint_checkpoints_and_exits_4(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ck = tmp_path / "ck.npz"
+        timer = threading.Timer(
+            1.0, lambda: os.kill(os.getpid(), __import__("signal").SIGINT)
+        )
+        timer.start()
+        try:
+            rc = main(["run", "--grid", "24", "--steps", "4000", "--dim-t",
+                       "2", "--tile", "8", "--checkpoint", str(ck),
+                       "--no-check"])
+        finally:
+            timer.cancel()
+        err = capsys.readouterr().err
+        assert rc == 4
+        assert "interrupted" in err and "final checkpoint written" in err
+        assert ck.exists()
