@@ -22,6 +22,10 @@ catastrophically.  Concretely, the gates asserted here:
   signature) serves at least half of the mixed traffic from cache.
 * **Zero-loss drain** — the final drain leaves no accepted job
   non-terminal.
+* **Ledger reconciliation** — the per-tenant usage ledger's sums
+  (site updates, bytes, cpu time, outcome counts) equal the daemon's
+  global counters *exactly* after the drain: billing agrees with
+  metering on a 3-tenant mixed-traffic run.
 
 The whole exchange runs over the real unix-socket wire path.  Arm
 ``serve.*`` fault sites via ``$REPRO_FAULTS`` to smoke the same gates
@@ -222,6 +226,15 @@ def run_load(args) -> dict:
         "max_queue_depth": max(depth_samples, default=0),
         "plan_cache": stats["plan_cache"],
         "counters": stats["counters"],
+        # streaming sketches maintained by the daemon itself (merged
+        # losslessly across the worker pool)
+        "queue_wait_p99_s": (stats.get("latency", {})
+                             .get("serve.queue_wait_s", {}).get("p99", 0.0)),
+        "service_p99_s": (stats.get("latency", {})
+                          .get("serve.service_s", {}).get("p99", 0.0)),
+        "tenants": stats.get("tenants", {}),
+        "ledger_totals": stats.get("ledger_totals", {}),
+        "ledger_mismatches": core.ledger_reconciliation(),
         "faults_armed": os.environ.get("REPRO_FAULTS", ""),
     }
 
@@ -307,6 +320,16 @@ def main(argv: list[str] | None = None) -> int:
     if res["plan_cache"]["hit_rate"] < 0.5:
         failures.append(
             f"plan-cache hit rate {res['plan_cache']['hit_rate']:.2f} < 0.5"
+        )
+    if res["ledger_mismatches"]:
+        failures.append(
+            "ledger does not reconcile with the global counters: "
+            + "; ".join(res["ledger_mismatches"])
+        )
+    if len(res["tenants"]) < 3:
+        failures.append(
+            f"mixed traffic only reached {len(res['tenants'])} tenant(s); "
+            "the per-tenant accounting gate needs all 3"
         )
     res["failures"] = failures
     res["ok"] = not failures

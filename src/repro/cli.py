@@ -19,7 +19,15 @@ Subcommands
                      journaled crash-safe lifecycle.
 ``repro submit``     submit one job to a running daemon (optionally wait for
                      its verdict; the exit code mirrors the job's 0/2/3/4).
-``repro jobs``       list a running daemon's jobs or print its stats.
+                     ``--trace`` mints a trace_id and writes one merged
+                     client+daemon Perfetto trace of the job's whole life.
+``repro jobs``       list a running daemon's jobs or print its stats
+                     (``--watch`` refreshes, ``--prom`` dumps Prometheus
+                     text exposition).
+``repro top``        live queue/tenant/SLO view of a running daemon.
+``repro bench``      ``bench diff`` compares BENCH_*.json results against
+                     committed baselines with noise-aware thresholds
+                     (exit 4 on regression; the CI perf gate).
 ``repro info``       version, machine table, package inventory.
 """
 
@@ -309,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "mirrors the job's verdict (0/2/3/4)")
     submit.add_argument("--timeout", type=float, default=300.0,
                         help="--wait poll budget in seconds (default 300)")
+    submit.add_argument("--trace", default=None, metavar="PATH",
+                        help="mint a trace_id, collect the job's client- and "
+                        "daemon-side spans, and write one merged Perfetto "
+                        "trace to PATH (requires --wait)")
 
     jobs = sub.add_parser(
         "jobs", help="list a running serve daemon's jobs or stats"
@@ -318,6 +330,47 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print daemon stats instead of the job table")
     jobs.add_argument("--drain", action="store_true",
                       help="ask the daemon to drain and shut down")
+    jobs.add_argument("--watch", action="store_true",
+                      help="refresh the queue/tenant/SLO table until "
+                      "interrupted")
+    jobs.add_argument("--interval", type=float, default=2.0, metavar="S",
+                      help="--watch refresh period in seconds (default 2)")
+    jobs.add_argument("--iterations", type=int, default=0, metavar="N",
+                      help="stop --watch after N refreshes (0 = forever)")
+    jobs.add_argument("--prom", default=None, metavar="FILE",
+                      help="write the daemon metrics as Prometheus text "
+                      "exposition to FILE ('-' for stdout)")
+
+    top = sub.add_parser(
+        "top", help="live queue/tenant/SLO view of a running serve daemon"
+    )
+    top.add_argument("--socket", default="repro-serve.sock", metavar="PATH")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N refreshes (0 = forever)")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark result tooling (regression diffing)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bdiff = bench_sub.add_parser(
+        "diff",
+        help="diff BENCH_*.json against committed baselines",
+        description="Compare benchmark result files against the baselines "
+        "committed under benchmarks/baselines/ using noise-aware per-metric "
+        "thresholds (relative tolerance plus an absolute floor). Exit 0 "
+        "clean, 2 when a baseline is missing, 4 on a regression.",
+    )
+    bdiff.add_argument("files", nargs="+", metavar="BENCH_FILE",
+                       help="benchmark result JSON file(s) to judge")
+    bdiff.add_argument("--baselines", default="benchmarks/baselines",
+                       metavar="DIR",
+                       help="baseline directory (default benchmarks/baselines)")
+    bdiff.add_argument("--update", action="store_true",
+                       help="refresh (or create) the baselines from the "
+                       "current files instead of judging them")
+    bdiff.add_argument("--json", default=None, metavar="OUT",
+                       help="also write the verdicts as JSON to OUT")
 
     sub.add_parser("info", help="version and machine inventory")
     return parser
@@ -1108,18 +1161,38 @@ def _cmd_serve(args) -> int:
 
 def _cmd_submit(args) -> int:
     """Exit codes mirror the job verdict under --wait; else 0/2."""
+    import json
+    import time
+
     from repro.serve import JobSpec, ServeClient, ServeUnavailable
 
+    if args.trace and not args.wait:
+        print("error: --trace requires --wait (the daemon-side spans only "
+              "exist once the job ran)", file=sys.stderr)
+        return 2
+    trace_id = ""
+    client_spans: list[dict] = []
+    if args.trace:
+        from repro.obs.serving import mint_trace_id
+
+        trace_id = mint_trace_id()
     spec = JobSpec(
         kernel=args.kernel, grid=args.grid, steps=args.steps,
         dim_t=args.dim_t, tile=args.tile, precision=args.precision,
         seed=args.seed, backend=args.backend, priority=args.priority,
         tenant=args.tenant, deadline_s=args.deadline,
-        verify=not args.no_verify,
+        verify=not args.no_verify, trace_id=trace_id,
     )
     client = ServeClient(args.socket)
     try:
+        submit_t0 = time.time_ns()
         reply = client.submit(spec.to_dict())
+        if trace_id:
+            client_spans.append({
+                "name": "job_submit", "start_ns": submit_t0,
+                "dur_ns": time.time_ns() - submit_t0, "trace_id": trace_id,
+                "attrs": {"tenant": spec.tenant, "ok": bool(reply.get("ok"))},
+            })
         if not reply.get("ok"):
             print(f"rejected     : {reply.get('reason', reply.get('error'))}",
                   file=sys.stderr)
@@ -1127,11 +1200,32 @@ def _cmd_submit(args) -> int:
         jid = reply["id"]
         print(f"accepted     : {jid} (priority {spec.priority}, "
               f"tenant {spec.tenant})")
+        if trace_id:
+            print(f"trace id     : {trace_id}")
         if reply.get("shed"):
             print(f"displaced    : {reply['shed']} was shed to make room")
         if not args.wait:
             return 0
         reply = client.wait(jid, timeout=args.timeout)
+        if trace_id:
+            respond_t0 = time.time_ns()
+            daemon_spans = client.spans(jid)
+            client_spans.append({
+                "name": "job_respond", "start_ns": respond_t0,
+                "dur_ns": time.time_ns() - respond_t0, "trace_id": trace_id,
+                "attrs": {"id": jid,
+                          "status": reply.get("job", {}).get("status", "")},
+            })
+            from repro.obs.serving import merge_job_trace
+
+            doc = merge_job_trace(client_spans, daemon_spans,
+                                  trace_id=trace_id)
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=1)
+                fh.write("\n")
+            n = sum(1 for ev in doc["traceEvents"] if ev.get("ph") == "X")
+            print(f"trace        : wrote {args.trace} ({n} spans, "
+                  f"trace_id {trace_id})")
     except ServeUnavailable as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 4
@@ -1149,6 +1243,82 @@ def _cmd_submit(args) -> int:
     return int(code) if code is not None else 4
 
 
+def _top_lines(stats: dict) -> list[str]:
+    """The queue/tenant/SLO table ``repro top`` and ``jobs --watch`` render."""
+    c = stats.get("counters", {})
+    lines = [
+        f"serve: up {stats.get('uptime_s', 0.0):.0f}s  "
+        f"queue {stats.get('queue_depth', 0)}/{stats.get('queue_cap', 0)}  "
+        f"busy {stats.get('busy_workers', 0)}/{stats.get('workers', 0)}  "
+        f"load {stats.get('overload', '?')}"
+        + ("  DRAINING" if stats.get("draining") else ""),
+        f"jobs : {c.get('accepted', 0)} accepted  "
+        f"{c.get('completed', 0)} done  {c.get('degraded', 0)} degraded  "
+        f"{c.get('failed', 0)} failed  {c.get('shed', 0)} shed  "
+        f"{c.get('rejected', 0)} rejected  "
+        f"{c.get('preemptions', 0)} preempted",
+    ]
+    latency = stats.get("latency") or {}
+    slo = []
+    for key, label in (("serve.queue_wait_s", "queue-wait"),
+                       ("serve.service_s", "service"),
+                       ("serve.latency_s", "latency")):
+        q = latency.get(key)
+        if q:
+            slo.append(f"{label} p50 {q['p50'] * 1e3:.1f}ms "
+                       f"p99 {q['p99'] * 1e3:.1f}ms")
+    if slo:
+        lines.append("slo  : " + "  |  ".join(slo))
+    tenants = stats.get("tenants") or {}
+    if tenants:
+        lines.append(f"{'tenant':<12} {'updates':>12} {'cpu ms':>9} "
+                     f"{'done':>5} {'degr':>5} {'fail':>5} {'shed':>5} "
+                     f"{'rej':>5}")
+        for tenant, u in tenants.items():
+            lines.append(
+                f"{tenant:<12} {u.get('site_updates', 0):>12} "
+                f"{u.get('cpu_ns', 0) / 1e6:>9.1f} "
+                f"{u.get('completed', 0):>5} {u.get('degraded', 0):>5} "
+                f"{u.get('failed', 0):>5} {u.get('shed', 0):>5} "
+                f"{u.get('rejected', 0):>5}"
+            )
+    mismatches = stats.get("ledger_mismatches") or []
+    if mismatches:
+        lines.append(f"LEDGER MISMATCH: {'; '.join(mismatches)}")
+    return lines
+
+
+def _watch_stats(socket_path: str, interval: float, iterations: int) -> int:
+    """Refreshing stats view shared by ``repro top`` and ``jobs --watch``."""
+    import time
+
+    from repro.serve import ServeClient, ServeUnavailable
+
+    client = ServeClient(socket_path)
+    shown = 0
+    try:
+        while True:
+            try:
+                stats = client.stats().get("stats", {})
+            except ServeUnavailable as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 4
+            if shown and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            for line in _top_lines(stats):
+                print(line)
+            shown += 1
+            if iterations and shown >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_top(args) -> int:
+    return _watch_stats(args.socket, args.interval, args.iterations)
+
+
 def _cmd_jobs(args) -> int:
     import json
 
@@ -1161,6 +1331,19 @@ def _cmd_jobs(args) -> int:
             print("drain requested; the daemon exits once accepted work "
                   "finishes")
             return 0
+        if args.prom is not None:
+            reply = client.stats(prom=True)
+            text = reply.get("prom", "")
+            if args.prom == "-":
+                print(text, end="")
+            else:
+                with open(args.prom, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                print(f"prometheus   : wrote {args.prom} "
+                      f"({len(text.splitlines())} lines)")
+            return 0
+        if args.watch:
+            return _watch_stats(args.socket, args.interval, args.iterations)
         if args.stats:
             print(json.dumps(client.stats().get("stats", {}), indent=2))
             return 0
@@ -1183,6 +1366,33 @@ def _cmd_jobs(args) -> int:
               f"{spec.get('priority', ''):<5} {spec.get('tenant', ''):<10} "
               f"{steps:<11} {job.get('reason', '')}")
     return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    """Exit codes: 0 clean, 2 missing baseline/file, 4 regression."""
+    import json
+
+    from repro.obs.regress import diff_bench_file
+
+    worst = 0
+    all_verdicts = []
+    for path in args.files:
+        code, lines, verdicts = diff_bench_file(
+            path, args.baselines, update=args.update
+        )
+        for line in lines:
+            print(line)
+        all_verdicts.extend(v.to_dict() for v in verdicts)
+        worst = max(worst, code)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"verdicts": all_verdicts, "exit": worst}, fh, indent=2)
+            fh.write("\n")
+    if worst == 4:
+        print("verdict      : REGRESSION (see FAIL lines above)")
+    elif worst == 0 and not args.update:
+        print("verdict      : no regressions beyond noise thresholds")
+    return worst
 
 
 def _cmd_info() -> int:
@@ -1261,6 +1471,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "jobs":
         return _cmd_jobs(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "bench":
+        return _cmd_bench_diff(args)
     if args.command == "info":
         return _cmd_info()
     return 2  # pragma: no cover

@@ -3,17 +3,20 @@
 Only the tracer and metrics singletons are imported eagerly — they
 depend on nothing outside the stdlib and numpy, so core executors can
 import them without cycles.  The exporters (:mod:`repro.obs.export`),
-the model-validation join (:mod:`repro.obs.validate`) and the schema
-checker (:mod:`repro.obs.schema`) import ``repro.core`` /
-``repro.machine`` and must be imported explicitly by their consumers.
+the model-validation join (:mod:`repro.obs.validate`), the schema
+checker (:mod:`repro.obs.schema`), the serving telemetry
+(:mod:`repro.obs.serving`) and the bench regression differ
+(:mod:`repro.obs.regress`) import ``repro.core`` / ``repro.machine`` or
+touch the filesystem and must be imported explicitly by their consumers.
 """
 
-from .metrics import METRICS, MetricsRegistry
+from .metrics import METRICS, MetricsRegistry, QuantileSketch
 from .trace import TRACE, SpanRecord, SpanTracer, span
 
 __all__ = [
     "METRICS",
     "MetricsRegistry",
+    "QuantileSketch",
     "TRACE",
     "SpanRecord",
     "SpanTracer",

@@ -11,6 +11,7 @@ Both documents carry a ``schema`` tag validated by
 from __future__ import annotations
 
 import json
+import sys
 from typing import Any, Iterable
 
 from .metrics import METRICS, MetricsRegistry
@@ -19,6 +20,7 @@ from .trace import TRACE, SpanRecord, SpanTracer
 __all__ = [
     "TRACE_SCHEMA_ID",
     "METRICS_SCHEMA_ID",
+    "SPAN_PHASES",
     "chrome_trace",
     "write_chrome_trace",
     "metrics_document",
@@ -29,6 +31,27 @@ __all__ = [
 
 TRACE_SCHEMA_ID = "repro.trace/v1"
 METRICS_SCHEMA_ID = "repro.metrics/v1"
+
+#: span name -> phase family, so ``repro trace`` can roll a mixed trace up
+#: into meaningful groups instead of dumping serve/job spans into "other"
+SPAN_PHASES: dict[str, str] = {
+    # executor phases
+    "sweep": "compute", "round": "compute", "tile": "compute",
+    "z_iter": "compute", "codegen_round": "compute",
+    # threaded runtime
+    "spmd": "parallel",
+    # resilience
+    "guarded_run": "resilience", "guard_round": "resilience",
+    # distributed
+    "halo_exchange": "distributed", "rank_compute": "distributed",
+    "halo_wait": "distributed", "rank_recovery": "distributed",
+    # serving: the per-job lifecycle spans minted by repro submit / the
+    # serve daemon (trace_id-stamped), plus the daemon-side job wrapper
+    "job_submit": "serving", "job_admit": "serving",
+    "job_queue_wait": "serving", "job_run": "serving",
+    "job_round": "serving", "job_respond": "serving",
+    "serve_job": "serving",
+}
 
 
 def chrome_trace(
@@ -96,6 +119,14 @@ def write_chrome_trace(path: str, *, tracer: SpanTracer | None = None) -> dict[s
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1)
         fh.write("\n")
+    dropped = doc.get("otherData", {}).get("dropped_spans", 0)
+    if dropped:
+        print(
+            f"warning: {path}: {dropped} span(s) dropped (tracer ring "
+            "buffer wrapped); re-arm with a larger capacity for a "
+            "complete trace",
+            file=sys.stderr,
+        )
     return doc
 
 
@@ -108,6 +139,12 @@ def metrics_document(
     """Flat metrics JSON; ``validation`` may be a ModelValidation."""
     doc: dict[str, Any] = {"schema": METRICS_SCHEMA_ID}
     doc.update((metrics or METRICS).to_dict())
+    # trace loss is a metrics fact too: silently truncated spans would
+    # make every span-derived number quietly wrong, so the counter is
+    # always present once spans have been dropped
+    dropped = TRACE.dropped()
+    if dropped:
+        doc.setdefault("counters", {})["obs.dropped_spans"] = dropped
     if run:
         doc["run"] = run
     if validation is not None:
@@ -199,6 +236,19 @@ def summarize_trace(doc: dict[str, Any]) -> list[str]:
             f"{entry['self_ns'] / 1e6:>10.2f} "
             f"{100 * entry['self_ns'] / total_self:>6.1f}%"
         )
+    # phase-family rollup: compute/parallel/distributed/resilience/serving
+    # (a traced daemon run gets attributed lines, not one "other" bucket)
+    phases: dict[str, float] = {}
+    for name, entry in agg.items():
+        phases.setdefault(SPAN_PHASES.get(name, "other"), 0.0)
+        phases[SPAN_PHASES.get(name, "other")] += entry["self_ns"]
+    if len(phases) > 1 or "other" not in phases:
+        lines.append("by phase:")
+        for phase, self_ns in sorted(phases.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"  {phase:<14} {self_ns / 1e6:>10.2f} ms "
+                f"{100 * self_ns / total_self:>6.1f}%"
+            )
     dropped = doc.get("otherData", {}).get("dropped_spans", 0)
     if dropped:
         lines.append(f"warning: {dropped} spans dropped (ring buffer wrapped)")

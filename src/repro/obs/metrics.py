@@ -42,17 +42,112 @@ Counter catalog (see docs/observability.md for the full list):
 ``serve.completed`` / ``serve.degraded`` / ``serve.failed`` /
 ``serve.cancelled``                                 terminal job statuses
 ``serve.preemptions`` / ``serve.deadline_misses``   scheduler interventions
+``serve.site_updates`` / ``serve.cpu_ns``           executed lattice-site
+                                                    updates and worker time
 ``serve.queue_depth`` (gauge)                       current queued jobs
+``obs.dropped_spans``                               tracer ring-buffer losses
+
+For latency distributions (queue wait, service time) plain histograms lose
+the tail, so the registry also hands out **quantile sketches**
+(:class:`QuantileSketch`, ``observe_quantile``): log-bucketed streaming
+summaries with bounded relative error whose per-thread instances merge
+losslessly (bucket counts add), giving honest p50/p90/p99 without
+retaining samples.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Iterable
 
 import numpy as np
 
-__all__ = ["MetricsRegistry", "METRICS"]
+__all__ = ["MetricsRegistry", "METRICS", "QuantileSketch"]
+
+
+class QuantileSketch:
+    """Streaming quantile summary with bounded relative error.
+
+    DDSketch-style: positive values land in log-spaced buckets indexed by
+    ``ceil(log_gamma(v))`` with ``gamma = (1+a)/(1-a)`` for relative
+    accuracy ``a``; zero/negative values are counted separately at 0.0.
+    Bucket assignment is a pure function of the value, so merging two
+    sketches (adding bucket counts) is *lossless*: a merge of per-thread
+    sketches is bit-identical to one sketch fed the concatenated stream —
+    the property the serve worker pool relies on.
+    """
+
+    __slots__ = ("accuracy", "_ln_gamma", "_gamma", "buckets", "zeros",
+                 "count", "sum", "min", "max")
+
+    def __init__(self, accuracy: float = 0.01) -> None:
+        if not 0.0 < accuracy < 1.0:
+            raise ValueError("accuracy must be in (0, 1)")
+        self.accuracy = accuracy
+        self._gamma = (1.0 + accuracy) / (1.0 - accuracy)
+        self._ln_gamma = math.log(self._gamma)
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        idx = math.ceil(math.log(value) / self._ln_gamma)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` in; both must share the same accuracy."""
+        if other.accuracy != self.accuracy:
+            raise ValueError("cannot merge sketches of different accuracy")
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.zeros += other.zeros
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile estimate (q in [0, 1]); 0.0 on an empty sketch."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = self.zeros
+        if rank < seen:
+            return 0.0 if self.min >= 0 else self.min
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if rank < seen:
+                # midpoint of the bucket (gamma^(idx-1), gamma^idx]
+                est = 2.0 * self._gamma ** idx / (self._gamma + 1.0)
+                return min(max(est, self.min), self.max)
+        return self.max
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
 
 
 class _Hist:
@@ -91,6 +186,7 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._hists: dict[str, _Hist] = {}
+        self._sketches: dict[str, QuantileSketch] = {}
         self._slots: dict[str, np.ndarray] = {}
 
     # -- lifecycle -----------------------------------------------------
@@ -106,6 +202,7 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._hists.clear()
+            self._sketches.clear()
             self._slots.clear()
 
     # -- instruments ---------------------------------------------------
@@ -129,6 +226,33 @@ class MetricsRegistry:
             if hist is None:
                 hist = self._hists[name] = _Hist()
             hist.observe(value)
+
+    def observe_quantile(self, name: str, value: float,
+                         accuracy: float = 0.01) -> None:
+        """Feed one sample into the named streaming quantile sketch."""
+        if not self.armed:
+            return
+        with self._lock:
+            sk = self._sketches.get(name)
+            if sk is None:
+                sk = self._sketches[name] = QuantileSketch(accuracy)
+            sk.observe(value)
+
+    def merge_quantile(self, name: str, sketch: QuantileSketch) -> None:
+        """Losslessly fold an externally built sketch (e.g. per-thread)."""
+        if not self.armed:
+            return
+        with self._lock:
+            sk = self._sketches.get(name)
+            if sk is None:
+                sk = self._sketches[name] = QuantileSketch(sketch.accuracy)
+            sk.merge(sketch)
+
+    def quantile(self, name: str, q: float) -> float | None:
+        """Current q-quantile of a named sketch; None if never observed."""
+        with self._lock:
+            sk = self._sketches.get(name)
+            return sk.quantile(q) if sk is not None else None
 
     def thread_slots(self, name: str, n_threads: int) -> np.ndarray:
         """Preallocated int64 per-thread accumulator, summed at export.
@@ -220,6 +344,7 @@ class MetricsRegistry:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             hists = {k: h.to_dict() for k, h in self._hists.items()}
+            sketches = {k: s.to_dict() for k, s in self._sketches.items()}
             per_thread = {k: [int(v) for v in arr]
                           for k, arr in self._slots.items()}
         doc: dict[str, Any] = {
@@ -228,6 +353,8 @@ class MetricsRegistry:
             "histograms": hists,
             "per_thread": per_thread,
         }
+        if sketches:
+            doc["quantiles"] = sketches
         frac = self.barrier_wait_fraction()
         if frac is not None:
             doc["derived"] = {"barrier_wait_fraction": frac}

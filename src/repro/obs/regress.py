@@ -1,0 +1,200 @@
+"""Perf-regression tracking: diff BENCH_*.json against committed baselines.
+
+Every benchmark in this repo writes a structured ``BENCH_<name>.json``;
+until now nothing compared those numbers across commits, so a 20% p99 or
+GUPS regression could merge silently.  ``repro bench diff`` closes the
+loop: baselines are *full copies* of known-good BENCH files committed
+under ``benchmarks/baselines/``, and a diff walks both documents,
+compares the metrics a :class:`MetricRule` matches, and fails CI when a
+metric moved the wrong way by more than the rule's noise allowance.
+
+Noise-awareness is two-layered, because shared CI runners jitter:
+
+* a **relative** threshold (default 15%) scaled to the baseline value,
+* an **absolute floor** below which a relative excursion is ignored —
+  a 2 ms p99 doubling to 4 ms is scheduler noise, not a regression.
+
+Both must be exceeded, in the harmful direction, to fail.  Improvements
+are reported but never fail, and ``--update`` refreshes a baseline in
+place once a change is understood and intended.
+
+Exit codes follow the CLI contract: 0 clean, 2 usage error (no baseline
+to compare against), 4 regression detected.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "DEFAULT_RULES",
+    "MetricRule",
+    "compare_docs",
+    "diff_bench_file",
+    "flatten_numeric",
+    "format_report",
+]
+
+#: diff exit codes (mirrors the repro run 0/2/3/4 contract)
+EXIT_OK, EXIT_USAGE, EXIT_REGRESSION = 0, 2, 4
+
+
+@dataclass
+class MetricRule:
+    """Which flattened metrics to watch, and what movement is harmful."""
+
+    pattern: str                  # fnmatch over dotted flattened paths
+    direction: str                # "higher" or "lower" is better
+    rel_tol: float = 0.15         # relative change allowed before failing
+    abs_floor: float = 0.0        # ignore deltas smaller than this
+    label: str = ""
+
+    def matches(self, path: str) -> bool:
+        return fnmatch(path, self.pattern)
+
+
+#: default watchlist covering the serve and fused BENCH documents
+DEFAULT_RULES: list[MetricRule] = [
+    MetricRule("latency_p99_s", "lower", 0.15, 0.010, "serve p99 latency"),
+    MetricRule("latency_p50_s", "lower", 0.25, 0.010, "serve p50 latency"),
+    MetricRule("queue_wait_p99_s", "lower", 0.25, 0.010, "queue-wait p99"),
+    MetricRule("service_p99_s", "lower", 0.25, 0.010, "service-time p99"),
+    MetricRule("jobs_per_s", "higher", 0.15, 1.0, "serve throughput"),
+    MetricRule("gups.*", "higher", 0.15, 0.02, "kernel GUPS"),
+    MetricRule("acceptance.fused_numpy_speedup", "higher", 0.15, 0.1,
+               "fused speedup"),
+]
+
+
+def flatten_numeric(doc: Any, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every int/float leaf of a JSON document."""
+    out: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(value, path))
+    elif isinstance(doc, bool):
+        pass  # bool is an int subclass; verdict flags are not metrics
+    elif isinstance(doc, (int, float)):
+        out[prefix] = float(doc)
+    return out
+
+
+@dataclass
+class MetricVerdict:
+    """One compared metric: the numbers and the call."""
+
+    metric: str
+    baseline: float | None
+    current: float | None
+    direction: str
+    rel_tol: float
+    abs_floor: float
+    #: "ok" | "improved" | "regressed" | "missing"
+    status: str = "ok"
+    delta: float = 0.0
+    delta_rel: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(self.__dict__)
+
+
+def compare_docs(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    rules: list[MetricRule] | None = None,
+) -> list[MetricVerdict]:
+    """Judge every rule-matched metric of ``current`` against ``baseline``."""
+    rules = DEFAULT_RULES if rules is None else rules
+    cur = flatten_numeric(current)
+    base = flatten_numeric(baseline)
+    verdicts: list[MetricVerdict] = []
+    paths = sorted(set(cur) | set(base))
+    for path in paths:
+        rule = next((r for r in rules if r.matches(path)), None)
+        if rule is None:
+            continue
+        b, c = base.get(path), cur.get(path)
+        v = MetricVerdict(
+            metric=path, baseline=b, current=c,
+            direction=rule.direction, rel_tol=rule.rel_tol,
+            abs_floor=rule.abs_floor,
+        )
+        if b is None:
+            v.status = "ok"  # new metric: starts accumulating, can't regress
+        elif c is None:
+            v.status = "missing"  # a watched metric vanished: fail loudly
+        else:
+            v.delta = c - b
+            v.delta_rel = (c - b) / b if b else 0.0
+            harmful = v.delta < 0 if rule.direction == "higher" else v.delta > 0
+            beyond_rel = abs(v.delta_rel) > rule.rel_tol if b else False
+            beyond_abs = abs(v.delta) > rule.abs_floor
+            if harmful and beyond_rel and beyond_abs:
+                v.status = "regressed"
+            elif (not harmful) and beyond_rel and beyond_abs:
+                v.status = "improved"
+        verdicts.append(v)
+    return verdicts
+
+
+def format_report(
+    name: str, verdicts: list[MetricVerdict]
+) -> list[str]:
+    """Human-readable diff table, worst news first."""
+    order = {"regressed": 0, "missing": 1, "improved": 2, "ok": 3}
+    marks = {"regressed": "FAIL", "missing": "GONE",
+             "improved": "  up", "ok": "  ok"}
+    lines = [f"{name}: {len(verdicts)} watched metric(s)"]
+    for v in sorted(verdicts, key=lambda v: (order[v.status], v.metric)):
+        b = "-" if v.baseline is None else f"{v.baseline:.6g}"
+        c = "-" if v.current is None else f"{v.current:.6g}"
+        lines.append(
+            f"  [{marks[v.status]}] {v.metric}: {b} -> {c} "
+            f"({v.delta_rel:+.1%}, {v.direction} is better, "
+            f"tol {v.rel_tol:.0%})"
+        )
+    return lines
+
+
+def diff_bench_file(
+    current_path: str,
+    baselines_dir: str,
+    *,
+    rules: list[MetricRule] | None = None,
+    update: bool = False,
+) -> tuple[int, list[str], list[MetricVerdict]]:
+    """Diff one BENCH file against its committed baseline (by basename).
+
+    Returns ``(exit_code, report_lines, verdicts)`` with the 0/2/4
+    contract.  ``update=True`` copies the current file over the baseline
+    (creating it on first run) and reports what changed, always exit 0.
+    """
+    cur_path = Path(current_path)
+    base_path = Path(baselines_dir) / cur_path.name
+    if not cur_path.exists():
+        return EXIT_USAGE, [f"{cur_path}: no such bench result"], []
+    current = json.loads(cur_path.read_text())
+    if not base_path.exists():
+        if update:
+            base_path.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(cur_path, base_path)
+            return EXIT_OK, [f"{cur_path.name}: baseline created"], []
+        return EXIT_USAGE, [
+            f"{cur_path.name}: no baseline at {base_path} "
+            "(run `repro bench diff --update` to create it)"
+        ], []
+    baseline = json.loads(base_path.read_text())
+    verdicts = compare_docs(current, baseline, rules)
+    lines = format_report(cur_path.name, verdicts)
+    if update:
+        shutil.copyfile(cur_path, base_path)
+        lines.append(f"  baseline refreshed from {cur_path}")
+        return EXIT_OK, lines, verdicts
+    bad = [v for v in verdicts if v.status in ("regressed", "missing")]
+    return (EXIT_REGRESSION if bad else EXIT_OK), lines, verdicts

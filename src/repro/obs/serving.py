@@ -1,0 +1,422 @@
+"""Serving telemetry: per-job traces, tenant accounting, Prometheus text.
+
+The serve daemon (PR 8) runs jobs for many tenants at once; this module
+gives each *job* an observable life and each *tenant* a billable one.
+
+* **End-to-end job traces.**  ``repro submit`` mints a :func:`trace id
+  <mint_trace_id>`, sends it inside the :class:`~repro.serve.protocol.JobSpec`,
+  and both sides append epoch-timestamped spans to a :class:`JobTraceLog`
+  (``job_submit``/``job_admit``/``job_queue_wait``/``job_run``/``job_round``/
+  ``job_respond``).  Because the spans use ``time.time_ns()`` — the wall
+  clock, shared across processes — the client can fetch the daemon's spans
+  over the wire and :func:`merge_job_trace` them with its own into one
+  Perfetto-loadable document where pid 1 is the client and pid 2 the
+  daemon, every span carrying the same ``trace_id``.
+* **Billing-grade accounting.**  The :class:`UsageLedger` attributes
+  lattice-site updates, bytes moved, cpu time, and outcome counts to
+  tenants using *integer* arithmetic only, so its per-tenant sums
+  :meth:`~UsageLedger.reconcile` **exactly** against the daemon's global
+  counters — a float accumulator would make "billing minus metering"
+  drift with thread interleaving.  Rollups are fsync'd JSONL, one
+  self-contained snapshot per line, in the same append-only spirit as the
+  serve journal.
+* **Prometheus exposition.**  :func:`prometheus_exposition` renders any
+  metrics document (counters/gauges/histograms/quantile sketches) in the
+  text format scraped by Prometheus; ``repro jobs --prom`` and the
+  daemon's ``stats`` verb use it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, fields
+from typing import Any, Iterable
+
+from .export import TRACE_SCHEMA_ID
+from .trace import TRACE
+
+__all__ = [
+    "JOB_SPAN_NAMES",
+    "JobTraceLog",
+    "TenantUsage",
+    "UsageLedger",
+    "merge_job_trace",
+    "mint_trace_id",
+    "prometheus_exposition",
+    "read_rollups",
+]
+
+#: the per-job lifecycle span names, in lifecycle order
+JOB_SPAN_NAMES = (
+    "job_submit",      # client: request sent -> accepted/rejected reply
+    "job_admit",       # daemon: admission decision + journal commit
+    "job_queue_wait",  # daemon: accepted -> first picked up by a worker
+    "job_run",         # daemon: worker execution (whole job, all rounds)
+    "job_round",       # daemon: one dim_t-step sweep round
+    "job_respond",     # client: result fetch after terminal status
+)
+
+
+def mint_trace_id() -> str:
+    """A 16-hex-char id, unique enough to join client and daemon spans."""
+    return os.urandom(8).hex()
+
+
+class JobTraceLog:
+    """Thread-safe span log for one job, timestamped on the wall clock.
+
+    The global :data:`~repro.obs.trace.TRACE` ring buffer uses
+    ``perf_counter_ns`` — monotonic but process-local, useless for
+    stitching client and daemon into one timeline.  Job spans therefore
+    record ``time.time_ns()`` (epoch), are capped per job (a 100k-step
+    job must not hold 25k round spans in daemon memory), and are
+    *mirrored* into the global tracer when it is armed so a traced daemon
+    run still sees them.
+    """
+
+    def __init__(self, trace_id: str, job_id: str = "", cap: int = 512):
+        self.trace_id = trace_id
+        self.job_id = job_id
+        self.cap = max(1, cap)
+        self.dropped = 0
+        self._spans: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def add(self, name: str, start_ns: int, end_ns: int, **attrs) -> None:
+        """Record one closed span (epoch nanoseconds)."""
+        span = {
+            "name": name,
+            "start_ns": int(start_ns),
+            "dur_ns": max(0, int(end_ns) - int(start_ns)),
+            "trace_id": self.trace_id,
+        }
+        if self.job_id:
+            attrs.setdefault("id", self.job_id)
+        if attrs:
+            span["attrs"] = attrs
+        with self._lock:
+            if len(self._spans) >= self.cap:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    class _Timed:
+        __slots__ = ("log", "name", "attrs", "start_ns")
+
+        def __init__(self, log: "JobTraceLog", name: str, attrs: dict):
+            self.log = log
+            self.name = name
+            self.attrs = attrs
+            self.start_ns = 0
+
+        def __enter__(self):
+            self.start_ns = time.time_ns()
+            return self
+
+        def __exit__(self, *exc):
+            self.log.add(
+                self.name, self.start_ns, time.time_ns(), **self.attrs
+            )
+            return False
+
+    def span(self, name: str, **attrs):
+        """Context manager timing a span on the wall clock.
+
+        Also opens a mirror span on the global tracer (a no-op when it is
+        disarmed) so ``repro serve --trace`` output includes job spans.
+        """
+        timed = self._Timed(self, name, attrs)
+        mirror = TRACE.span(name, trace_id=self.trace_id, **attrs)
+
+        class _Both:
+            def __enter__(_s):
+                mirror.__enter__()
+                return timed.__enter__()
+
+            def __exit__(_s, *exc):
+                timed.__exit__(*exc)
+                return mirror.__exit__(*exc)
+
+        return _Both()
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Wire-ready copies of the recorded spans, in record order."""
+        with self._lock:
+            return [dict(s) for s in self._spans]
+
+
+def merge_job_trace(
+    client_spans: Iterable[dict[str, Any]],
+    daemon_spans: Iterable[dict[str, Any]] = (),
+    *,
+    trace_id: str = "",
+) -> dict[str, Any]:
+    """One chrome-trace document from client- and daemon-side job spans.
+
+    Both span lists use epoch nanoseconds, so they land on one shared
+    timeline: pid 1 = client, pid 2 = daemon, Perfetto shows the submit
+    span covering the daemon's admit/queue/run spans with the response at
+    the end.  Timestamps are rebased to the earliest span so the document
+    does not carry 19-digit epoch microsecond values.
+    """
+    groups = [("client", list(client_spans)), ("serve daemon", list(daemon_spans))]
+    all_spans = [s for _, spans in groups for s in spans]
+    t0 = min((s["start_ns"] for s in all_spans), default=0)
+    events: list[dict[str, Any]] = []
+    for pid, (pname, spans) in enumerate(groups, start=1):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": pname},
+        })
+        for s in spans:
+            args = dict(s.get("attrs") or {})
+            args["trace_id"] = s.get("trace_id", trace_id)
+            events.append({
+                "name": s["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (s["start_ns"] - t0) / 1000.0,
+                "dur": s.get("dur_ns", 0) / 1000.0,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            })
+    return {
+        "schema": TRACE_SCHEMA_ID,
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+        "otherData": {
+            "generator": "repro.obs.serving",
+            "trace_id": trace_id or (
+                all_spans[0].get("trace_id", "") if all_spans else ""
+            ),
+            "dropped_spans": 0,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# per-tenant accounting
+# ----------------------------------------------------------------------
+
+#: terminal/outcome events the ledger counts per tenant
+LEDGER_EVENTS = (
+    "completed", "degraded", "failed", "cancelled",
+    "shed", "preempted", "rejected",
+)
+
+
+@dataclass
+class TenantUsage:
+    """One tenant's accumulated usage.  All fields are integers by design:
+    integer addition is associative, so the ledger's sums reconcile
+    *exactly* with the global counters no matter how worker threads
+    interleave."""
+
+    site_updates: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cpu_ns: int = 0
+    completed: int = 0
+    degraded: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    shed: int = 0
+    preempted: int = 0
+    rejected: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class UsageLedger:
+    """Attributes work and outcomes to tenants; optionally rolls up to disk.
+
+    ``charge`` records resources consumed (site updates, bytes, cpu time);
+    ``count`` records outcome events.  When constructed with a ``path``,
+    every ``rollup_every`` mutations — and every explicit :meth:`rollup` —
+    append one fsync'd JSONL line holding the complete per-tenant state,
+    so the *last* line of the file is always a full, consistent snapshot
+    (crash-safe the same way the serve journal is: a torn tail line is
+    ignorable because the previous line is complete).
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        *,
+        fsync: bool = True,
+        rollup_every: int = 64,
+    ) -> None:
+        self.path = str(path) if path else None
+        self.fsync = fsync
+        self.rollup_every = max(1, rollup_every)
+        self._tenants: dict[str, TenantUsage] = {}
+        self._lock = threading.Lock()
+        self._mutations = 0
+        self.rollups_written = 0
+
+    def _usage(self, tenant: str) -> TenantUsage:
+        u = self._tenants.get(tenant)
+        if u is None:
+            u = self._tenants[tenant] = TenantUsage()
+        return u
+
+    def charge(
+        self,
+        tenant: str,
+        *,
+        site_updates: int = 0,
+        bytes_read: int = 0,
+        bytes_written: int = 0,
+        cpu_ns: int = 0,
+    ) -> None:
+        """Attribute consumed resources to ``tenant`` (integers only)."""
+        with self._lock:
+            u = self._usage(tenant)
+            u.site_updates += int(site_updates)
+            u.bytes_read += int(bytes_read)
+            u.bytes_written += int(bytes_written)
+            u.cpu_ns += int(cpu_ns)
+            self._mutations += 1
+            due = self._mutations % self.rollup_every == 0
+        if due:
+            self.rollup()
+
+    def count(self, tenant: str, event: str, n: int = 1) -> None:
+        """Record an outcome event (one of :data:`LEDGER_EVENTS`)."""
+        if event not in LEDGER_EVENTS:
+            raise ValueError(f"unknown ledger event {event!r}")
+        with self._lock:
+            u = self._usage(tenant)
+            setattr(u, event, getattr(u, event) + int(n))
+            self._mutations += 1
+
+    def per_tenant(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {t: u.to_dict() for t, u in sorted(self._tenants.items())}
+
+    def totals(self) -> dict[str, int]:
+        """Sum over tenants — the numbers that must equal the global counters."""
+        with self._lock:
+            out = TenantUsage()
+            for u in self._tenants.values():
+                for f in fields(TenantUsage):
+                    setattr(out, f.name,
+                            getattr(out, f.name) + getattr(u, f.name))
+            return out.to_dict()
+
+    def reconcile(self, global_totals: dict[str, int]) -> list[str]:
+        """Mismatch descriptions (empty = billing agrees with metering).
+
+        ``global_totals`` maps :class:`TenantUsage` field names to the
+        independently maintained global values; only the keys present are
+        checked, and equality is exact.
+        """
+        mine = self.totals()
+        bad = []
+        for key, expect in global_totals.items():
+            if key not in mine:
+                continue
+            if int(mine[key]) != int(expect):
+                bad.append(
+                    f"{key}: ledger={mine[key]} global={int(expect)}"
+                )
+        return bad
+
+    def rollup(self) -> dict[str, Any]:
+        """Append one full-state JSONL snapshot (fsync'd) and return it."""
+        doc = {
+            "schema": "repro.ledger/v1",
+            "ts_ns": time.time_ns(),
+            "tenants": self.per_tenant(),
+            "totals": self.totals(),
+        }
+        if self.path:
+            line = json.dumps(doc, separators=(",", ":")) + "\n"
+            with self._lock:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(line)
+                    fh.flush()
+                    if self.fsync:
+                        os.fsync(fh.fileno())
+                self.rollups_written += 1
+        return doc
+
+
+def read_rollups(path: str) -> list[dict[str, Any]]:
+    """Parse a rollup JSONL file, skipping a torn (crashed-mid-write) tail."""
+    out: list[dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # torn tail: everything before it is intact
+    except FileNotFoundError:
+        pass
+    return out
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    s = "".join(out)
+    if s and s[0].isdigit():
+        s = "_" + s
+    return s
+
+
+def _prom_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    return repr(float(v))
+
+
+def prometheus_exposition(doc: dict[str, Any], prefix: str = "repro") -> str:
+    """Render a metrics document in the Prometheus text format.
+
+    ``doc`` is anything shaped like ``MetricsRegistry.to_dict()`` /
+    ``metrics_document`` output: ``counters``/``gauges``/``histograms``/
+    ``quantiles`` maps.  Counters gain the conventional ``_total``
+    suffix; quantile sketches render as summaries with ``quantile``
+    labels.
+    """
+    lines: list[str] = []
+    for name, value in sorted((doc.get("counters") or {}).items()):
+        metric = f"{prefix}_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in sorted((doc.get("gauges") or {}).items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, hist in sorted((doc.get("histograms") or {}).items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum {_prom_value(hist.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {int(hist.get('count', 0))}")
+    for name, sk in sorted((doc.get("quantiles") or {}).items()):
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for q, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            lines.append(
+                f'{metric}{{quantile="{q}"}} {_prom_value(sk.get(key, 0.0))}'
+            )
+        lines.append(f"{metric}_sum {_prom_value(sk.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {int(sk.get('count', 0))}")
+    return "\n".join(lines) + "\n"

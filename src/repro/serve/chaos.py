@@ -86,6 +86,10 @@ class ServeChaosResult:
     non_terminal: int
     hash_mismatches: int
     missing_reasons: int
+    #: billing-vs-metering disagreements on the surviving core (the ledger
+    #: and the counters are both per-core, so after a kill+restart the
+    #: reconciliation covers everything the recovered core executed)
+    ledger_mismatches: int
     recovered: int
     resumes: int
     quarantined_records: int
@@ -232,6 +236,9 @@ def run_serve_case(case: ServeChaosCase, *, timeout: float = 60.0) -> ServeChaos
             if r.status in ("failed", "shed", "cancelled") and not r.reason
         )
         non_terminal = sum(1 for r in records if not r.terminal)
+        ledger_bad = core.ledger_reconciliation()
+        if ledger_bad and error is None:
+            error = "ledger/counter mismatch: " + "; ".join(ledger_bad)
         result = ServeChaosResult(
             case=case,
             ok=(
@@ -239,6 +246,7 @@ def run_serve_case(case: ServeChaosCase, *, timeout: float = 60.0) -> ServeChaos
                 and non_terminal == 0
                 and hash_mismatches == 0
                 and missing_reasons == 0
+                and not ledger_bad
             ),
             error=error,
             submitted=case.jobs,
@@ -251,6 +259,7 @@ def run_serve_case(case: ServeChaosCase, *, timeout: float = 60.0) -> ServeChaos
             non_terminal=non_terminal,
             hash_mismatches=hash_mismatches,
             missing_reasons=missing_reasons,
+            ledger_mismatches=len(ledger_bad),
             recovered=core.counters["recovered"],
             resumes=core.counters["resumes"],
             quarantined_records=core.replay_info.get("quarantined_records", 0),

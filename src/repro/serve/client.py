@@ -79,11 +79,16 @@ class ServeClient:
     def status(self, job_id: str) -> dict:
         return self.request("status", id=job_id)
 
+    def spans(self, job_id: str) -> list[dict]:
+        """The daemon-side spans of a traced job (empty when untraced)."""
+        reply = self.request("status", id=job_id, spans=True)
+        return reply.get("spans") or [] if reply.get("ok") else []
+
     def jobs(self) -> dict:
         return self.request("jobs")
 
-    def stats(self) -> dict:
-        return self.request("stats")
+    def stats(self, prom: bool = False) -> dict:
+        return self.request("stats", prom=prom) if prom else self.request("stats")
 
     def cancel(self, job_id: str) -> dict:
         return self.request("cancel", id=job_id)

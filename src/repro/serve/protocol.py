@@ -75,6 +75,11 @@ class JobSpec:
     #: cross-check the result against the naive reference (overload may
     #: shed this; the job then completes as degraded-but-correct)
     verify: bool = True
+    #: end-to-end trace correlation id minted by the client at submit;
+    #: stamped on every job span on both sides of the socket.  Empty means
+    #: "untraced" — older clients simply never send the field
+    #: (``from_dict`` filters unknown keys in both directions).
+    trace_id: str = ""
 
     def validate(self) -> str | None:
         """A usage-error reason string, or None when the spec is runnable."""

@@ -42,7 +42,9 @@ import numpy as np
 
 from ..core.blocking35d import Blocking35D
 from ..core.naive import run_naive
-from ..obs.metrics import METRICS
+from ..core.traffic import TrafficStats
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.serving import JobTraceLog, UsageLedger, prometheus_exposition
 from ..obs.trace import TRACE
 from ..resilience.checkpoint import CheckpointError, CheckpointStore
 from ..resilience.fallback import bind_with_fallback
@@ -133,7 +135,8 @@ class PlanCache:
 class _JobContext:
     """Mutable per-job runtime state the record does not carry."""
 
-    __slots__ = ("record", "state", "cancel", "preempt", "deadline_at")
+    __slots__ = ("record", "state", "cancel", "preempt", "deadline_at",
+                 "trace", "enqueued_ns")
 
     def __init__(self, record: JobRecord):
         self.record = record
@@ -141,6 +144,13 @@ class _JobContext:
         self.cancel = threading.Event()
         self.preempt = threading.Event()
         self.deadline_at: float | None = None
+        #: per-job span log when the submit carried a trace_id, else None
+        self.trace: JobTraceLog | None = (
+            JobTraceLog(record.spec.trace_id, record.id)
+            if record.spec.trace_id else None
+        )
+        #: epoch-ns of the last enqueue, for the queue-wait measurement
+        self.enqueued_ns = 0
 
 
 class ServeCore:
@@ -196,6 +206,77 @@ class ServeCore:
             "recovered": 0, "verification_shed": 0,
         }
         self.replay_info: dict = {}
+        # Serving telemetry is always-on: the daemon owns a private armed
+        # registry (the process-wide METRICS stays disarmed-by-default and
+        # is mirrored into only when a bench/test arms it), and a
+        # per-tenant usage ledger rolled up to fsync'd JSONL beside the
+        # journal.  Integer charges only, so ledger-vs-counter
+        # reconciliation is exact.
+        self.metrics = MetricsRegistry()
+        self.metrics.arm()
+        self.ledger = UsageLedger(
+            str(self.state_dir / "ledger.jsonl"), fsync=fsync
+        )
+
+    # ------------------------------------------------------------------
+    # telemetry plumbing (dual-write: own registry + global mirror)
+    # ------------------------------------------------------------------
+    def _inc(self, name: str, value: float = 1) -> None:
+        self.metrics.inc(name, value)
+        METRICS.inc(name, value)
+
+    def _observe_q(self, name: str, value: float) -> None:
+        self.metrics.observe_quantile(name, value)
+        METRICS.observe_quantile(name, value)
+
+    def _note_queue_depth(self) -> None:
+        """The one place the queue-depth gauge is written.
+
+        Both the submit path and the worker loop used to set the gauge
+        independently; centralizing it also samples the age of the
+        oldest queued job (``serve.queue_age_s``) so a stuck queue shows
+        up as a growing histogram max, not just a flat depth.
+        """
+        depth = len(self.queue)
+        self.metrics.set_gauge("serve.queue_depth", depth)
+        METRICS.set_gauge("serve.queue_depth", depth)
+        oldest_ns = 0
+        with self._lock:
+            for jid in self.queue.snapshot():
+                ctx = self._jobs.get(jid)
+                if ctx is not None and ctx.enqueued_ns:
+                    if oldest_ns == 0 or ctx.enqueued_ns < oldest_ns:
+                        oldest_ns = ctx.enqueued_ns
+        if oldest_ns:
+            age_s = max(0.0, (time.time_ns() - oldest_ns) / 1e9)
+            self.metrics.observe("serve.queue_age_s", age_s)
+            METRICS.observe("serve.queue_age_s", age_s)
+
+    def ledger_reconciliation(self) -> list[str]:
+        """Billing-vs-metering check: ledger totals against the global
+        counters this core maintained.  Empty list = exact agreement."""
+        m = self.metrics
+        return self.ledger.reconcile({
+            "site_updates": int(m.counter("serve.site_updates")),
+            "bytes_read": int(m.counter("traffic.bytes_read")),
+            "bytes_written": int(m.counter("traffic.bytes_written")),
+            "cpu_ns": int(m.counter("serve.cpu_ns")),
+            "completed": self.counters["completed"],
+            "degraded": self.counters["degraded"],
+            "failed": self.counters["failed"],
+            "cancelled": self.counters["cancelled"],
+            "shed": self.counters["shed"],
+            "preempted": self.counters["preemptions"],
+            "rejected": self.counters["rejected"],
+        })
+
+    def spans(self, jid: str) -> list[dict] | None:
+        """The daemon-side job spans for a traced job (None if untraced)."""
+        with self._lock:
+            ctx = self._jobs.get(jid)
+        if ctx is None or ctx.trace is None:
+            return None
+        return ctx.trace.to_dicts()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -285,6 +366,7 @@ class ServeCore:
             self.journal.append(
                 "recovered", id=jid, done=record.done_steps, durable=False
             )
+            ctx.enqueued_ns = time.time_ns()
             self.queue.push(jid, record.spec.priority, force=True)
 
     def drain(self, timeout: float | None = 60.0) -> bool:
@@ -312,6 +394,7 @@ class ServeCore:
         )
         self.journal.append("drained", clean=clean)
         self.journal.close()
+        self.ledger.rollup()  # final billing snapshot survives the daemon
         return clean
 
     def kill(self) -> None:
@@ -333,6 +416,7 @@ class ServeCore:
     # ------------------------------------------------------------------
     def submit(self, doc: dict) -> dict:
         """Admit (or refuse) one job; always answers immediately."""
+        admit_t0_ns = time.time_ns()
         try:
             spec = JobSpec.from_dict(doc or {})
         except (TypeError, ValueError) as exc:
@@ -352,7 +436,8 @@ class ServeCore:
         )
         if not decision.ok:
             self.counters["rejected"] += 1
-            METRICS.inc("serve.rejected")
+            self._inc("serve.rejected")
+            self.ledger.count(spec.tenant, "rejected")
             return {"ok": False, "error": "rejected", "reason": decision.reason}
         if FAULTS.should("serve.accept"):
             # admitted, then dropped before the journal commit point: the
@@ -393,9 +478,16 @@ class ServeCore:
             deadline_s=deadline_s,
         )
         self.counters["accepted"] += 1
-        METRICS.inc("serve.accepted")
+        self._inc("serve.accepted")
+        ctx.enqueued_ns = time.time_ns()
+        if ctx.trace is not None:
+            ctx.trace.add(
+                "job_admit", admit_t0_ns, ctx.enqueued_ns,
+                tenant=spec.tenant, priority=spec.priority,
+                shed=decision.shed or "",
+            )
         self.queue.push(jid, spec.priority)
-        METRICS.set_gauge("serve.queue_depth", len(self.queue))
+        self._note_queue_depth()
         self._maybe_preempt(spec.priority)
         return {"ok": True, "id": jid, "status": "queued",
                 "shed": decision.shed}
@@ -430,7 +522,7 @@ class ServeCore:
     def stats(self) -> dict:
         with self._lock:
             live = sum(1 for c in self._jobs.values() if not c.record.terminal)
-            return {
+            base = {
                 "version": PROTOCOL_VERSION,
                 "uptime_s": self._clock() - self._started_at,
                 "queue_depth": len(self.queue),
@@ -444,6 +536,19 @@ class ServeCore:
                 "plan_cache": self.plans.stats(),
                 "replay": dict(self.replay_info),
             }
+        # outside the core lock: the registry and ledger have their own
+        metrics = self.metrics.to_dict()
+        base["metrics"] = metrics
+        base["latency"] = {
+            name: metrics.get("quantiles", {}).get(name)
+            for name in ("serve.queue_wait_s", "serve.service_s",
+                         "serve.latency_s")
+            if metrics.get("quantiles", {}).get(name)
+        }
+        base["tenants"] = self.ledger.per_tenant()
+        base["ledger_totals"] = self.ledger.totals()
+        base["ledger_mismatches"] = self.ledger_reconciliation()
+        return base
 
     # ------------------------------------------------------------------
     # scheduling policy
@@ -504,7 +609,7 @@ class ServeCore:
             finally:
                 with self._lock:
                     self._busy -= 1
-                METRICS.set_gauge("serve.queue_depth", len(self.queue))
+                self._note_queue_depth()
 
     def _checkpoint_store(self, jid: str) -> CheckpointStore:
         return CheckpointStore(self.state_dir / "checkpoints" / f"{jid}.npz")
@@ -513,6 +618,17 @@ class ServeCore:
         record = ctx.record
         spec = record.spec
         resumed = ctx.state is not None
+        picked_ns = time.time_ns()
+        if ctx.enqueued_ns:
+            self._observe_q(
+                "serve.queue_wait_s", (picked_ns - ctx.enqueued_ns) / 1e9
+            )
+            if ctx.trace is not None:
+                ctx.trace.add(
+                    "job_queue_wait", ctx.enqueued_ns, picked_ns,
+                    resumed=resumed,
+                )
+            ctx.enqueued_ns = 0
         with self._lock:
             record.status = "running"
             if record.started_s is None:
@@ -547,66 +663,102 @@ class ServeCore:
         state = field
         store = self._checkpoint_store(record.id)
         rounds_since_ck = 0
-        with TRACE.span(
-            "serve_job", id=record.id, kernel=spec.kernel, grid=spec.grid,
-            tenant=spec.tenant, priority=spec.priority,
-        ):
-            while record.done_steps < spec.steps:
-                if self._hard_kill:
-                    ctx.state = state  # lost with the process; journal decides
-                    return
-                if ctx.cancel.is_set():
-                    self._finish(
-                        ctx, "cancelled",
-                        f"cancelled by client after "
-                        f"{record.done_steps}/{spec.steps} steps",
+        run_t0_ns = time.time_ns()
+        try:
+            with TRACE.span(
+                "serve_job", id=record.id, kernel=spec.kernel, grid=spec.grid,
+                tenant=spec.tenant, priority=spec.priority,
+            ):
+                while record.done_steps < spec.steps:
+                    if self._hard_kill:
+                        ctx.state = state  # lost with the process; journal decides
+                        return
+                    if ctx.cancel.is_set():
+                        self._finish(
+                            ctx, "cancelled",
+                            f"cancelled by client after "
+                            f"{record.done_steps}/{spec.steps} steps",
+                        )
+                        store.clear()
+                        return
+                    if (
+                        ctx.deadline_at is not None
+                        and self._clock() > ctx.deadline_at
+                    ):
+                        self.counters["deadline_misses"] += 1
+                        self._inc("serve.deadline_misses")
+                        self._finish(
+                            ctx, "failed",
+                            f"deadline exceeded after "
+                            f"{record.done_steps}/{spec.steps} steps",
+                        )
+                        store.clear()
+                        return
+                    if ctx.preempt.is_set():
+                        ctx.preempt.clear()
+                        store.save(
+                            state.data, record.done_steps, {"id": record.id}
+                        )
+                        ctx.state = state
+                        with self._lock:
+                            record.status = "queued"
+                            record.preemptions += 1
+                        self.counters["preemptions"] += 1
+                        self._inc("serve.preemptions")
+                        self.ledger.count(spec.tenant, "preempted")
+                        self.journal.append(
+                            "requeued", id=record.id, done=record.done_steps,
+                            durable=False,
+                        )
+                        ctx.enqueued_ns = time.time_ns()
+                        self.queue.push(record.id, spec.priority, force=True)
+                        return
+                    if FAULTS.should("serve.stall"):
+                        time.sleep(self.stall_s)
+                    round_t = min(spec.dim_t, spec.steps - record.done_steps)
+                    # meter the round: modeled traffic + worker cpu time,
+                    # charged to the tenant and mirrored into the global
+                    # counters with *integer* arithmetic so the ledger
+                    # reconciles exactly
+                    traffic = TrafficStats()
+                    cpu_t0 = time.perf_counter_ns()
+                    round_w0 = time.time_ns()
+                    state = executor.run(state, round_t, traffic)
+                    cpu_ns = time.perf_counter_ns() - cpu_t0
+                    if ctx.trace is not None:
+                        ctx.trace.add(
+                            "job_round", round_w0, time.time_ns(),
+                            steps=round_t, done=record.done_steps + round_t,
+                            updates=traffic.updates,
+                        )
+                    self.ledger.charge(
+                        spec.tenant,
+                        site_updates=traffic.updates,
+                        bytes_read=traffic.bytes_read,
+                        bytes_written=traffic.bytes_written,
+                        cpu_ns=cpu_ns,
                     )
-                    store.clear()
-                    return
-                if (
-                    ctx.deadline_at is not None
-                    and self._clock() > ctx.deadline_at
-                ):
-                    self.counters["deadline_misses"] += 1
-                    METRICS.inc("serve.deadline_misses")
-                    self._finish(
-                        ctx, "failed",
-                        f"deadline exceeded after "
-                        f"{record.done_steps}/{spec.steps} steps",
-                    )
-                    store.clear()
-                    return
-                if ctx.preempt.is_set():
-                    ctx.preempt.clear()
-                    store.save(
-                        state.data, record.done_steps, {"id": record.id}
-                    )
-                    ctx.state = state
-                    with self._lock:
-                        record.status = "queued"
-                        record.preemptions += 1
-                    self.counters["preemptions"] += 1
-                    METRICS.inc("serve.preemptions")
-                    self.journal.append(
-                        "requeued", id=record.id, done=record.done_steps,
-                        durable=False,
-                    )
-                    self.queue.push(record.id, spec.priority, force=True)
-                    return
-                if FAULTS.should("serve.stall"):
-                    time.sleep(self.stall_s)
-                round_t = min(spec.dim_t, spec.steps - record.done_steps)
-                state = executor.run(state, round_t)
-                record.done_steps += round_t
-                rounds_since_ck += 1
-                if (
-                    rounds_since_ck >= self.checkpoint_every_rounds
-                    and record.done_steps < spec.steps
-                ):
-                    store.save(
-                        state.data, record.done_steps, {"id": record.id}
-                    )
-                    rounds_since_ck = 0
+                    self._inc("serve.site_updates", traffic.updates)
+                    self._inc("serve.cpu_ns", cpu_ns)
+                    self._inc("traffic.bytes_read", traffic.bytes_read)
+                    self._inc("traffic.bytes_written", traffic.bytes_written)
+                    record.done_steps += round_t
+                    rounds_since_ck += 1
+                    if (
+                        rounds_since_ck >= self.checkpoint_every_rounds
+                        and record.done_steps < spec.steps
+                    ):
+                        store.save(
+                            state.data, record.done_steps, {"id": record.id}
+                        )
+                        rounds_since_ck = 0
+        finally:
+            if ctx.trace is not None:
+                ctx.trace.add(
+                    "job_run", run_t0_ns, time.time_ns(),
+                    done=record.done_steps, status=record.status,
+                    backend=record.backend_used,
+                )
         sha = grid_sha256(state.data)
         if verify:
             ref = run_naive(make_kernel(spec), make_field(spec), spec.steps)
@@ -643,7 +795,17 @@ class ServeCore:
         }.get(status)
         if key:
             self.counters[key] += 1
-            METRICS.inc(f"serve.{key}")
+            self._inc(f"serve.{key}")
+            self.ledger.count(record.spec.tenant, key)
+        if record.started_s is not None and record.finished_s is not None:
+            self._observe_q(
+                "serve.service_s", max(0.0, record.finished_s - record.started_s)
+            )
+        if record.finished_s is not None:
+            self._observe_q(
+                "serve.latency_s",
+                max(0.0, record.finished_s - record.submitted_s),
+            )
 
 
 class JobServer:
@@ -733,16 +895,24 @@ class JobServer:
         if op == "submit":
             return core.submit(msg.get("job") or {})
         if op in ("status", "result"):
-            record = core.status(str(msg.get("id", "")))
+            jid = str(msg.get("id", ""))
+            record = core.status(jid)
             if record is None:
                 return {"ok": False, "error": "not-found",
                         "reason": f"no job {msg.get('id')!r}"}
-            return {"ok": True, "job": record.to_dict()}
+            reply = {"ok": True, "job": record.to_dict()}
+            if msg.get("spans"):
+                reply["spans"] = core.spans(jid) or []
+            return reply
         if op == "jobs":
             return {"ok": True,
                     "jobs": [r.to_dict() for r in core.jobs()]}
         if op == "stats":
-            return {"ok": True, "stats": core.stats()}
+            st = core.stats()
+            reply = {"ok": True, "stats": st}
+            if msg.get("prom"):
+                reply["prom"] = prometheus_exposition(st["metrics"])
+            return reply
         if op == "cancel":
             return core.cancel(str(msg.get("id", "")))
         if op == "drain":

@@ -1,0 +1,159 @@
+"""Tests for the bench-regression differ: rules, noise gates, exit codes.
+
+The differ is a CI gate, so the tests pin its *contract*: regressions
+must clear both the relative tolerance and the absolute floor in the
+harmful direction to fail; improvements and new metrics never fail; a
+watched metric that vanishes fails loudly; and ``repro bench diff``
+returns the 0/2/4 exit codes the workflows key on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_RULES,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_USAGE,
+    MetricRule,
+    compare_docs,
+    diff_bench_file,
+    flatten_numeric,
+    format_report,
+)
+
+
+def _by_metric(verdicts):
+    return {v.metric: v for v in verdicts}
+
+
+class TestFlatten:
+    def test_nested_paths_and_bool_exclusion(self):
+        doc = {"a": 1, "b": {"c": 2.5, "ok": True}, "s": "text",
+               "list": [1, 2]}
+        flat = flatten_numeric(doc)
+        assert flat == {"a": 1.0, "b.c": 2.5}
+
+
+class TestCompareDocs:
+    RULES = [
+        MetricRule("latency_p99_s", "lower", rel_tol=0.15, abs_floor=0.010),
+        MetricRule("gups.*", "higher", rel_tol=0.15, abs_floor=0.02),
+    ]
+
+    def test_regression_needs_both_thresholds(self):
+        base = {"latency_p99_s": 0.500}
+        # 20% worse and > 10 ms: regression
+        v = _by_metric(compare_docs({"latency_p99_s": 0.600}, base, self.RULES))
+        assert v["latency_p99_s"].status == "regressed"
+        # 20% worse but a 2 ms p99: under the absolute floor, noise
+        v = _by_metric(compare_docs({"latency_p99_s": 0.0024},
+                                    {"latency_p99_s": 0.0020}, self.RULES))
+        assert v["latency_p99_s"].status == "ok"
+        # 40 ms worse but only 8%: under the relative tolerance
+        v = _by_metric(compare_docs({"latency_p99_s": 0.540}, base, self.RULES))
+        assert v["latency_p99_s"].status == "ok"
+
+    def test_direction_matters(self):
+        # gups dropping 20% is harmful; latency dropping 20% is a win
+        v = _by_metric(compare_docs(
+            {"gups.7pt": 0.8, "latency_p99_s": 0.400},
+            {"gups.7pt": 1.0, "latency_p99_s": 0.500}, self.RULES))
+        assert v["gups.7pt"].status == "regressed"
+        assert v["latency_p99_s"].status == "improved"
+
+    def test_improvement_never_fails(self):
+        v = _by_metric(compare_docs({"gups.7pt": 2.0}, {"gups.7pt": 1.0},
+                                    self.RULES))
+        assert v["gups.7pt"].status == "improved"
+
+    def test_new_metric_ok_vanished_metric_missing(self):
+        v = _by_metric(compare_docs({"gups.new": 1.0}, {}, self.RULES))
+        assert v["gups.new"].status == "ok"
+        v = _by_metric(compare_docs({}, {"gups.old": 1.0}, self.RULES))
+        assert v["gups.old"].status == "missing"
+
+    def test_unwatched_metrics_ignored(self):
+        assert compare_docs({"queue_cap": 4}, {"queue_cap": 8},
+                            self.RULES) == []
+
+    def test_default_rules_cover_bench_keys(self):
+        watched = [
+            "latency_p99_s", "latency_p50_s", "queue_wait_p99_s",
+            "service_p99_s", "jobs_per_s", "gups.threads=1.7pt.fused-numpy",
+            "acceptance.fused_numpy_speedup",
+        ]
+        for key in watched:
+            assert any(r.matches(key) for r in DEFAULT_RULES), key
+
+    def test_format_report_orders_failures_first(self):
+        verdicts = compare_docs(
+            {"latency_p99_s": 0.9, "gups.7pt": 1.0},
+            {"latency_p99_s": 0.5, "gups.7pt": 1.0}, self.RULES)
+        lines = format_report("BENCH_x.json", verdicts)
+        assert "FAIL" in lines[1] and "latency_p99_s" in lines[1]
+
+
+class TestDiffBenchFile:
+    def _write(self, path, doc):
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        cur = self._write(tmp_path / "BENCH_x.json", {"latency_p99_s": 0.5})
+        code, lines, _ = diff_bench_file(cur, str(tmp_path / "baselines"))
+        assert code == EXIT_USAGE
+        assert "no baseline" in lines[0]
+
+    def test_update_creates_then_identical_passes(self, tmp_path):
+        cur = self._write(tmp_path / "BENCH_x.json", {"latency_p99_s": 0.5})
+        basedir = str(tmp_path / "baselines")
+        code, lines, _ = diff_bench_file(cur, basedir, update=True)
+        assert code == EXIT_OK and "baseline created" in lines[0]
+        code, _, verdicts = diff_bench_file(cur, basedir)
+        assert code == EXIT_OK
+        assert all(v.status == "ok" for v in verdicts)
+
+    def test_injected_20_percent_regression_fails(self, tmp_path):
+        basedir = tmp_path / "baselines"
+        basedir.mkdir()
+        self._write(basedir / "BENCH_x.json",
+                    {"latency_p99_s": 0.500, "jobs_per_s": 60.0})
+        cur = self._write(tmp_path / "BENCH_x.json",
+                          {"latency_p99_s": 0.600, "jobs_per_s": 60.0})
+        code, lines, verdicts = diff_bench_file(cur, str(basedir))
+        assert code == EXIT_REGRESSION
+        assert _by_metric(verdicts)["latency_p99_s"].status == "regressed"
+
+    def test_update_refreshes_existing_baseline(self, tmp_path):
+        basedir = tmp_path / "baselines"
+        basedir.mkdir()
+        self._write(basedir / "BENCH_x.json", {"latency_p99_s": 0.500})
+        cur = self._write(tmp_path / "BENCH_x.json", {"latency_p99_s": 0.900})
+        code, _, _ = diff_bench_file(cur, str(basedir), update=True)
+        assert code == EXIT_OK
+        assert json.loads((basedir / "BENCH_x.json").read_text()) == {
+            "latency_p99_s": 0.900
+        }
+        # and the refreshed baseline now passes clean
+        code, _, _ = diff_bench_file(cur, str(basedir))
+        assert code == EXIT_OK
+
+    def test_missing_current_file(self, tmp_path):
+        code, lines, _ = diff_bench_file(str(tmp_path / "nope.json"),
+                                         str(tmp_path))
+        assert code == EXIT_USAGE
+
+    def test_committed_baselines_are_self_consistent(self):
+        """The baselines shipped in-repo diff clean against themselves."""
+        from pathlib import Path
+
+        basedir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+        for name in ("BENCH_serve.json", "BENCH_fused.json"):
+            path = basedir / name
+            assert path.exists(), f"{name} baseline must be committed"
+            code, lines, _ = diff_bench_file(str(path), str(basedir))
+            assert code == EXIT_OK, lines

@@ -1,0 +1,357 @@
+"""Tests for serving observability: job tracing, usage ledger, quantiles.
+
+The claims under test are accounting claims, so the assertions are
+exact where the design promises exactness: merged per-thread quantile
+sketches are bit-identical to a single-stream sketch (lossless merge),
+and the per-tenant usage ledger's sums equal the daemon's global
+counters to the integer after a mixed-tenant soak.  The trace tests
+assert the one-trace_id-per-job contract end to end: minted at submit,
+carried over the wire, stamped on every lifecycle span, and merged into
+a single schema-valid chrome-trace document.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import METRICS, TRACE, QuantileSketch
+from repro.obs.export import (
+    SPAN_PHASES,
+    metrics_document,
+    summarize_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import load_schema, validate
+from repro.obs.serving import (
+    JOB_SPAN_NAMES,
+    JobTraceLog,
+    UsageLedger,
+    merge_job_trace,
+    mint_trace_id,
+    prometheus_exposition,
+    read_rollups,
+)
+from repro.serve import JobSpec, ServeCore
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    TRACE.disarm()
+    TRACE.reset()
+    METRICS.disarm()
+    METRICS.reset()
+    yield
+    TRACE.disarm()
+    TRACE.reset()
+    METRICS.disarm()
+    METRICS.reset()
+
+
+def _wait_terminal(core: ServeCore, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(r.terminal for r in core.jobs()):
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"jobs never drained: {[(r.id, r.status) for r in core.jobs()]}"
+    )
+
+
+class TestQuantileSketch:
+    def test_relative_accuracy_on_lognormal(self):
+        rng = np.random.default_rng(7)
+        values = np.exp(rng.normal(0.0, 1.0, size=20_000))
+        sk = QuantileSketch(accuracy=0.01)
+        for v in values:
+            sk.observe(float(v))
+        for q in (0.5, 0.9, 0.99):
+            true = float(np.quantile(values, q))
+            assert sk.quantile(q) == pytest.approx(true, rel=0.03)
+        assert sk.count == len(values)
+        assert sk.sum == pytest.approx(float(values.sum()), rel=1e-9)
+
+    def test_merge_is_lossless_across_threads(self):
+        """N per-thread sketches merged == one single-stream sketch, exactly.
+
+        The merge adds bucket counts, so the merged sketch must be
+        bit-identical (same buckets, same counts, same extrema) to a
+        sketch that saw every observation on one thread — the quantiles
+        cannot drift with the worker count.
+        """
+        rng = np.random.default_rng(11)
+        shards = [rng.uniform(1e-4, 10.0, size=2_500) for _ in range(4)]
+
+        single = QuantileSketch(accuracy=0.01)
+        for shard in shards:
+            for v in shard:
+                single.observe(float(v))
+
+        per_thread = [QuantileSketch(accuracy=0.01) for _ in shards]
+        threads = [
+            threading.Thread(
+                target=lambda sk, sh: [sk.observe(float(v)) for v in sh],
+                args=(sk, sh),
+            )
+            for sk, sh in zip(per_thread, shards)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        merged = QuantileSketch(accuracy=0.01)
+        for sk in per_thread:
+            merged.merge(sk)
+
+        assert merged.buckets == single.buckets
+        assert merged.count == single.count
+        assert merged.zeros == single.zeros
+        assert merged.min == single.min
+        assert merged.max == single.max
+        for q in (0.5, 0.9, 0.99):
+            assert merged.quantile(q) == single.quantile(q)
+
+    def test_registry_observe_and_merge(self):
+        reg = MetricsRegistry()
+        reg.arm()
+        for v in (0.1, 0.2, 0.3):
+            reg.observe_quantile("q.latency", v)
+        other = QuantileSketch()
+        other.observe(0.4)
+        reg.merge_quantile("q.latency", other)
+        doc = reg.to_dict()
+        assert doc["quantiles"]["q.latency"]["count"] == 4
+        # disarmed registries drop observations silently
+        reg.disarm()
+        reg.observe_quantile("q.latency", 9.9)
+        assert reg.to_dict()["quantiles"]["q.latency"]["count"] == 4
+
+
+class TestUsageLedger:
+    def test_totals_equal_per_tenant_sums(self, tmp_path):
+        led = UsageLedger(str(tmp_path / "ledger.jsonl"), fsync=False)
+        rng = np.random.default_rng(3)
+        tenants = [f"t{i}" for i in range(3)]
+        for _ in range(200):
+            t = tenants[int(rng.integers(0, 3))]
+            led.charge(
+                t,
+                site_updates=int(rng.integers(0, 1000)),
+                bytes_read=int(rng.integers(0, 4096)),
+                bytes_written=int(rng.integers(0, 4096)),
+                cpu_ns=int(rng.integers(0, 10**6)),
+            )
+            led.count(t, "completed")
+        totals = led.totals()
+        per = led.per_tenant()
+        for key, total in totals.items():
+            assert total == sum(u[key] for u in per.values())
+
+    def test_reconcile_exact_and_mismatch(self, tmp_path):
+        led = UsageLedger(str(tmp_path / "l.jsonl"), fsync=False)
+        led.charge("a", site_updates=100, cpu_ns=5)
+        led.charge("b", site_updates=23, cpu_ns=7)
+        assert led.reconcile({"site_updates": 123, "cpu_ns": 12}) == []
+        bad = led.reconcile({"site_updates": 124})
+        assert len(bad) == 1 and "site_updates" in bad[0]
+
+    def test_rollup_jsonl_roundtrip_and_torn_tail(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        led = UsageLedger(str(path), fsync=True, rollup_every=4)
+        for i in range(10):
+            led.charge("t0", site_updates=i)
+        led.rollup()
+        rollups = read_rollups(str(path))
+        assert rollups, "explicit rollup() must append a line"
+        last = rollups[-1]
+        assert last["schema"] == "repro.ledger/v1"
+        assert last["totals"]["site_updates"] == sum(range(10))
+        assert last["tenants"]["t0"]["site_updates"] == sum(range(10))
+        # a torn tail (partial last line) is ignored, not fatal
+        with open(path, "ab") as fh:
+            fh.write(b'{"schema": "repro.ledger/v1", "tot')
+        assert read_rollups(str(path)) == rollups
+
+    def test_unknown_event_rejected(self, tmp_path):
+        led = UsageLedger(str(tmp_path / "l.jsonl"), fsync=False)
+        with pytest.raises(ValueError):
+            led.count("t0", "exploded")
+
+
+class TestJobTrace:
+    def test_mint_trace_id_format(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+    def test_log_caps_spans_and_counts_drops(self):
+        log = JobTraceLog("aabbccdd00112233", "j-1", cap=8)
+        for i in range(20):
+            log.add("job_round", i, i + 1, step=i)
+        assert len(log.to_dicts()) == 8
+        assert log.dropped == 12
+
+    def test_trace_id_survives_the_wire(self):
+        tid = mint_trace_id()
+        spec = JobSpec(kernel="7pt", grid=8, steps=2, trace_id=tid)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again.trace_id == tid
+        # trace identity must not split the plan cache
+        untraced = JobSpec(kernel="7pt", grid=8, steps=2)
+        assert spec.signature() == untraced.signature()
+
+    def test_merged_trace_single_id_and_schema_valid(self):
+        tid = mint_trace_id()
+        client = JobTraceLog(tid, "job-1")
+        t0 = time.time_ns()
+        client.add("job_submit", t0, t0 + 1_000_000, tenant="t0")
+        daemon = JobTraceLog(tid, "job-1")
+        daemon.add("job_admit", t0 + 500_000, t0 + 600_000)
+        daemon.add("job_run", t0 + 600_000, t0 + 5_000_000)
+        doc = merge_job_trace(client.to_dicts(), daemon.to_dicts(), trace_id=tid)
+        validate(doc, load_schema("repro.trace/v1"))
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert {e["args"]["trace_id"] for e in spans} == {tid}
+        assert {e["pid"] for e in spans} == {1, 2}
+        # rebased: the earliest span starts at ts 0, not at the epoch
+        assert min(e["ts"] for e in spans) == 0.0
+        assert all(e["name"] in JOB_SPAN_NAMES for e in spans)
+
+    def test_traced_job_lifecycle_through_core(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, fsync=False)
+        core.start()
+        try:
+            tid = mint_trace_id()
+            spec = JobSpec(kernel="7pt", grid=8, steps=2, dim_t=1,
+                           verify=False, trace_id=tid)
+            reply = core.submit(spec.to_dict())
+            assert reply["ok"], reply
+            _wait_terminal(core)
+            spans = core.spans(reply["id"])
+            names = [s["name"] for s in spans]
+            assert names[0] == "job_admit"
+            assert "job_queue_wait" in names
+            assert "job_run" in names
+            assert names.index("job_queue_wait") < names.index("job_run")
+            assert {s["trace_id"] for s in spans} == {tid}
+            assert {s["attrs"]["id"] for s in spans} == {reply["id"]}
+            # untraced jobs carry no span log at all
+            plain = core.submit(JobSpec(kernel="7pt", grid=8, steps=2,
+                                        dim_t=1, verify=False).to_dict())
+            _wait_terminal(core)
+            assert core.spans(plain["id"]) is None
+        finally:
+            core.drain(timeout=30.0)
+
+
+class TestServeMetrics:
+    def test_ledger_reconciles_after_mixed_tenant_soak(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=2, fsync=False,
+                         tenant_quota=50)
+        core.start()
+        rng = np.random.default_rng(5)
+        try:
+            for i in range(9):
+                spec = JobSpec(
+                    kernel="7pt", grid=8, steps=3, dim_t=1,
+                    tenant=f"tenant-{i % 3}",
+                    priority=int(rng.integers(0, 3)),
+                    verify=False,
+                )
+                core.submit(spec.to_dict())
+            _wait_terminal(core)
+        finally:
+            core.drain(timeout=30.0)
+        assert core.ledger_reconciliation() == []
+        per = core.ledger.per_tenant()
+        assert set(per) == {"tenant-0", "tenant-1", "tenant-2"}
+        assert core.ledger.totals()["site_updates"] > 0
+
+    def test_queue_wait_quantiles_and_queue_age(self, tmp_path):
+        core = ServeCore(tmp_path / "s", workers=1, fsync=False)
+        core.start()
+        try:
+            for _ in range(3):
+                core.submit(JobSpec(kernel="7pt", grid=8, steps=2, dim_t=1,
+                                    verify=False).to_dict())
+            _wait_terminal(core)
+        finally:
+            core.drain(timeout=30.0)
+        doc = core.metrics.to_dict()
+        q = doc["quantiles"]
+        for name in ("serve.queue_wait_s", "serve.service_s",
+                     "serve.latency_s"):
+            assert q[name]["count"] == 3, name
+            assert q[name]["p99"] >= 0.0
+        assert "serve.queue_age_s" in doc.get("histograms", {})
+        st = core.stats()
+        assert st["latency"]["serve.queue_wait_s"]["count"] == 3
+        assert st["ledger_mismatches"] == []
+
+    def test_prometheus_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.arm()
+        reg.inc("serve.completed", 3)
+        reg.set_gauge("serve.queue_depth", 2)
+        reg.observe_quantile("serve.queue_wait_s", 0.25)
+        reg.observe("serve.queue_age_s", 0.5)
+        text = prometheus_exposition(reg.to_dict())
+        assert "# TYPE repro_serve_completed_total counter" in text
+        assert "repro_serve_completed_total 3" in text
+        assert "repro_serve_queue_depth 2" in text
+        assert 'repro_serve_queue_wait_s{quantile="0.99"}' in text
+        assert "repro_serve_queue_wait_s_count 1" in text
+        assert "repro_serve_queue_age_s_sum" in text
+        assert text.endswith("\n")
+
+
+class TestDroppedSpanSurfacing:
+    def test_metrics_document_carries_dropped_counter(self):
+        TRACE.arm(capacity=4)
+        for i in range(9):
+            with TRACE.span("tile", i=i):
+                pass
+        doc = metrics_document()
+        assert doc["counters"]["obs.dropped_spans"] == TRACE.dropped() > 0
+
+    def test_write_chrome_trace_warns_on_stderr(self, tmp_path, capsys):
+        TRACE.arm(capacity=4)
+        for i in range(9):
+            with TRACE.span("tile", i=i):
+                pass
+        write_chrome_trace(str(tmp_path / "t.json"))
+        err = capsys.readouterr().err
+        assert "dropped" in err and "ring buffer" in err
+
+    def test_no_warning_when_nothing_dropped(self, tmp_path, capsys):
+        TRACE.arm()
+        with TRACE.span("tile"):
+            pass
+        write_chrome_trace(str(tmp_path / "t.json"))
+        assert capsys.readouterr().err == ""
+
+
+class TestPhaseRollup:
+    def test_serve_spans_grouped_under_serving(self):
+        for name in ("job_submit", "job_admit", "job_queue_wait", "job_run",
+                     "job_round", "job_respond"):
+            assert SPAN_PHASES[name] == "serving"
+
+    def test_summarize_trace_reports_serving_phase(self):
+        tid = mint_trace_id()
+        log = JobTraceLog(tid, "j")
+        t0 = time.time_ns()
+        log.add("job_admit", t0, t0 + 1_000_000)
+        log.add("job_run", t0 + 1_000_000, t0 + 9_000_000)
+        doc = merge_job_trace(log.to_dicts(), [], trace_id=tid)
+        lines = summarize_trace(doc)
+        text = "\n".join(lines)
+        assert "by phase:" in text
+        assert "serving" in text
