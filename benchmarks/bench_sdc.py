@@ -1,0 +1,216 @@
+"""SDC defense benchmark: verification overhead, detection, healing cost.
+
+Not a paper artifact — the paper assumes perfect hardware — but the cost
+model of the silent-data-corruption defense (``repro.resilience.sdc``)
+needs the same regression discipline as the kernels it protects:
+
+* **overhead** — guarded sweep wall time per integrity tier relative to
+  an unguarded sweep.  Acceptance: tier ``off`` costs < 2% (it is one
+  branch per round); ``spot``/``seal`` cost about one band re-execution
+  per round; ``full`` costs about one extra reference sweep per round.
+* **detection** — seeded ``memory.flip`` schedules, measuring the
+  fraction of flip rounds detected at the ``spot`` and ``full`` tiers.
+  Acceptance: ``full`` detects 100%; ``spot`` >= 95%.
+* **healing** — cells replayed by the surgical cone heal versus a
+  full-round restart from the last checkpoint.  Acceptance: the cone
+  replays < 10% of the cells the restart would.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sdc.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_sdc.py           # full gate
+
+Results land in ``BENCH_sdc.json`` (``repro bench diff`` judges them
+against ``benchmarks/baselines/BENCH_sdc.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.blocking35d import Blocking35D
+from repro.core.naive import run_naive
+from repro.resilience.faultinject import FAULTS
+from repro.resilience.sdc import INTEGRITY_TIERS
+from repro.resilience.watchdog import GuardedSweep
+from repro.stencils.grid import Field3D
+from repro.stencils.seven_point import SevenPointStencil
+
+
+def _sweep_seconds(kernel, field, steps, dim_t, *, tier=None, repeats=3):
+    """Median wall seconds of a (possibly guarded) 3.5D sweep."""
+    times = []
+    for _ in range(repeats):
+        ex = Blocking35D(kernel, dim_t, field.ny, field.nx)
+        if tier is None:
+            # the pre-SDC guard path: what `repro run` cost before this tier
+            # existed, and what `--verify off` must stay within 2% of
+            runner = GuardedSweep(ex)
+        else:
+            runner = GuardedSweep(ex, sdc=tier, sdc_seed=0)
+        t0 = time.perf_counter()
+        runner.run(Field3D(field.data.copy()), steps)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def bench_overhead(kernel, field, steps, dim_t, repeats):
+    """Relative guarded-sweep overhead per tier vs the bare executor."""
+    base = _sweep_seconds(kernel, field, steps, dim_t, repeats=repeats)
+    out = {"baseline_s": base}
+    for tier in INTEGRITY_TIERS:
+        t = _sweep_seconds(
+            kernel, field, steps, dim_t, tier=tier, repeats=repeats
+        )
+        out[tier] = t / base - 1.0
+        print(f"tier {tier:<5}: {t * 1e3:8.2f} ms  "
+              f"({100 * out[tier]:+6.1f}% vs unguarded)")
+    return out
+
+
+def bench_detection(kernel, grid, steps, dim_t, seeds):
+    """Fraction of seeded flip rounds detected, per tier."""
+    rounds = -(-steps // dim_t)
+    out = {"seeds": len(seeds)}
+    for tier in ("spot", "full"):
+        fired = detected = 0
+        for seed in seeds:
+            rng = np.random.default_rng([seed, 7])
+            rnd = int(rng.integers(0, rounds))
+            fld = Field3D.random((grid,) * 3, dtype=np.float32, seed=seed)
+            guard = GuardedSweep(
+                Blocking35D(kernel, dim_t, grid, grid),
+                sdc=tier, sdc_seed=seed,
+            )
+            with FAULTS.injected(f"memory.flip=0:{rnd}:1"):
+                out_field = guard.run(fld, steps)
+            ref = run_naive(
+                kernel, Field3D.random((grid,) * 3, dtype=np.float32,
+                                       seed=seed), steps,
+            )
+            assert np.array_equal(out_field.data, ref.data), (
+                f"seed {seed} tier {tier}: healed grid differs from the "
+                "fault-free oracle"
+            )
+            fired += 1
+            detected += 1 if guard.sdc.report.detections else 0
+        out[f"{tier}_rate"] = detected / fired if fired else 0.0
+        print(f"detection {tier:<5}: {detected}/{fired} flip round(s) "
+              f"({100 * out[f'{tier}_rate']:.0f}%)")
+    return out
+
+
+def bench_healing(kernel, nz, ny, steps, dim_t, seeds):
+    """Surgical cone replay cells vs full-round restarts from checkpoint."""
+    replayed = restart = heals = 0
+    rounds = -(-steps // dim_t)
+    for seed in seeds:
+        rng = np.random.default_rng([seed, 13])
+        rnd = int(rng.integers(0, rounds))
+        fld = Field3D.random((nz, ny, ny), dtype=np.float32, seed=seed)
+        guard = GuardedSweep(
+            Blocking35D(kernel, dim_t, ny, ny), sdc="full", sdc_seed=seed,
+        )
+        with FAULTS.injected(f"memory.flip=0:{rnd}:1"):
+            guard.run(fld, steps)
+        r = guard.sdc.report
+        replayed += r.replayed_cells
+        heals += r.heals
+        # the alternative to each surgical heal: recompute the whole grid
+        # for the round the corruption is confined to
+        restart += r.heals * nz * ny * ny * dim_t
+    ratio = replayed / restart if restart else 0.0
+    print(f"healing      : {heals} heal(s), {replayed} cone cell(s) vs "
+          f"{restart} full-restart cell(s) -> ratio {ratio:.3f}")
+    return {
+        "heals": heals,
+        "replayed_cells": replayed,
+        "full_restart_cells": restart,
+        "heal_replay_ratio": ratio,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small grids / fewer seeds (CI smoke mode)")
+    ap.add_argument("--grid", type=int, default=None,
+                    help="cubic grid side for overhead/detection "
+                    "(default 48; 24 quick)")
+    ap.add_argument("--steps", type=int, default=8)
+    ap.add_argument("--dim-t", type=int, default=2)
+    ap.add_argument("--seeds", type=int, default=None,
+                    help="flip schedules per tier (default 6; 3 quick)")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="machine-readable output path "
+                    "(default BENCH_sdc.json next to this script)")
+    args = ap.parse_args(argv)
+
+    grid = args.grid or (24 if args.quick else 48)
+    n_seeds = args.seeds or (3 if args.quick else 6)
+    repeats = args.repeats or (2 if args.quick else 4)
+    seeds = list(range(n_seeds))
+    kernel = SevenPointStencil()
+    field = Field3D.random((grid,) * 3, dtype=np.float32, seed=0)
+    # healing uses a deep-Z slab so the cone extent is small relative to
+    # the grid (the surgical-vs-restart claim is about that ratio)
+    heal_nz, heal_ny = (64, 20) if args.quick else (96, 32)
+
+    print(f"sdc bench    : grid {grid}^3 x {args.steps} steps "
+          f"(dim_T={args.dim_t}), {n_seeds} seed(s), {repeats} repeat(s)")
+    overhead = bench_overhead(kernel, field, args.steps, args.dim_t, repeats)
+    detection = bench_detection(kernel, grid, args.steps, args.dim_t, seeds)
+    healing = bench_healing(
+        kernel, heal_nz, heal_ny, args.steps, args.dim_t, seeds
+    )
+
+    rc = 0
+    acceptance = {}
+    gates = (
+        ("off_overhead_lt_2pct", overhead["off"] < 0.02),
+        ("full_detects_all", detection["full_rate"] >= 1.0),
+        ("spot_detects_95pct", detection["spot_rate"] >= 0.95),
+        ("heal_replay_lt_10pct", healing["heal_replay_ratio"] < 0.10),
+    )
+    print()
+    for name, ok in gates:
+        verdict = "PASS" if ok else ("n/a (quick)" if args.quick else "FAIL")
+        acceptance[name] = ok
+        print(f"acceptance   : {name}: {verdict}")
+        if not ok and not args.quick:
+            rc = 1
+    acceptance["quick"] = args.quick
+
+    json_path = args.json or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_sdc.json"
+    )
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "benchmark": "sdc",
+                "grid": grid,
+                "steps": args.steps,
+                "dim_t": args.dim_t,
+                "seeds": n_seeds,
+                "quick": args.quick,
+                "overhead": overhead,
+                "detection": detection,
+                "healing": healing,
+                "acceptance": acceptance,
+            },
+            fh, indent=2,
+        )
+        fh.write("\n")
+    print(f"wrote {json_path}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

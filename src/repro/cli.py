@@ -93,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
         "back to the last good state",
     )
     run.add_argument(
+        "--verify",
+        choices=["off", "spot", "seal", "full"],
+        default="off",
+        help="silent-data-corruption integrity tier (default off): 'spot' "
+        "CRC-seals planes per round plus sampled re-execution, 'seal' adds "
+        "digest-enforced checkpoints and the cross-rank halo handshake, "
+        "'full' re-derives every plane from the last trusted state; "
+        "detected corruption is healed surgically (cone replay) and the "
+        "run exits 3, unhealable corruption exits 4",
+    )
+    run.add_argument(
         "--retries", type=int, default=0,
         help="retries per round for rounds that raise (default 0)",
     )
@@ -237,8 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
         "passes, 4 when any seed fails.",
     )
     chaos.add_argument(
-        "--target", choices=["distributed", "serve"], default="distributed",
-        help="what to soak (default: the distributed driver)",
+        "--target", choices=["distributed", "serve", "sdc"],
+        default="distributed",
+        help="what to soak (default: the distributed driver); 'sdc' soaks "
+        "the silent-data-corruption defense with seeded memory.flip / "
+        "disk.bitrot schedules",
     )
     chaos.add_argument("--seeds", type=int, default=3, metavar="N",
                        help="number of seeds to soak (default 3)")
@@ -252,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--dim-t", type=int, default=2)
     chaos.add_argument("--jobs", type=int, default=12, metavar="N",
                        help="jobs per seed (--target serve, default 12)")
+    chaos.add_argument("--tier", choices=["spot", "seal", "full"],
+                       default="full",
+                       help="integrity tier to soak (--target sdc, "
+                       "default full)")
     chaos.add_argument(
         "--schedules", default=None,
         help="comma-separated fault families to draw from (default: all "
@@ -312,6 +330,13 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS")
     submit.add_argument("--no-verify", action="store_true",
                         help="skip the naive cross-check on the daemon")
+    submit.add_argument("--integrity",
+                        choices=["off", "spot", "seal", "full"],
+                        default="off",
+                        help="silent-data-corruption integrity tier for the "
+                        "job (default off); verification cpu is metered to "
+                        "the tenant and the tier is shed under amber "
+                        "overload like result verification")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job is terminal; the exit code "
                         "mirrors the job's verdict (0/2/3/4)")
@@ -605,6 +630,11 @@ def _cmd_run(args) -> int:
         },
         report=report,
         stop=stop,
+        sdc=args.verify,
+        sdc_seed=args.seed,
+        # replays always run through the reference kernel — a different
+        # rung of the bit-exact ladder than the bound backend
+        kernel=ref_kernel,
     )
 
     traffic = TrafficStats()
@@ -700,6 +730,8 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
         overlap=args.overlap,
         latency_s=args.comm_latency,
         bandwidth_bytes_s=args.comm_bandwidth,
+        integrity=args.verify,
+        sdc_seed=args.seed,
     )
     traffic = TrafficStats()
     _arm_obs(args)
@@ -734,6 +766,9 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
         recovery = runner.recovery
         for line in recovery.lines():
             print(line)
+        sdc = runner.sdc_report
+        for line in sdc.lines():
+            print(line)
         if not args.no_check:
             ref = run_naive(ref_kernel, field, args.steps)
             if np.array_equal(out.data, ref.data):
@@ -753,8 +788,9 @@ def _cmd_run_distributed(args, ref_kernel, field) -> int:
             "loss": args.loss, "corruption": args.corruption,
             "overlap": args.overlap,
         })
-        # a run that survived rank failures is degraded-but-correct
-        return 3 if recovery.degraded else 0
+        # a run that survived rank failures (or healed corruption) is
+        # degraded-but-correct
+        return 3 if (recovery.degraded or sdc.degraded) else 0
     finally:
         _disarm_obs()
 
@@ -802,12 +838,16 @@ def _cmd_tune(args) -> int:
 
     if args.prune:
         from repro.core.autotune import TuningCache
+        from repro.resilience.quarantine import corrupt_keep, gc_corrupt
 
         cache = TuningCache(max_entries=args.cache_max)
         removed, remaining = cache.prune()
         print(f"tuning cache : {cache.path}")
         print(f"pruned       : {removed} entr{'y' if removed == 1 else 'ies'} "
               f"removed, {remaining} remaining (cap {cache.max_entries})")
+        gone = gc_corrupt(cache.path.parent)
+        print(f"quarantine   : {len(gone)} .corrupt file(s) collected "
+              f"(keep {corrupt_keep()})")
         return 0
     machine = CORE_I7 if args.machine == "corei7" else GTX_285
     if args.mode == "wallclock":
@@ -925,6 +965,8 @@ _FAULT_SUBSYSTEMS = {
     "cache": "tuning cache (crash-safety)",
     "grid": "grid health (NaN/Inf poisoning)",
     "serve": "serve daemon (admission/journal/deadlines)",
+    "memory": "silent data corruption (bit flips in grid/ring memory)",
+    "disk": "durable artifacts (checkpoint payload bitrot)",
 }
 
 
@@ -955,6 +997,9 @@ def _cmd_faults() -> int:
     print("  comm.drop:3      drop the next 3 transported messages")
     print("  serve.journal=done   tear the next terminal journal record")
     print("  backend.compute=fused-numba:*   every fused-numba compute raises")
+    print("  memory.flip=0:2:3    flip 3 bits in rank 0's grid after round 2")
+    print("  memory.flip=ring     flip a bit in a 3.5D ring-buffer plane")
+    print("  disk.bitrot@1        rot the 2nd checkpoint payload written")
     return 0
 
 
@@ -962,6 +1007,8 @@ def _cmd_chaos(args) -> int:
     """Exit codes: 0 all seeds green, 2 usage error, 4 any seed red."""
     if args.target == "serve":
         return _cmd_chaos_serve(args)
+    if args.target == "sdc":
+        return _cmd_chaos_sdc(args)
     from repro.resilience.chaos import (
         SCHEDULES,
         make_case,
@@ -1105,6 +1152,73 @@ def _cmd_chaos_serve(args) -> int:
     return 0
 
 
+def _cmd_chaos_sdc(args) -> int:
+    """SDC soak: no silent corruption — every healed run bit-exact."""
+    from repro.resilience.sdc import (
+        SDC_SCHEDULES,
+        make_sdc_case,
+        run_sdc_case,
+        write_sdc_bundle,
+    )
+
+    if args.grid is None:
+        args.grid = 20
+    schedules = tuple(
+        s.strip()
+        for s in (args.schedules or ",".join(SDC_SCHEDULES)).split(",")
+        if s.strip()
+    )
+    unknown = set(schedules) - set(SDC_SCHEDULES)
+    if unknown:
+        print(
+            f"error: unknown schedule(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(SDC_SCHEDULES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    print(f"sdc soak     : {args.seeds} seed(s), tier {args.tier}, "
+          f"{args.grid}^3 x {args.steps} steps (dim_T={args.dim_t})")
+    print(f"schedules    : {', '.join(schedules)}")
+    failures = 0
+    for seed in seeds:
+        case = make_sdc_case(
+            seed, grid=args.grid, steps=args.steps, dim_t=args.dim_t,
+            tier=args.tier, schedules=schedules,
+        )
+        result = run_sdc_case(case)
+        status = "ok" if result.ok else "FAIL"
+        detail = (
+            f"{result.flips_fired} flip(s), {result.detections} detected, "
+            f"{result.heals} healed, {result.replayed_cells} cells replayed, "
+            f"{result.checks} checks"
+        )
+        if result.bitrot_detected is not None:
+            detail += (", bitrot refused" if result.bitrot_detected
+                       else ", BITROT TRUSTED")
+        print(f"seed {seed:<4}    : {status} ({detail}) [{case.describe()}]")
+        if not result.ok:
+            failures += 1
+            if result.error:
+                print(f"             ! {result.error}")
+            if not result.bit_exact and result.error is None:
+                print("             ! result differs from the fault-free "
+                      "reference")
+            if args.bundle:
+                bundle = write_sdc_bundle(result, args.bundle)
+                print(f"             ! repro bundle: {bundle}")
+    if failures:
+        print(f"verdict      : {failures}/{args.seeds} seed(s) FAILED")
+        return 4
+    print(f"verdict      : all {args.seeds} seed(s) clean "
+          "(every flip detected, healed runs bit-exact)")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Foreground daemon; SIGTERM/SIGINT drain (exit 0 clean, 4 dirty)."""
     import signal
@@ -1181,7 +1295,8 @@ def _cmd_submit(args) -> int:
         dim_t=args.dim_t, tile=args.tile, precision=args.precision,
         seed=args.seed, backend=args.backend, priority=args.priority,
         tenant=args.tenant, deadline_s=args.deadline,
-        verify=not args.no_verify, trace_id=trace_id,
+        verify=not args.no_verify, integrity=args.integrity,
+        trace_id=trace_id,
     )
     client = ServeClient(args.socket)
     try:
@@ -1427,6 +1542,11 @@ def _cmd_info() -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # honor $REPRO_FAULTS (documented by `repro faults`): chaos smokes arm
+    # fault sites from the environment without touching the command line
+    from repro.resilience import FAULTS
+
+    FAULTS.load_env()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "tune":

@@ -292,11 +292,12 @@ class TuningCache:
         return data
 
     def _quarantine(self) -> None:
-        corrupt = self.path.with_name(self.path.name + ".corrupt")
-        try:
-            os.replace(self.path, corrupt)
-        except OSError:
-            pass
+        # in-function import: core stays free of a module-level resilience
+        # dependency (same layering as the FAULTS probe in save())
+        from ..resilience.quarantine import quarantine
+
+        # unique .corrupt evidence, count-capped GC of the cache directory
+        quarantine(self.path)
 
     def get(self, key: str, fingerprint: str | None = None) -> dict | None:
         """Return the entry for ``key`` if its fingerprint matches."""

@@ -46,6 +46,35 @@ from .traffic import TrafficStats
 
 __all__ = ["Blocking35D", "run_3_5d", "TileContext"]
 
+#: lazily bound process-wide fault injector (layering: core must not pull
+#: in repro.resilience at import time — see TuningCache for the pattern)
+_FAULTS = None
+
+
+def _ring_flip_probe(slot: np.ndarray, entropy: list[int]) -> None:
+    """The ``memory.flip=ring`` fault site: corrupt a freshly loaded ring
+    plane (the 3.5D scheme's on-chip working set).
+
+    The flip lands *between* the external-memory read and every compute
+    that consumes the plane, so it propagates into the round's output —
+    exactly the in-flight SDC the re-execution check of
+    :mod:`repro.resilience.sdc` exists to catch.  The ``:times`` budget is
+    the bit count, drained like :func:`~repro.resilience.sdc.inject_flips`.
+    """
+    global _FAULTS
+    if _FAULTS is None:
+        from ..resilience.faultinject import FAULTS
+
+        _FAULTS = FAULTS
+    if not _FAULTS.should("memory.flip", "ring"):
+        return
+    from ..resilience.sdc import MAX_FLIPS_PER_PROBE, flip_bits
+
+    bits = 1
+    while bits < MAX_FLIPS_PER_PROBE and _FAULTS.should("memory.flip", "ring"):
+        bits += 1
+    flip_bits(slot, bits, entropy=entropy)
+
 
 @dataclass
 class TileContext:
@@ -370,6 +399,7 @@ class Blocking35D:
                     return
             slot = ctx.rings.ring(0).slot_for(z)
             slot[:, ly0 - ey0 : ly1 - ey0, :] = src.data[:, z, ly0:ly1, ex0:ex1]
+            _ring_flip_probe(slot, entropy=[z, ey0, ex0])
             if traffic is not None:
                 traffic.read(
                     (ly1 - ly0) * (ex1 - ex0) * esize, planes=1 if rows is None else 0

@@ -15,6 +15,8 @@ invariant: a slot is never read for a plane it no longer holds.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 __all__ = ["PlaneRing", "RingSet", "ring_slots"]
@@ -45,6 +47,7 @@ class PlaneRing:
         # finite, so the kernels need no per-call FP-warning suppression.
         self.data = np.zeros((slots, ncomp, ny, nx), dtype=dtype)
         self._held = [-1] * slots
+        self._crc = [0] * slots
 
     @property
     def nbytes(self) -> int:
@@ -69,11 +72,33 @@ class PlaneRing:
     def holds(self, z: int) -> bool:
         return self._held[z % self.slots] == z
 
+    # -- per-plane CRC seals (the SDC defense of repro.resilience.sdc) --
+    def seal(self, z: int) -> int:
+        """CRC32-seal the plane currently held for ``z``; returns the CRC.
+
+        A seal outlives the slot's recycling only as the *record* — once a
+        new plane claims the slot, :meth:`check` for the old ``z`` reports
+        the liveness miss, not a corruption.
+        """
+        idx = z % self.slots
+        crc = zlib.crc32(np.ascontiguousarray(self.data[idx]))
+        self._crc[idx] = crc
+        return crc
+
+    def check(self, z: int) -> bool:
+        """True when plane ``z`` is held and still matches its seal —
+        a resting bit flip in ring memory makes this False."""
+        idx = z % self.slots
+        if self._held[idx] != z:
+            return False
+        return zlib.crc32(np.ascontiguousarray(self.data[idx])) == self._crc[idx]
+
     def reset(self) -> None:
         # In-place fill so steady-state executors can recycle rings without
         # allocating a fresh slot list each sweep.
         for i in range(self.slots):
             self._held[i] = -1
+            self._crc[i] = 0
 
 
 class RingSet:

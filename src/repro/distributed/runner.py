@@ -61,8 +61,8 @@ import time
 import numpy as np
 
 from ..core.blocking35d import Blocking35D
-from ..core.naive import naive_sweep
-from ..core.regions import split_slab
+from ..core.naive import naive_sweep, run_naive
+from ..core.regions import loaded_extent, split_slab
 from ..core.traffic import TrafficStats
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACE
@@ -73,6 +73,14 @@ from ..resilience.rankrecovery import (
     RecoveryReport,
     UnrecoverableRankFailureError,
     buddy_of,
+)
+from ..resilience.sdc import (
+    INTEGRITY_TIERS,
+    SdcError,
+    SdcReport,
+    SdcUnhealableError,
+    inject_flips,
+    plane_crcs,
 )
 from ..stencils.base import PlaneKernel
 from ..stencils.grid import Field3D, copy_shell
@@ -115,6 +123,22 @@ class DistributedJacobi:
         The communicator's in-flight cost model (see :class:`SimComm`);
         with the default ``latency_s=0`` transfers are instantaneous and
         the hidden/exposed accounting stays zero.
+    integrity:
+        Silent-data-corruption tier (``off``/``spot``/``seal``/``full``,
+        see :mod:`repro.resilience.sdc`).  Any active tier CRC-seals
+        every rank's slab planes at the end of each round and verifies
+        them at the top of the next — *before* the buddy checkpoint, so
+        the snapshots stay clean — healing detected planes by replaying
+        their ``R * round_t`` propagation cone from the previous round's
+        buddy snapshots (the in-memory "last sealed state").  ``seal``
+        and ``full`` additionally run the cross-rank halo handshake:
+        each received ghost plane is checksummed against the sender's
+        *seal-time* CRC, catching compute-side corruption of the
+        boundary planes — distinct from the transport CRC inside
+        :class:`SimComm`, which only covers the wire.  The
+        ``memory.flip`` fault site fires per rank per round (detail
+        ``"rank:round"``) after sealing.  Healing needs the buddy
+        snapshots, i.e. ``recover=True`` and at least two live ranks.
     """
 
     def __init__(
@@ -133,11 +157,19 @@ class DistributedJacobi:
         overlap: bool = True,
         latency_s: float = 0.0,
         bandwidth_bytes_s: float | None = None,
+        integrity: str = "off",
+        sdc_seed: int = 0,
+        sdc_max_heals: int = 3,
     ) -> None:
         if scheme not in ("35d", "naive"):
             raise ValueError(f"unknown scheme {scheme!r}")
         if dim_t < 1:
             raise ValueError("dim_t must be >= 1")
+        if integrity not in INTEGRITY_TIERS:
+            raise ValueError(
+                f"unknown integrity tier {integrity!r}; known: "
+                f"{', '.join(INTEGRITY_TIERS)}"
+            )
         self.kernel = kernel
         self.n_ranks = n_ranks
         self.dim_t = dim_t
@@ -154,6 +186,13 @@ class DistributedJacobi:
         self.overlap = overlap
         self.latency_s = latency_s
         self.bandwidth_bytes_s = bandwidth_bytes_s
+        self.integrity = integrity
+        self.sdc_seed = sdc_seed
+        self.sdc_max_heals = sdc_max_heals
+        self.sdc_report = SdcReport(tier=integrity)
+        #: per-rank seal-time plane CRCs of the previous round's output
+        #: (None until the first round seals, and after any recovery)
+        self._seals: dict[int, list[int]] | None = None
         self.recovery = RecoveryReport(initial_ranks=n_ranks,
                                        final_ranks=n_ranks)
 
@@ -189,6 +228,12 @@ class DistributedJacobi:
         report = RecoveryReport(initial_ranks=self.n_ranks,
                                 final_ranks=self.n_ranks)
         self.recovery = report
+        sdc = SdcReport(tier=self.integrity)
+        self.sdc_report = sdc
+        self._seals = None
+        # cone height of a seal-to-verify window = steps of the round that
+        # produced the sealed state (the final round may be shorter)
+        last_round_t = self.dim_t
 
         with TRACE.span("sweep", executor="distributed", steps=steps,
                         ranks=self.n_ranks, scheme=self.scheme):
@@ -196,6 +241,14 @@ class DistributedJacobi:
             round_index = 0
             while remaining > 0:
                 round_t = min(self.dim_t, remaining)
+                if self._seals is not None:
+                    # verify BEFORE the buddy checkpoint refreshes: the
+                    # snapshots are the trusted base the heal replays from,
+                    # and must stay the previous round's clean start state
+                    self._sdc_verify(
+                        slabs, local, comm, buddies, last_round_t,
+                        field.nz, steps - remaining,
+                    )
                 if self.recover and len(live) > 1:
                     self._buddy_checkpoint(
                         live, slabs, local, buddies, round_index
@@ -226,9 +279,31 @@ class DistributedJacobi:
                         field, live, slabs, comm, buddies, report,
                         round_index, halo,
                     )
+                    # the replayed round rebinds every slab; the old seals
+                    # describe state that no longer exists
+                    self._seals = None
                     continue  # replay the interrupted round
+                if self.integrity != "off":
+                    self._seals = {
+                        s.rank: plane_crcs(local[s.rank]) for s in slabs
+                    }
+                    sdc.sealed_planes += field.nz
+                    last_round_t = round_t
+                    for s in slabs:
+                        # the memory.flip probe fires per rank per round,
+                        # AFTER sealing — an injected flip is in-window
+                        inject_flips(
+                            local[s.rank], rank=s.rank,
+                            round_index=round_index, seed=self.sdc_seed,
+                        )
                 remaining -= round_t
                 round_index += 1
+            if self._seals is not None:
+                # flips landing after the final seal stay in-window
+                self._sdc_verify(
+                    slabs, local, comm, buddies, last_round_t,
+                    field.nz, steps,
+                )
 
         report.buddy_bytes = buddies.bytes_replicated
         report.buddy_snapshots = buddies.snapshots
@@ -327,6 +402,149 @@ class DistributedJacobi:
         return survivors, new_slabs, new_local
 
     # ------------------------------------------------------------------
+    def _sdc_verify(
+        self,
+        slabs: list[Slab],
+        local: dict[int, np.ndarray],
+        comm: SimComm,
+        buddies: BuddyStore,
+        round_t: int,
+        nz: int,
+        done: int,
+    ) -> None:
+        """Verify every slab against the previous round's seals; cone-heal.
+
+        Mismatching planes are resting corruption of the previous round's
+        output.  The heal replays their ``R * round_t`` propagation cone
+        through the naive reference rung from the round-start global state
+        still held by the buddy snapshots (the caller runs this *before*
+        :meth:`_buddy_checkpoint` refreshes them), patches only the
+        corrupted span, and re-verifies against the seals — bit-exact or
+        :class:`SdcUnhealableError`.
+        """
+        report = self.sdc_report
+        report.checks += 1
+        if METRICS.armed:
+            METRICS.inc("sdc.checks", 1)
+        bad: list[int] = []  # corrupted planes, global z coordinates
+        for s in slabs:
+            sealed = self._seals.get(s.rank) if self._seals else None
+            if sealed is None:
+                continue
+            crcs = plane_crcs(local[s.rank])
+            bad.extend(
+                s.z0 + z
+                for z, (a, b) in enumerate(zip(crcs, sealed))
+                if a != b
+            )
+        if not bad:
+            return
+        bad.sort()
+        report.detections += 1
+        report.detected_planes += len(bad)
+        report.detected_at.append(done)
+        if METRICS.armed:
+            METRICS.inc("sdc.detected", 1)
+        with TRACE.span("sdc_detected", channel="seal", step=done,
+                        planes=len(bad)):
+            pass
+        if report.heals >= self.sdc_max_heals:
+            report.unhealable += 1
+            raise SdcUnhealableError(
+                f"corruption detected at step {done} but the heal budget "
+                f"({self.sdc_max_heals}) is exhausted — persistent "
+                "corruption, restart on trusted hardware"
+            )
+        if not (self.recover and len(slabs) > 1 and buddies.snapshots):
+            report.unhealable += 1
+            raise SdcUnhealableError(
+                f"corruption detected at step {done} but there is no "
+                "trusted base to heal from — buddy snapshots need "
+                "recover=True and at least two live ranks"
+            )
+        # round-start global state, slab by slab from the buddy store
+        # (digest-verified at restore), then one cone replay patched back
+        base = np.concatenate(
+            [buddies.restore(s.rank, comm.alive).data for s in slabs],
+            axis=1,
+        )
+        z0, z1 = bad[0], bad[-1] + 1
+        h = self.kernel.radius * round_t
+        e0, e1 = loaded_extent((z0, z1), nz, h)
+        ny, nx = base.shape[2], base.shape[3]
+        with TRACE.span("sdc_heal", step=done, planes=len(bad), z0=z0,
+                        z1=z1, extent=e1 - e0, replay_steps=round_t):
+            sub = Field3D(np.ascontiguousarray(base[:, e0:e1]))
+            out = run_naive(
+                self.kernel.restricted_to(e0, e1), sub, round_t
+            )
+            for s in slabs:
+                lo, hi = max(s.z0, z0), min(s.z1, z1)
+                if lo < hi:
+                    local[s.rank][:, lo - s.z0 : hi - s.z0] = \
+                        out.data[:, lo - e0 : hi - e0]
+        report.heals += 1
+        cells = (e1 - e0) * ny * nx * round_t
+        report.replayed_cells += cells
+        if METRICS.armed:
+            METRICS.inc("sdc.healed", 1)
+            METRICS.inc("sdc.replayed_cells", cells)
+        for s in slabs:
+            sealed = self._seals.get(s.rank) if self._seals else None
+            if sealed is None:
+                continue
+            crcs = plane_crcs(local[s.rank])
+            still = [
+                s.z0 + z
+                for z, (a, b) in enumerate(zip(crcs, sealed))
+                if a != b
+            ]
+            if still:
+                report.unhealable += 1
+                raise SdcUnhealableError(
+                    f"plane(s) {still} still fail seal verification after "
+                    "a surgical heal — the sealed state itself was corrupt"
+                )
+
+    def _sdc_handshake(self, ghost: np.ndarray, sender: int,
+                       edge: str) -> None:
+        """Cross-rank halo handshake (``seal``/``full`` tiers).
+
+        The received ghost planes must reproduce the *seal-time* CRCs of
+        the sender's boundary (``edge="tail"`` for its last ``h`` planes,
+        ``"head"`` for its first ``h``) — compute-side corruption of the
+        boundary planes is caught at the receiver, which the transport CRC
+        inside :class:`SimComm` (wire coverage only) cannot see.
+        """
+        if self.integrity not in ("seal", "full") or self._seals is None:
+            return
+        sealed = self._seals.get(sender)
+        h = ghost.shape[1]
+        if sealed is None or len(sealed) < h:
+            return
+        report = self.sdc_report
+        report.checks += 1
+        if METRICS.armed:
+            METRICS.inc("sdc.checks", 1)
+        expect = sealed[-h:] if edge == "tail" else sealed[:h]
+        got = plane_crcs(ghost)
+        bad = [i for i, (a, b) in enumerate(zip(got, expect)) if a != b]
+        if not bad:
+            return
+        report.detections += 1
+        report.detected_planes += len(bad)
+        if METRICS.armed:
+            METRICS.inc("sdc.detected", 1)
+        with TRACE.span("sdc_detected", channel="handshake",
+                        sender=sender, planes=len(bad)):
+            pass
+        raise SdcError(
+            f"halo handshake failed: {len(bad)} ghost plane(s) received "
+            f"from rank {sender} do not match its seal-time CRCs — "
+            "compute-side corruption of the boundary planes"
+        )
+
+    # ------------------------------------------------------------------
     def _exchange_and_compute(
         self,
         slabs: list[Slab],
@@ -358,12 +576,16 @@ class DistributedJacobi:
             zlo = s.z0
             with TRACE.span("halo_exchange", phase="recv", rank=s.rank):
                 if s.lo_neighbor is not None:
-                    parts.append(comm.recv(s.lo_neighbor, s.rank, _TAG_UP))
+                    ghost = comm.recv(s.lo_neighbor, s.rank, _TAG_UP)
+                    self._sdc_handshake(ghost, s.lo_neighbor, "tail")
+                    parts.append(ghost)
                     zlo = s.z0 - h
                 parts.append(local[s.rank])
                 zhi = s.z1
                 if s.hi_neighbor is not None:
-                    parts.append(comm.recv(s.hi_neighbor, s.rank, _TAG_DOWN))
+                    ghost = comm.recv(s.hi_neighbor, s.rank, _TAG_DOWN)
+                    self._sdc_handshake(ghost, s.hi_neighbor, "head")
+                    parts.append(ghost)
                     zhi = s.z1 + h
             with TRACE.span("rank_compute", rank=s.rank):
                 aug = Field3D(np.concatenate(parts, axis=1))
@@ -437,6 +659,10 @@ class DistributedJacobi:
             with TRACE.span("halo_wait", rank=s.rank):
                 lo_ghost = comm.wait(lo_req) if lo_req is not None else None
                 hi_ghost = comm.wait(hi_req) if hi_req is not None else None
+            if lo_ghost is not None:
+                self._sdc_handshake(lo_ghost, s.lo_neighbor, "tail")
+            if hi_ghost is not None:
+                self._sdc_handshake(hi_ghost, s.hi_neighbor, "head")
             with TRACE.span("rank_compute", rank=s.rank, phase="boundary"):
                 if split.lo_strip is not None:
                     self._compute_strip(out, split.lo_strip, s, local,
@@ -493,12 +719,16 @@ class DistributedJacobi:
         zlo = s.z0
         with TRACE.span("halo_wait", rank=s.rank, fallback="thin-slab"):
             if lo_req is not None:
-                parts.append(comm.wait(lo_req))
+                ghost = comm.wait(lo_req)
+                self._sdc_handshake(ghost, s.lo_neighbor, "tail")
+                parts.append(ghost)
                 zlo = s.z0 - h
             parts.append(local[s.rank])
             zhi = s.z1
             if hi_req is not None:
-                parts.append(comm.wait(hi_req))
+                ghost = comm.wait(hi_req)
+                self._sdc_handshake(ghost, s.hi_neighbor, "head")
+                parts.append(ghost)
                 zhi = s.z1 + h
         with TRACE.span("rank_compute", rank=s.rank, phase="fused"):
             aug = Field3D(np.concatenate(parts, axis=1))

@@ -44,6 +44,12 @@ Counter catalog (see docs/observability.md for the full list):
 ``serve.preemptions`` / ``serve.deadline_misses``   scheduler interventions
 ``serve.site_updates`` / ``serve.cpu_ns``           executed lattice-site
                                                     updates and worker time
+``serve.verify_cpu_ns`` / ``serve.sdc_shed``        metered integrity-tier
+                                                    cpu; tiers shed under
+                                                    amber overload
+``sdc.checks`` / ``sdc.detected`` /
+``sdc.healed`` / ``sdc.replayed_cells``             silent-data-corruption
+                                                    defense activity
 ``serve.queue_depth`` (gauge)                       current queued jobs
 ``obs.dropped_spans``                               tracer ring-buffer losses
 

@@ -68,6 +68,17 @@ DEFAULT_RULES: list[MetricRule] = [
     MetricRule("gups.*", "higher", 0.15, 0.02, "kernel GUPS"),
     MetricRule("acceptance.fused_numpy_speedup", "higher", 0.15, 0.1,
                "fused speedup"),
+    # SDC defense (BENCH_sdc.json): the off tier must stay ~free, full
+    # detection must stay exhaustive, spot may sit anywhere >= 95%, and
+    # the surgical heal must keep replaying a small fraction of a
+    # full-round restart.  Floors are in rate/ratio points, not seconds.
+    MetricRule("overhead.off", "lower", 1.0, 0.03, "sdc off-tier overhead"),
+    MetricRule("detection.full_rate", "higher", 0.0, 0.0,
+               "sdc full detection"),
+    MetricRule("detection.spot_rate", "higher", 0.05, 0.05,
+               "sdc spot detection"),
+    MetricRule("healing.heal_replay_ratio", "lower", 1.0, 0.05,
+               "surgical heal cost"),
 ]
 
 

@@ -220,6 +220,10 @@ class TenantUsage:
     bytes_read: int = 0
     bytes_written: int = 0
     cpu_ns: int = 0
+    #: cpu spent on integrity verification (the SDC tier of the job spec)
+    #: — metered separately from compute so the cost of ``integrity`` is
+    #: visible per tenant, not folded into the sweep time
+    verify_cpu_ns: int = 0
     completed: int = 0
     degraded: int = 0
     failed: int = 0
@@ -273,6 +277,7 @@ class UsageLedger:
         bytes_read: int = 0,
         bytes_written: int = 0,
         cpu_ns: int = 0,
+        verify_cpu_ns: int = 0,
     ) -> None:
         """Attribute consumed resources to ``tenant`` (integers only)."""
         with self._lock:
@@ -281,6 +286,7 @@ class UsageLedger:
             u.bytes_read += int(bytes_read)
             u.bytes_written += int(bytes_written)
             u.cpu_ns += int(cpu_ns)
+            u.verify_cpu_ns += int(verify_cpu_ns)
             self._mutations += 1
             due = self._mutations % self.rollup_every == 0
         if due:

@@ -20,6 +20,12 @@ drops that assumption:
   re-decomposition over the survivors, at most one replayed round;
 * :mod:`~repro.resilience.chaos` — the seeded chaos soak harness
   (randomized crash/loss/corruption/delay schedules, bit-exact oracle);
+* :mod:`~repro.resilience.sdc` — silent-data-corruption defense:
+  per-plane CRC seals, re-execution spot checks through the naive rung,
+  and surgical cone-bounded healing (integrity tiers
+  ``off``/``spot``/``seal``/``full``);
+* :mod:`~repro.resilience.quarantine` — unique-name ``*.corrupt``
+  quarantining with a count-capped GC (``$REPRO_CORRUPT_KEEP``);
 * :mod:`~repro.resilience.report` — the structured record of every
   degradation, mapped to the CLI's exit codes (0 clean, 3 degraded-but-
   correct, 4 failed).
@@ -60,6 +66,13 @@ from .faultinject import (
     InjectedFault,
     ResilienceError,
 )
+from .quarantine import (
+    DEFAULT_CORRUPT_KEEP,
+    REPRO_CORRUPT_KEEP_ENV,
+    corrupt_keep,
+    gc_corrupt,
+    quarantine,
+)
 from .rankrecovery import (
     BuddySnapshot,
     BuddyStore,
@@ -69,6 +82,25 @@ from .rankrecovery import (
     buddy_of,
 )
 from .report import RunReport
+from .sdc import (
+    INTEGRITY_TIERS,
+    SDC_SCHEDULES,
+    SdcChaosCase,
+    SdcChaosResult,
+    SdcError,
+    SdcGuard,
+    SdcReport,
+    SdcUnhealableError,
+    data_digest,
+    flip_bits,
+    inject_flips,
+    make_sdc_case,
+    plane_crcs,
+    rot_file,
+    run_sdc_case,
+    run_sdc_soak,
+    write_sdc_bundle,
+)
 from .watchdog import (
     GuardedSweep,
     HealthCheckError,
@@ -80,9 +112,13 @@ from .watchdog import (
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
+    "DEFAULT_CORRUPT_KEEP",
     "FAULTS",
+    "INTEGRITY_TIERS",
+    "REPRO_CORRUPT_KEEP_ENV",
     "REPRO_FAULTS_ENV",
     "SCHEDULES",
+    "SDC_SCHEDULES",
     "SITES",
     "FALLBACK_ORDER",
     "BoundBackend",
@@ -106,15 +142,33 @@ __all__ = [
     "RecoveryReport",
     "ResilienceError",
     "RunReport",
+    "SdcChaosCase",
+    "SdcChaosResult",
+    "SdcError",
+    "SdcGuard",
+    "SdcReport",
+    "SdcUnhealableError",
     "SweepInterruptedError",
     "SweepRetriesExhaustedError",
     "UnrecoverableRankFailureError",
     "bind_with_fallback",
     "buddy_of",
+    "corrupt_keep",
+    "data_digest",
     "fallback_chain",
+    "flip_bits",
+    "gc_corrupt",
     "grid_is_finite",
+    "inject_flips",
     "make_case",
+    "make_sdc_case",
+    "plane_crcs",
+    "quarantine",
+    "rot_file",
     "run_case",
+    "run_sdc_case",
+    "run_sdc_soak",
     "run_soak",
     "write_bundle",
+    "write_sdc_bundle",
 ]

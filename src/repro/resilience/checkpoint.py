@@ -24,6 +24,7 @@ broadcast error halfway into the resumed sweep.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import zipfile
@@ -32,7 +33,8 @@ from pathlib import Path
 
 import numpy as np
 
-from .faultinject import ResilienceError
+from .faultinject import FAULTS, ResilienceError
+from .quarantine import quarantine
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
@@ -42,7 +44,9 @@ __all__ = [
 ]
 
 #: version stamped into every snapshot; bumped on layout changes
-CHECKPOINT_SCHEMA_VERSION = 1
+#: (v2: a sha256 content digest of the grid payload joined the stamp, so
+#: bitrot between write and restore is refused instead of trusted)
+CHECKPOINT_SCHEMA_VERSION = 2
 
 #: reserved key carrying the schema stamp inside the stored metadata JSON
 _SCHEMA_KEY = "_checkpoint"
@@ -78,11 +82,13 @@ class CheckpointStore:
         grid's shape/dtype so :meth:`load` can refuse a stale or foreign
         snapshot with a typed error.
         """
+        payload = np.ascontiguousarray(data)
         meta_doc = dict(meta or {})
         meta_doc[_SCHEMA_KEY] = {
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "shape": list(data.shape),
             "dtype": str(data.dtype),
+            "sha256": hashlib.sha256(payload).hexdigest(),
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
@@ -90,7 +96,7 @@ class CheckpointStore:
             with open(tmp, "wb") as fh:
                 np.savez(
                     fh,
-                    data=np.ascontiguousarray(data),
+                    data=payload,
                     step=np.int64(step),
                     meta=np.frombuffer(
                         json.dumps(meta_doc).encode(), dtype=np.uint8
@@ -103,6 +109,12 @@ class CheckpointStore:
             raise CheckpointError(
                 f"cannot write checkpoint {self.path}: {exc}"
             ) from exc
+        if FAULTS.should("disk.bitrot", self.path.name):
+            # the persisted payload rots *after* the fsync: the next load
+            # must refuse the snapshot via its content digest
+            from .sdc import rot_file
+
+            rot_file(self.path)
 
     def load(
         self,
@@ -158,6 +170,18 @@ class CheckpointStore:
                 f"{stamp.get('shape')}/{stamp.get('dtype')} but stores "
                 f"{list(data.shape)}/{data.dtype}"
             )
+        digest = hashlib.sha256(np.ascontiguousarray(data)).hexdigest()
+        if digest != stamp.get("sha256"):
+            # bitrot between write and restore: quarantine the evidence and
+            # refuse loudly — silently resuming corrupted state would seed
+            # every subsequent round with wrong bits
+            self._quarantine()
+            raise CheckpointError(
+                f"checkpoint {self.path} failed its content digest "
+                f"(stored {str(stamp.get('sha256'))[:12]}..., recomputed "
+                f"{digest[:12]}...); the payload rotted on disk — the file "
+                "was quarantined, restart from an earlier state"
+            )
         if expected_shape is not None and tuple(expected_shape) != data.shape:
             raise CheckpointError(
                 f"checkpoint {self.path} holds a grid of shape "
@@ -174,12 +198,13 @@ class CheckpointStore:
                           schema_version=version)
 
     def _quarantine(self) -> None:
-        """Move a corrupt snapshot aside (``*.corrupt``) instead of trusting it."""
-        corrupt = self.path.with_name(self.path.name + ".corrupt")
-        try:
-            os.replace(self.path, corrupt)
-        except OSError:
-            pass
+        """Move a corrupt snapshot aside (``*.corrupt``) instead of trusting it.
+
+        Quarantined names are unique and the directory is GC'd to the
+        ``$REPRO_CORRUPT_KEEP`` retention cap (see
+        :mod:`repro.resilience.quarantine`).
+        """
+        quarantine(self.path)
 
     def clear(self) -> None:
         """Delete the snapshot (end of a completed run)."""

@@ -68,6 +68,13 @@ SITES = {
     "half-written JSON file)",
     "grid.nan": "repro.resilience.watchdog GuardedSweep (a plane is poisoned "
     "with NaN after a round)",
+    "memory.flip": "repro.resilience.sdc flip probes (a single bit of a grid "
+    "or ring array is flipped to a plausible finite value; arg = "
+    "'rank:round' — single-process probes use rank 0 — or 'ring' for the "
+    "3.5D ring buffers; the :times budget is the bit count)",
+    "disk.bitrot": "repro.resilience.checkpoint CheckpointStore.save (the "
+    "persisted payload rots on disk after the fsync: a byte of the stored "
+    "grid data is corrupted in place)",
     "serve.accept": "repro.serve.server ServeCore.submit (an admitted job is "
     "dropped before it reaches the journal; the client sees an explicit "
     "retryable rejection, never a silent loss)",

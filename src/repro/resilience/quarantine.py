@@ -1,0 +1,108 @@
+"""Quarantine bookkeeping for corrupt on-disk artifacts.
+
+Every durable store in the tree (tuning cache, checkpoints, the serve
+journal) follows the same discipline when it meets bytes it cannot trust:
+move them aside as ``*.corrupt`` instead of deleting evidence or silently
+restoring garbage.  That policy has a failure mode of its own — a host
+with a flaky disk quarantines forever and the ``.corrupt`` graveyard grows
+without bound.  This module centralizes the two missing pieces:
+
+* :func:`quarantine` — move a file aside under a *unique* ``.corrupt``
+  name (``name.corrupt``, ``name.1.corrupt``, ...), so repeated
+  corruptions of the same path keep distinct evidence instead of
+  overwriting the previous sample;
+* :func:`gc_corrupt` — a count-capped garbage collector: keep the newest
+  ``$REPRO_CORRUPT_KEEP`` (default 8) quarantined files per directory and
+  delete the rest.  Every quarantine triggers a GC of its directory, and
+  ``repro tune --prune`` sweeps the cache/checkpoint directories
+  explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "REPRO_CORRUPT_KEEP_ENV",
+    "DEFAULT_CORRUPT_KEEP",
+    "corrupt_keep",
+    "gc_corrupt",
+    "quarantine",
+]
+
+#: environment variable capping retained ``*.corrupt`` files per directory
+REPRO_CORRUPT_KEEP_ENV = "REPRO_CORRUPT_KEEP"
+
+#: quarantined files kept per directory when the env var is unset
+DEFAULT_CORRUPT_KEEP = 8
+
+
+def corrupt_keep(environ=None) -> int:
+    """The per-directory retention cap (``$REPRO_CORRUPT_KEEP``, min 0)."""
+    environ = os.environ if environ is None else environ
+    raw = environ.get(REPRO_CORRUPT_KEEP_ENV, "")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_CORRUPT_KEEP
+
+
+def _unique_corrupt_name(path: Path) -> Path:
+    """First free ``name[.N].corrupt`` sibling of ``path``."""
+    candidate = path.with_name(path.name + ".corrupt")
+    n = 1
+    while candidate.exists():
+        candidate = path.with_name(f"{path.name}.{n}.corrupt")
+        n += 1
+    return candidate
+
+def quarantine(path: str | os.PathLike, *, keep: int | None = None) -> Path | None:
+    """Move ``path`` aside as evidence; returns the ``.corrupt`` path.
+
+    The destination name is unique (never clobbers earlier evidence) and
+    the directory is GC'd to the retention cap afterwards.  Returns
+    ``None`` when the move itself fails (nothing to quarantine, or an
+    unwritable directory) — quarantining is best-effort by design, the
+    caller has already decided not to trust the bytes.
+    """
+    src = Path(path)
+    dest = _unique_corrupt_name(src)
+    try:
+        os.replace(src, dest)
+    except OSError:
+        return None
+    gc_corrupt(src.parent, keep=keep)
+    return dest
+
+
+def gc_corrupt(directory: str | os.PathLike, *, keep: int | None = None) -> list[Path]:
+    """Delete all but the newest ``keep`` ``*.corrupt`` files in ``directory``.
+
+    Returns the deleted paths (empty when under the cap).  Recency is
+    judged by mtime, name-tiebroken, so the retained set is deterministic.
+    """
+    if keep is None:
+        keep = corrupt_keep()
+    root = Path(directory)
+    try:
+        victims = [p for p in root.iterdir()
+                   if p.name.endswith(".corrupt") and p.is_file()]
+    except OSError:
+        return []
+
+    def age_key(p: Path):
+        try:
+            return (p.stat().st_mtime_ns, p.name)
+        except OSError:
+            return (0, p.name)
+
+    victims.sort(key=age_key, reverse=True)  # newest first
+    removed: list[Path] = []
+    for p in victims[keep:]:
+        try:
+            p.unlink()
+            removed.append(p)
+        except OSError:
+            pass
+    return removed

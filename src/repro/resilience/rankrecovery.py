@@ -33,6 +33,7 @@ the classic buddy-checkpointing failure model.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -74,6 +75,14 @@ class BuddySnapshot:
     z1: int
     data: np.ndarray  # (ncomp, z1 - z0, ny, nx) slab copy
     meta: dict = field(default_factory=dict)
+    #: sha256 content digest of ``data``, stamped by the store at
+    #: checkpoint time and re-verified at restore — a replica that rotted
+    #: in the holder's memory is refused, never replayed from
+    sha256: str = ""
+
+
+def _slab_digest(data: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(data)).hexdigest()
 
 
 class BuddyStore:
@@ -95,7 +104,14 @@ class BuddyStore:
 
     def checkpoint(self, snap: BuddySnapshot, holder: int | None) -> None:
         """Record ``snap`` as the owner's round-start state; replicate to
-        ``holder`` when one is given (counted in ``bytes_replicated``)."""
+        ``holder`` when one is given (counted in ``bytes_replicated``).
+
+        Both copies are stamped with a sha256 content digest;
+        :meth:`restore` re-verifies it so state that rotted between
+        checkpoint and recovery is refused instead of replayed from.
+        """
+        if not snap.sha256:
+            snap.sha256 = _slab_digest(snap.data)
         self._own[snap.owner] = snap
         self.snapshots += 1
         if holder is None:
@@ -110,6 +126,7 @@ class BuddyStore:
             z1=snap.z1,
             data=snap.data.copy(),
             meta=dict(snap.meta),
+            sha256=snap.sha256,
         )
         self._replica[snap.owner] = (holder, replica)
         self.bytes_replicated += replica.data.nbytes
@@ -129,7 +146,7 @@ class BuddyStore:
         """
         own = self._own.get(owner)
         if own is not None and alive(owner):
-            return own
+            return self._verified(own, "own snapshot")
         entry = self._replica.get(owner)
         if entry is None:
             raise UnrecoverableRankFailureError(
@@ -141,7 +158,18 @@ class BuddyStore:
                 f"rank {owner} and its buddy {holder} both died in the same "
                 "round; the round-start slab is lost"
             )
-        return replica
+        return self._verified(replica, f"replica held by rank {holder}")
+
+    @staticmethod
+    def _verified(snap: BuddySnapshot, kind: str) -> BuddySnapshot:
+        """Refuse a snapshot whose payload no longer matches its digest."""
+        if snap.sha256 and _slab_digest(snap.data) != snap.sha256:
+            raise UnrecoverableRankFailureError(
+                f"rank {snap.owner}'s {kind} (round {snap.round_index}) "
+                "failed its sha256 content digest — the round-start slab "
+                "rotted after checkpointing and cannot be replayed from"
+            )
+        return snap
 
 
 def buddy_of(rank: int, live: list[int]) -> int | None:

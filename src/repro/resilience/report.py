@@ -28,15 +28,26 @@ class RunReport:
     checkpoints_written: int = 0
     resumed_from: int | None = None
     warnings: list[str] = field(default_factory=list)
+    #: integrity record of an active SDC tier (see repro.resilience.sdc);
+    #: a run that detected-and-healed corruption finished *degraded* —
+    #: correct bits, but not on the clean path
+    sdc: object | None = None
 
     @property
     def degraded(self) -> bool:
         """True when the run completed but not on the clean path."""
-        return bool(self.degradations) or self.retries > 0 or self.repairs > 0
+        return (
+            bool(self.degradations)
+            or self.retries > 0
+            or self.repairs > 0
+            or (self.sdc is not None and self.sdc.degraded)
+        )
 
     def lines(self) -> list[str]:
         """Human-readable summary lines (empty for a clean run)."""
         out = []
+        if self.sdc is not None:
+            out.extend(self.sdc.lines())
         for deg in self.degradations:
             out.append(f"degraded     : {deg}")
         if self.used_backend and self.used_backend != self.requested_backend:

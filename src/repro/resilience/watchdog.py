@@ -35,6 +35,7 @@ from ..obs.trace import TRACE
 from .checkpoint import CheckpointError, CheckpointStore
 from .faultinject import FAULTS, ResilienceError
 from .report import RunReport
+from .sdc import SdcGuard, inject_flips
 
 __all__ = [
     "GuardedSweep",
@@ -99,7 +100,22 @@ class GuardedSweep:
         (falling back to 1), the granularity at which chunked execution is
         bit-identical to a single call.
     health:
-        ``"off"``, ``"raise"``, ``"warn"`` or ``"repair"``.
+        ``"off"``, ``"raise"``, ``"warn"``, ``"repair"`` or ``"sdc"``
+        (NaN/Inf raise plus silent-data-corruption guarding at the
+        ``spot`` tier unless ``sdc`` names a stronger one).
+    sdc / sdc_seed / sdc_sample / sdc_max_heals:
+        Integrity tier (``off``/``spot``/``seal``/``full``, see
+        :mod:`repro.resilience.sdc`) plus the spot-check sampling seed,
+        bands sampled per round, and the surgical-heal budget.  An
+        active tier CRC-seals the grid after every round, verifies the
+        seals at the next round boundary, re-executes Z bands from the
+        last trusted state through the naive reference rung, and heals
+        detected corruption by replaying only its propagation cone.
+        The ``memory.flip`` fault site fires here (after sealing, so
+        flips are *resting* corruption the next verify must catch).
+    kernel:
+        The stencil kernel, required by an active ``sdc`` tier for the
+        re-execution/heal replays; defaults to ``executor.kernel``.
     max_retries:
         Retries per round for rounds that raise; 0 disables catching.
     backoff / backoff_factor:
@@ -138,9 +154,20 @@ class GuardedSweep:
         report: RunReport | None = None,
         stop=None,
         sleep=time.sleep,
+        sdc: str = "off",
+        sdc_seed: int = 0,
+        sdc_sample: int = 2,
+        sdc_max_heals: int = 3,
+        kernel=None,
     ) -> None:
-        if health not in ("off", "raise", "warn", "repair"):
+        if health not in ("off", "raise", "warn", "repair", "sdc"):
             raise ValueError(f"unknown health policy {health!r}")
+        if health == "sdc":
+            # SDC guarding beside the NaN/Inf check: strictest NaN policy,
+            # integrity at least at the spot tier
+            health = "raise"
+            if sdc == "off":
+                sdc = "spot"
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if checkpoint_every < 1:
@@ -157,6 +184,25 @@ class GuardedSweep:
         self.report = report if report is not None else RunReport()
         self.stop = stop
         self._sleep = sleep
+        self.sdc_seed = sdc_seed
+        self.kernel = kernel if kernel is not None else getattr(
+            executor, "kernel", None
+        )
+        if sdc != "off" and self.kernel is None:
+            raise ValueError(
+                "an active sdc tier needs the stencil kernel for its "
+                "re-execution replays; pass kernel= or use an executor "
+                "with a .kernel attribute"
+            )
+        self.sdc = SdcGuard(
+            self.kernel,
+            tier=sdc,
+            seed=sdc_seed,
+            sample_bands=sdc_sample,
+            max_heals=sdc_max_heals,
+        ) if sdc != "off" else None
+        if self.sdc is not None:
+            self.report.sdc = self.sdc.report
 
     # ------------------------------------------------------------------
     def run(self, field, steps: int, traffic=None, resume: bool = False):
@@ -177,15 +223,24 @@ class GuardedSweep:
         rounds_since_snapshot = 0
         retries_before = self.report.retries
         repairs_before = self.report.repairs
+        round_index = 0
         with TRACE.span("guarded_run", steps=steps, health=self.health):
             while done < steps:
                 if self.stop is not None and self.stop.is_set():
                     self._interrupt(state, done)
+                if self.sdc is not None:
+                    # resting corruption since the last seal (the window the
+                    # memory.flip probe below opens) heals here, *before*
+                    # this round consumes it
+                    state = self.sdc.verify_seals(
+                        state, done, good_state, good_done
+                    )
                 round_t = min(self.round_steps, steps - done)
                 with TRACE.span("guard_round", done=done, round_t=round_t):
                     state = self._round_with_retry(state, round_t, traffic)
                 done += round_t
                 self.report.rounds += 1
+                round_index += 1
                 if FAULTS.should("grid.nan"):
                     state.data[:, state.nz // 2] = np.nan
                 if self.health != "off" and not grid_is_finite(state.data):
@@ -195,7 +250,17 @@ class GuardedSweep:
                             rounds_since_snapshot, repairs_left,
                         )
                     )
+                    if self.sdc is not None:
+                        self.sdc.invalidate()  # rollback voided the seals
                     continue
+                if self.sdc is not None:
+                    # compute-side SDC: re-execute bands from the trusted
+                    # base through the naive rung, then seal the verified
+                    # grid for the next round's resting-corruption check
+                    state = self.sdc.check_round(
+                        state, done, good_state, good_done, round_index - 1
+                    )
+                    self.sdc.seal(state)
                 rounds_since_snapshot += 1
                 if rounds_since_snapshot >= self.checkpoint_every and done < steps:
                     good_state, good_done = state.copy(), done
@@ -205,6 +270,20 @@ class GuardedSweep:
                         self.report.checkpoints_written += 1
                         METRICS.inc("resilience.checkpoint_bytes",
                                     state.data.nbytes)
+                if self.sdc is not None:
+                    # the memory.flip probe: resting bit flips land *after*
+                    # sealing and after the trusted base was refreshed, so
+                    # they are in-window for the next verify_seals
+                    inject_flips(
+                        state.data, rank=0, round_index=round_index - 1,
+                        seed=self.sdc_seed,
+                    )
+            if self.sdc is not None:
+                # final verify: flips injected after the last round's seal
+                # stay in-window
+                state = self.sdc.verify_seals(
+                    state, done, good_state, good_done
+                )
         if METRICS.armed:
             METRICS.inc("resilience.retries",
                         self.report.retries - retries_before)

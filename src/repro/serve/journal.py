@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..resilience.faultinject import FAULTS
+from ..resilience.quarantine import gc_corrupt
 
 __all__ = ["JobJournal", "JournalReplay"]
 
@@ -148,6 +149,9 @@ class JobJournal:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path)
+            # cap the .corrupt graveyard (checkpoints quarantine into the
+            # same state directory)
+            gc_corrupt(self.path.parent)
         self._seq = max(
             (r["seq"] for r in out.records if isinstance(r.get("seq"), int)),
             default=0,

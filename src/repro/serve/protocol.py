@@ -75,6 +75,12 @@ class JobSpec:
     #: cross-check the result against the naive reference (overload may
     #: shed this; the job then completes as degraded-but-correct)
     verify: bool = True
+    #: silent-data-corruption integrity tier (``off``/``spot``/``seal``/
+    #: ``full``, see :mod:`repro.resilience.sdc`).  Verification cpu is
+    #: metered per tenant (``verify_cpu_ns`` in the usage ledger); under
+    #: amber overload the tier is shed exactly like result verification
+    #: and the job completes degraded-but-correct
+    integrity: str = "off"
     #: end-to-end trace correlation id minted by the client at submit;
     #: stamped on every job span on both sides of the socket.  Empty means
     #: "untraced" — older clients simply never send the field
@@ -95,6 +101,11 @@ class JobSpec:
             return f"unknown precision {self.precision!r}"
         if self.priority < 0:
             return "priority must be >= 0"
+        if self.integrity not in ("off", "spot", "seal", "full"):
+            return (
+                f"unknown integrity tier {self.integrity!r} "
+                "(off/spot/seal/full)"
+            )
         if self.deadline_s is not None and self.deadline_s <= 0:
             return "deadline_s must be positive"
         if not self.tenant:

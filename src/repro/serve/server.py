@@ -49,6 +49,7 @@ from ..obs.trace import TRACE
 from ..resilience.checkpoint import CheckpointError, CheckpointStore
 from ..resilience.fallback import bind_with_fallback
 from ..resilience.faultinject import FAULTS, ResilienceError
+from ..resilience.sdc import SdcError, SdcGuard, inject_flips
 from ..stencils.grid import Field3D
 from ..stencils.seven_point import SevenPointStencil
 from ..stencils.twentyseven_point import TwentySevenPointStencil
@@ -203,7 +204,7 @@ class ServeCore:
             "accepted": 0, "rejected": 0, "dropped": 0, "shed": 0,
             "completed": 0, "degraded": 0, "failed": 0, "cancelled": 0,
             "deadline_misses": 0, "preemptions": 0, "resumes": 0,
-            "recovered": 0, "verification_shed": 0,
+            "recovered": 0, "verification_shed": 0, "sdc_shed": 0,
         }
         self.replay_info: dict = {}
         # Serving telemetry is always-on: the daemon owns a private armed
@@ -261,6 +262,7 @@ class ServeCore:
             "bytes_read": int(m.counter("traffic.bytes_read")),
             "bytes_written": int(m.counter("traffic.bytes_written")),
             "cpu_ns": int(m.counter("serve.cpu_ns")),
+            "verify_cpu_ns": int(m.counter("serve.verify_cpu_ns")),
             "completed": self.counters["completed"],
             "degraded": self.counters["degraded"],
             "failed": self.counters["failed"],
@@ -649,6 +651,17 @@ class ServeCore:
                 f"{self.overload_level()})"
             )
             self.counters["verification_shed"] += 1
+        integrity = getattr(spec, "integrity", "off") or "off"
+        if integrity != "off" and self.overload_level() != GREEN:
+            # integrity checks degrade exactly like result verification:
+            # shed under amber, job completes degraded-but-correct
+            degraded_reasons.append(
+                f"overload: integrity tier {integrity} shed (grid "
+                f"{self.overload_level()})"
+            )
+            self.counters["sdc_shed"] += 1
+            self._inc("serve.sdc_shed")
+            integrity = "off"
         try:
             field = ctx.state if ctx.state is not None else make_field(spec)
             kernel, used, plan_degradations = self.plans.get(spec, field)
@@ -663,6 +676,54 @@ class ServeCore:
         state = field
         store = self._checkpoint_store(record.id)
         rounds_since_ck = 0
+        rounds_done = 0
+        # the SDC tier: the guard re-executes through the *reference*
+        # kernel (a different rung of the bit-exact ladder than the bound
+        # backend), from a trusted base refreshed each verified round
+        guard: SdcGuard | None = None
+        good_state: Field3D | None = None
+        good_done = record.done_steps
+        if integrity != "off":
+            guard = SdcGuard(
+                make_kernel(spec), tier=integrity, seed=spec.seed
+            )
+            good_state = Field3D.from_array(field.data.copy())
+
+        def _integrity_phase(name: str, fn):
+            """One metered guard phase: cpu to the tenant's verify_cpu_ns,
+            counter deltas to the daemon registry (the guard writes the
+            global METRICS itself when armed — no dual write here, or an
+            armed bench would double-count), wall span to the job trace."""
+            t0 = time.perf_counter_ns()
+            w0 = time.time_ns()
+            r = guard.report
+            before = (r.checks, r.detections, r.heals, r.replayed_cells)
+            try:
+                return fn()
+            finally:
+                ns = time.perf_counter_ns() - t0
+                self.ledger.charge(spec.tenant, verify_cpu_ns=ns)
+                self._inc("serve.verify_cpu_ns", ns)
+                for key, b, a in (
+                    ("sdc.checks", before[0], r.checks),
+                    ("sdc.detected", before[1], r.detections),
+                    ("sdc.healed", before[2], r.heals),
+                    ("sdc.replayed_cells", before[3], r.replayed_cells),
+                ):
+                    if a > b:
+                        self.metrics.inc(key, a - b)
+                if ctx.trace is not None:
+                    ctx.trace.add(
+                        name, w0, time.time_ns(), tier=integrity,
+                        detections=r.detections,
+                    )
+                    if r.heals > before[2]:
+                        ctx.trace.add(
+                            "sdc_heal", w0, time.time_ns(),
+                            heals=r.heals - before[2],
+                            replayed_cells=r.replayed_cells,
+                        )
+
         run_t0_ns = time.time_ns()
         try:
             with TRACE.span(
@@ -715,6 +776,16 @@ class ServeCore:
                         return
                     if FAULTS.should("serve.stall"):
                         time.sleep(self.stall_s)
+                    if guard is not None:
+                        # resting corruption since the last seal is healed
+                        # BEFORE this round consumes it
+                        state = _integrity_phase(
+                            "sdc_check",
+                            lambda: guard.verify_seals(
+                                state, record.done_steps, good_state,
+                                good_done,
+                            ),
+                        )
                     round_t = min(spec.dim_t, spec.steps - record.done_steps)
                     # meter the round: modeled traffic + worker cpu time,
                     # charged to the tenant and mirrored into the global
@@ -743,6 +814,25 @@ class ServeCore:
                     self._inc("traffic.bytes_read", traffic.bytes_read)
                     self._inc("traffic.bytes_written", traffic.bytes_written)
                     record.done_steps += round_t
+                    if guard is not None:
+                        def _check_and_seal():
+                            out = guard.check_round(
+                                state, record.done_steps, good_state,
+                                good_done, rounds_done,
+                            )
+                            guard.seal(out)
+                            return out
+                        state = _integrity_phase("sdc_check", _check_and_seal)
+                        # the just-verified state becomes the trusted base
+                        # (refreshed PRE-flip, so it stays clean); the
+                        # memory.flip probe then fires in-window
+                        good_state = Field3D.from_array(state.data.copy())
+                        good_done = record.done_steps
+                        inject_flips(
+                            state.data, rank=0, round_index=rounds_done,
+                            seed=spec.seed,
+                        )
+                    rounds_done += 1
                     rounds_since_ck += 1
                     if (
                         rounds_since_ck >= self.checkpoint_every_rounds
@@ -752,6 +842,20 @@ class ServeCore:
                             state.data, record.done_steps, {"id": record.id}
                         )
                         rounds_since_ck = 0
+                if guard is not None:
+                    # flips landing after the final seal stay in-window
+                    state = _integrity_phase(
+                        "sdc_check",
+                        lambda: guard.verify_seals(
+                            state, record.done_steps, good_state, good_done
+                        ),
+                    )
+        except SdcError as exc:
+            self._finish(
+                ctx, "failed", f"integrity: {type(exc).__name__}: {exc}"
+            )
+            store.clear()
+            return
         finally:
             if ctx.trace is not None:
                 ctx.trace.add(
@@ -759,6 +863,11 @@ class ServeCore:
                     done=record.done_steps, status=record.status,
                     backend=record.backend_used,
                 )
+        if guard is not None and guard.report.degraded:
+            degraded_reasons.append(
+                f"sdc: {guard.report.detections} detection(s), "
+                f"{guard.report.heals} healed surgically (tier {integrity})"
+            )
         sha = grid_sha256(state.data)
         if verify:
             ref = run_naive(make_kernel(spec), make_field(spec), spec.steps)
